@@ -1,0 +1,24 @@
+"""Helpers shared by the benchmark modules (kept out of conftest so the
+name cannot collide with the test suite's conftest)."""
+
+from __future__ import annotations
+
+#: the scale every J-* experiment (except the scalability sweep) runs at
+BENCH_SCALE = 0.25
+BENCH_SEED = 42
+
+ENGINES = ("greenwood", "bluestem", "ironbark")
+
+
+def run_query(benchmark, cursor, sql, params=()):
+    """Standard measurement protocol for one SQL statement."""
+
+    def call():
+        cursor.execute(sql, params)
+        return cursor.fetchall()
+
+    rows = benchmark.pedantic(call, rounds=3, iterations=1, warmup_rounds=1)
+    if rows and len(rows[0]) == 1:
+        benchmark.extra_info["result"] = rows[0][0]
+    benchmark.extra_info["rows"] = len(rows)
+    return rows

@@ -1,0 +1,39 @@
+"""Shared fixtures for the benchmark harness.
+
+One dataset and one loaded database per engine are built per session;
+benchmarks use ``benchmark.pedantic`` with explicit rounds so the whole
+harness completes in minutes while still reporting stable medians.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _bench_utils import BENCH_SCALE, BENCH_SEED, ENGINES
+from repro.datagen import generate
+from repro.dbapi import connect
+from repro.engines import Database
+
+
+@pytest.fixture(scope="session")
+def dataset():
+    return generate(seed=BENCH_SEED, scale=BENCH_SCALE)
+
+
+@pytest.fixture(scope="session")
+def loaded_databases(dataset):
+    databases = {}
+    for engine in ENGINES:
+        db = Database(engine)
+        dataset.load_into(db, create_indexes=True)
+        databases[engine] = db
+    return databases
+
+
+@pytest.fixture(params=ENGINES)
+def engine_cursor(request, loaded_databases):
+    """(engine_name, cursor) for each of the three engine profiles."""
+    engine = request.param
+    conn = connect(database=loaded_databases[engine])
+    yield engine, conn.cursor()
+    conn.close()

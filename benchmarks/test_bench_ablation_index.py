@@ -1,0 +1,59 @@
+"""J-A2 — ablation: index structure (R-tree vs grid vs quadtree vs scan).
+
+Same engine profile (greenwood), same data, only the ``USING`` clause of
+``CREATE SPATIAL INDEX`` changes. Workloads cover the regimes where the
+structures differ: small selective windows, large windows, point probes,
+and an index-nested-loop spatial join driven by long skinny road
+envelopes (the straddler case that hurts quadtrees)."""
+
+import pytest
+
+from repro.dbapi import connect
+from repro.engines import Database
+
+from _bench_utils import run_query
+
+INDEX_KINDS = ("rtree", "grid", "quadtree", "scan")
+
+QUERIES = {
+    "window_selective": (
+        "SELECT COUNT(*) FROM edges "
+        "WHERE ST_Intersects(geom, ST_MakeEnvelope(40000, 40000, 43000, 43000))"
+    ),
+    "window_broad": (
+        "SELECT COUNT(*) FROM edges "
+        "WHERE ST_Intersects(geom, ST_MakeEnvelope(5000, 5000, 70000, 70000))"
+    ),
+    "point_probe": (
+        "SELECT COUNT(*) FROM parcels "
+        "WHERE ST_Contains(geom, ST_Point(48000, 52000))"
+    ),
+    "join_roads_water": (
+        "SELECT COUNT(*) FROM areawater w JOIN edges e "
+        "ON ST_Intersects(e.geom, w.geom)"
+    ),
+}
+
+
+@pytest.fixture(scope="module")
+def cursors_by_kind(dataset):
+    cursors = {}
+    for kind in INDEX_KINDS:
+        db = Database("greenwood")
+        dataset.load_into(db, create_indexes=False)
+        if kind != "scan":
+            for layer in dataset.layers.values():
+                db.execute(
+                    f"CREATE SPATIAL INDEX aidx_{layer.name} "
+                    f"ON {layer.name} (geom) USING {kind}"
+                )
+        cursors[kind] = connect(database=db).cursor()
+    return cursors
+
+
+@pytest.mark.parametrize("kind", INDEX_KINDS)
+@pytest.mark.parametrize("query_name", sorted(QUERIES))
+def test_index_structures(benchmark, cursors_by_kind, query_name, kind):
+    benchmark.group = f"index_structure.{query_name}"
+    benchmark.extra_info["index"] = kind
+    run_query(benchmark, cursors_by_kind[kind], QUERIES[query_name])

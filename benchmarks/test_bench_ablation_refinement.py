@@ -1,0 +1,46 @@
+"""J-A1 — ablation: exact refinement vs MBR-only predicate evaluation.
+
+The design choice that separates the paper's open-source engines: after
+the index filter, does the engine refine on the exact geometry (correct,
+slower) or answer on bounding boxes (fast, superset answers)? Each
+benchmark records both the time and the answer cardinality so the report
+shows the speed/correctness trade simultaneously. The three predicate
+mechanisms (fast-path, full DE-9IM matrix, MBR) come from the three
+profiles over identical data and identical plans."""
+
+import pytest
+
+from _bench_utils import run_query
+
+QUERIES = {
+    "contains_points": (
+        "SELECT COUNT(*) FROM counties c JOIN pointlm p "
+        "ON ST_Contains(c.geom, p.geom)"
+    ),
+    "touches_counties": (
+        "SELECT COUNT(*) FROM counties a JOIN counties b "
+        "ON ST_Touches(a.geom, b.geom) WHERE a.gid < b.gid"
+    ),
+    "within_window": (
+        "SELECT COUNT(*) FROM arealm "
+        "WHERE ST_Within(geom, ST_MakeEnvelope(15000, 15000, 55000, 55000))"
+    ),
+    "intersects_lines_water": (
+        "SELECT COUNT(*) FROM edges e JOIN areawater w "
+        "ON ST_Intersects(e.geom, w.geom)"
+    ),
+}
+
+
+@pytest.mark.parametrize("query_name", sorted(QUERIES))
+def test_refinement_modes(benchmark, engine_cursor, query_name):
+    engine, cursor = engine_cursor
+    benchmark.group = f"refinement.{query_name}"
+    benchmark.extra_info["engine"] = engine
+    benchmark.extra_info["predicate_mode"] = {
+        "greenwood": "exact-fast-path",
+        "bluestem": "mbr-only",
+        "ironbark": "exact-full-matrix",
+    }[engine]
+    rows = run_query(benchmark, cursor, QUERIES[query_name])
+    benchmark.extra_info["answer"] = rows[0][0]

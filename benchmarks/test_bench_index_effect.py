@@ -1,0 +1,54 @@
+"""J-F5 — effect of the spatial index.
+
+The same selective queries against two copies of the same engine
+(greenwood), one with spatial indexes and one without. The paper's
+figure shows orders of magnitude on selective window queries and on
+spatial joins (index nested loop vs. nested loop)."""
+
+import pytest
+
+from repro.dbapi import connect
+from repro.engines import Database
+
+from _bench_utils import run_query
+
+QUERIES = {
+    "window_small": (
+        "SELECT COUNT(*) FROM edges "
+        "WHERE ST_Intersects(geom, ST_MakeEnvelope(40000, 40000, 44000, 44000))"
+    ),
+    "window_large": (
+        "SELECT COUNT(*) FROM edges "
+        "WHERE ST_Intersects(geom, ST_MakeEnvelope(10000, 10000, 60000, 60000))"
+    ),
+    "point_probe": (
+        "SELECT COUNT(*) FROM counties "
+        "WHERE ST_Contains(geom, ST_Point(51234, 48765))"
+    ),
+    "spatial_join": (
+        "SELECT COUNT(*) FROM areawater w JOIN pointlm p "
+        "ON ST_Within(p.geom, w.geom)"
+    ),
+    "dwithin": (
+        "SELECT COUNT(*) FROM pointlm "
+        "WHERE ST_DWithin(geom, ST_Point(50000, 50000), 4000)"
+    ),
+}
+
+
+@pytest.fixture(scope="module")
+def databases(dataset):
+    indexed = Database("greenwood")
+    dataset.load_into(indexed, create_indexes=True)
+    unindexed = Database("greenwood")
+    dataset.load_into(unindexed, create_indexes=False)
+    return {"indexed": indexed, "unindexed": unindexed}
+
+
+@pytest.mark.parametrize("mode", ["indexed", "unindexed"])
+@pytest.mark.parametrize("query_name", sorted(QUERIES))
+def test_index_effect(benchmark, databases, query_name, mode):
+    benchmark.group = f"index_effect.{query_name}"
+    benchmark.extra_info["mode"] = mode
+    cursor = connect(database=databases[mode]).cursor()
+    run_query(benchmark, cursor, QUERIES[query_name])

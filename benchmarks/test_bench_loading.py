@@ -1,0 +1,58 @@
+"""J-T3 / J-F4 — data loading benchmark.
+
+Times, per engine: full-dataset ingestion through the DB-API (WKB over
+qmark parameters, the portable loader path) and spatial index build on
+the populated tables. One benchmark per (engine, phase) so the report
+reads as the paper's loading figure."""
+
+import pytest
+
+from repro.core.micro.loading import run_loading
+from repro.datagen import generate
+from repro.dbapi import connect
+from repro.engines import Database
+
+from _bench_utils import BENCH_SEED, ENGINES
+
+LOAD_SCALE = 0.25
+
+
+@pytest.fixture(scope="module")
+def load_dataset():
+    return generate(seed=BENCH_SEED, scale=LOAD_SCALE)
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_bulk_insert(benchmark, engine, load_dataset):
+    benchmark.group = "loading.insert"
+    benchmark.extra_info["engine"] = engine
+
+    def load():
+        result = run_loading(engine, load_dataset)
+        return result.total_insert
+
+    total = benchmark.pedantic(load, rounds=3, iterations=1)
+    benchmark.extra_info["rows"] = load_dataset.total_rows()
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_index_build(benchmark, engine, load_dataset):
+    """Index construction on pre-populated tables (profile's index kind)."""
+    benchmark.group = "loading.index_build"
+    benchmark.extra_info["engine"] = engine
+
+    db = Database(engine)
+    load_dataset.load_into(db, create_indexes=False)
+    cursor = connect(database=db).cursor()
+    counter = [0]
+
+    def build():
+        counter[0] += 1
+        suffix = counter[0]
+        for layer in load_dataset.layers.values():
+            cursor.execute(
+                f"CREATE SPATIAL INDEX bidx_{layer.name}_{suffix} "
+                f"ON {layer.name} (geom)"
+            )
+
+    benchmark.pedantic(build, rounds=3, iterations=1)

@@ -1,0 +1,39 @@
+"""J-T4 / J-F3 — macro scenario throughput.
+
+One benchmark per (scenario, engine): a full scenario run through the
+DB-API. ``extra_info`` carries the queries-per-minute figure the paper
+plots, plus the number of steps the engine had to skip for missing
+features."""
+
+import pytest
+
+from repro.core.macro import SCENARIOS_BY_NAME
+from repro.dbapi import connect
+
+from _bench_utils import BENCH_SEED
+
+SCENARIOS = sorted(SCENARIOS_BY_NAME)
+
+
+@pytest.mark.parametrize("scenario_name", SCENARIOS)
+def test_macro_scenario(benchmark, engine_cursor, loaded_databases,
+                        dataset, scenario_name):
+    engine, _cursor = engine_cursor
+    benchmark.group = f"macro.{scenario_name}"
+    benchmark.extra_info["engine"] = engine
+    scenario = SCENARIOS_BY_NAME[scenario_name]()
+    conn = connect(database=loaded_databases[engine])
+
+    def run_scenario():
+        return scenario.run(conn, dataset, seed=BENCH_SEED,
+                            engine_name=engine)
+
+    result = benchmark.pedantic(run_scenario, rounds=3, iterations=1,
+                                warmup_rounds=1)
+    benchmark.extra_info["queries_per_minute"] = round(
+        result.queries_per_minute
+    )
+    benchmark.extra_info["executed"] = result.executed
+    benchmark.extra_info["skipped"] = result.skipped
+    if result.executed == 0:
+        pytest.skip(f"{engine} could not execute any {scenario_name} step")

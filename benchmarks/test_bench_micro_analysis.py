@@ -1,0 +1,32 @@
+"""J-T2 / J-F2 — spatial-analysis micro benchmark.
+
+One benchmark per ST_* analysis function per engine; engines lacking a
+function skip it (the paper reports those cells as unsupported)."""
+
+import pytest
+
+from repro.core.micro import analysis_queries, bind_dataset
+from repro.errors import UnsupportedFeatureError
+
+from _bench_utils import run_query
+
+
+@pytest.fixture(scope="session")
+def queries(dataset):
+    return {q.query_id: q for q in bind_dataset(analysis_queries(), dataset)}
+
+
+QUERY_IDS = sorted(q.query_id for q in analysis_queries())
+
+
+@pytest.mark.parametrize("query_id", QUERY_IDS)
+def test_analysis_query(benchmark, engine_cursor, queries, query_id):
+    engine, cursor = engine_cursor
+    query = queries[query_id]
+    benchmark.group = query_id
+    benchmark.extra_info["engine"] = engine
+    benchmark.extra_info["title"] = query.title
+    try:
+        run_query(benchmark, cursor, query.sql, query.params)
+    except UnsupportedFeatureError as exc:
+        pytest.skip(f"{engine}: {exc}")

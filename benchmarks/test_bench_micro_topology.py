@@ -1,0 +1,34 @@
+"""J-T1 / J-F1 — topological micro benchmark.
+
+Regenerates the paper's per-query response-time comparison: every DE-9IM
+relation × geometry-type-pair query, against all three engines. Run::
+
+    pytest benchmarks/test_bench_micro_topology.py --benchmark-only \
+        --benchmark-group-by=param:query_id --benchmark-columns=median
+
+and read each group as one cluster of the paper's Figure: three bars
+(engines) per topological query. Queries an engine cannot execute are
+skipped and reported as such — feature gaps are part of the result.
+"""
+
+import pytest
+
+from repro.core.micro import topology_queries
+from repro.errors import UnsupportedFeatureError
+
+from _bench_utils import run_query
+
+QUERIES = {q.query_id: q for q in topology_queries()}
+
+
+@pytest.mark.parametrize("query_id", sorted(QUERIES))
+def test_topology_query(benchmark, engine_cursor, query_id):
+    engine, cursor = engine_cursor
+    query = QUERIES[query_id]
+    benchmark.group = query_id
+    benchmark.extra_info["engine"] = engine
+    benchmark.extra_info["title"] = query.title
+    try:
+        run_query(benchmark, cursor, query.sql, query.params)
+    except UnsupportedFeatureError as exc:
+        pytest.skip(f"{engine}: {exc}")

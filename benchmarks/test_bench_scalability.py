@@ -1,0 +1,49 @@
+"""J-F6 — scalability with dataset size.
+
+A fixed micro-query subset on the greenwood engine at four dataset
+scales. The paper's scalability series shows how response time grows
+with feature count; here the series is the same queries at 0.1x, 0.25x,
+0.5x and 1x of the benchmark layer cardinalities."""
+
+import pytest
+
+from repro.datagen import generate
+from repro.dbapi import connect
+from repro.engines import Database
+
+from _bench_utils import BENCH_SEED, run_query
+
+SCALES = (0.1, 0.25, 0.5, 1.0)
+
+QUERIES = {
+    "window": (
+        "SELECT COUNT(*) FROM edges "
+        "WHERE ST_Intersects(geom, ST_MakeEnvelope(20000, 20000, 45000, 45000))"
+    ),
+    "containment_join": (
+        "SELECT COUNT(*) FROM counties c JOIN pointlm p "
+        "ON ST_Contains(c.geom, p.geom)"
+    ),
+    "line_water_join": (
+        "SELECT COUNT(*) FROM edges e JOIN areawater w "
+        "ON ST_Intersects(e.geom, w.geom)"
+    ),
+}
+
+
+@pytest.fixture(scope="module")
+def scaled_cursors():
+    cursors = {}
+    for scale in SCALES:
+        db = Database("greenwood")
+        generate(seed=BENCH_SEED, scale=scale).load_into(db)
+        cursors[scale] = connect(database=db).cursor()
+    return cursors
+
+
+@pytest.mark.parametrize("scale", SCALES)
+@pytest.mark.parametrize("query_name", sorted(QUERIES))
+def test_scalability(benchmark, scaled_cursors, query_name, scale):
+    benchmark.group = f"scalability.{query_name}"
+    benchmark.extra_info["scale"] = scale
+    run_query(benchmark, scaled_cursors[scale], QUERIES[query_name])

@@ -1,0 +1,28 @@
+"""J-X1 (extension) — window-selectivity sweep.
+
+Window queries over the road layer at growing window sizes, per engine.
+Grouped per window fraction so each report group reads as one x-position
+of the sweep curve."""
+
+import pytest
+
+from repro.datagen.tiger import WORLD_SIZE
+
+from _bench_utils import run_query
+
+FRACTIONS = (0.01, 0.1, 0.5, 1.0)
+
+
+@pytest.mark.parametrize("fraction", FRACTIONS)
+def test_selectivity(benchmark, engine_cursor, fraction):
+    engine, cursor = engine_cursor
+    benchmark.group = f"selectivity.window_{fraction}"
+    benchmark.extra_info["engine"] = engine
+    benchmark.extra_info["fraction"] = fraction
+    half = fraction * WORLD_SIZE / 2.0
+    cx = cy = WORLD_SIZE / 2.0
+    sql = (
+        f"SELECT COUNT(*) FROM edges WHERE ST_Intersects(geom, "
+        f"ST_MakeEnvelope({cx - half}, {cy - half}, {cx + half}, {cy + half}))"
+    )
+    run_query(benchmark, cursor, sql)

@@ -1,0 +1,107 @@
+"""Engine comparison: the paper's headline experiment in one script.
+
+Runs a representative slice of the benchmark against all three engine
+profiles and prints the comparison table, including the answer-cardinality
+gap the MBR-only engine exhibits — the *functional* difference the paper
+highlights alongside raw performance.
+
+Run with::
+
+    python examples/compare_engines.py [--scale 0.3]
+"""
+
+import argparse
+import time
+
+from repro.datagen import generate
+from repro.dbapi import connect
+from repro.engines import ENGINE_NAMES, Database
+from repro.errors import UnsupportedFeatureError
+
+PROBES = [
+    (
+        "window query (indexed)",
+        "SELECT COUNT(*) FROM edges "
+        "WHERE ST_Intersects(geom, ST_MakeEnvelope(20000, 20000, 45000, 45000))",
+    ),
+    (
+        "point-in-polygon join",
+        "SELECT COUNT(*) FROM counties c JOIN pointlm p "
+        "ON ST_Contains(c.geom, p.geom)",
+    ),
+    (
+        "county adjacency (touches)",
+        "SELECT COUNT(*) FROM counties a JOIN counties b "
+        "ON ST_Touches(a.geom, b.geom) WHERE a.gid < b.gid",
+    ),
+    (
+        "water overlap (exact refine)",
+        "SELECT COUNT(*) FROM arealm a JOIN areawater w "
+        "ON ST_Overlaps(a.geom, w.geom)",
+    ),
+    (
+        "convex hull analysis",
+        "SELECT SUM(ST_Area(ST_ConvexHull(geom))) FROM areawater",
+    ),
+    (
+        "buffer + intersect pipeline",
+        "SELECT COUNT(*) FROM rivers r JOIN parcels p "
+        "ON ST_Intersects(p.geom, ST_Buffer(r.geom, 1500, 4))",
+    ),
+]
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.3)
+    parser.add_argument("--seed", type=int, default=42)
+    args = parser.parse_args()
+
+    dataset = generate(seed=args.seed, scale=args.scale)
+    print(f"dataset: {dataset.total_rows()} rows across "
+          f"{len(dataset.layers)} layers\n")
+
+    cursors = {}
+    for engine in ENGINE_NAMES:
+        db = Database(engine)
+        dataset.load_into(db)
+        cursors[engine] = connect(database=db).cursor()
+
+    header = f"{'query':32s}" + "".join(f"{e:>22s}" for e in ENGINE_NAMES)
+    print(header)
+    print("-" * len(header))
+    for label, sql in PROBES:
+        cells = []
+        answers = {}
+        for engine in ENGINE_NAMES:
+            cur = cursors[engine]
+            try:
+                cur.execute(sql)  # warmup
+                start = time.perf_counter()
+                cur.execute(sql)
+                value = cur.fetchone()[0]
+                elapsed = (time.perf_counter() - start) * 1000
+                answers[engine] = value
+                cells.append(f"{elapsed:9.1f}ms ({_short(value)})")
+            except UnsupportedFeatureError:
+                cells.append(f"{'not supported':>15s}")
+        print(f"{label:32s}" + "".join(f"{c:>22s}" for c in cells))
+        exact = {v for e, v in answers.items() if e != "bluestem"}
+        if "bluestem" in answers and answers["bluestem"] not in exact and exact:
+            print(f"{'':32s}  ^ bluestem's MBR-only answer differs "
+                  f"from the exact engines")
+    print(
+        "\nbluestem answers on bounding boxes only (fast, approximate); "
+        "ironbark refines through full DE-9IM matrices (exact, slower); "
+        "greenwood uses exact fast-path predicates."
+    )
+
+
+def _short(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3g}"
+    return str(value)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""Flood risk analysis over the synthetic TIGER-like state.
+
+Reproduces the paper's flood-risk macro scenario as a readable script:
+for every river, build a floodplain buffer proportional to the river's
+width, then report exposed parcels (count + assessed value), threatened
+landmarks, and flooded area per county.
+
+Run with::
+
+    python examples/flood_risk_analysis.py [--engine greenwood] [--scale 0.5]
+"""
+
+import argparse
+
+from repro.datagen import generate
+from repro.dbapi import connect
+from repro.engines import Database
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--engine", default="greenwood",
+                        choices=["greenwood", "bluestem", "ironbark"])
+    parser.add_argument("--scale", type=float, default=0.5)
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--buffer-multiplier", type=float, default=20.0)
+    args = parser.parse_args()
+
+    print(f"generating state (seed={args.seed}, scale={args.scale})...")
+    dataset = generate(seed=args.seed, scale=args.scale)
+    db = Database(args.engine)
+    dataset.load_into(db)
+    conn = connect(database=db)
+    cur = conn.cursor()
+
+    cur.execute("SELECT gid, name, width FROM rivers ORDER BY gid")
+    rivers = cur.fetchall()
+    print(f"assessing {len(rivers)} rivers on engine '{args.engine}'\n")
+
+    for gid, name, width in rivers:
+        radius = round(width * args.buffer_multiplier, 1)
+        print(f"{name} (width {width:.0f} m, floodplain +/-{radius:.0f} m)")
+
+        cur.execute(
+            f"SELECT COUNT(*), SUM(p.assessed_value) "
+            f"FROM rivers r JOIN parcels p "
+            f"ON ST_Intersects(p.geom, ST_Buffer(r.geom, {radius}, 4)) "
+            f"WHERE r.gid = {gid}"
+        )
+        parcel_count, value = cur.fetchone()
+        value_text = f"${value:,.0f}" if value else "$0"
+        print(f"  parcels at risk: {parcel_count} (assessed {value_text})")
+
+        cur.execute(
+            f"SELECT COUNT(*) FROM rivers r JOIN pointlm p "
+            f"ON ST_Within(p.geom, ST_Buffer(r.geom, {radius}, 4)) "
+            f"WHERE r.gid = {gid}"
+        )
+        print(f"  landmarks in the floodplain: {cur.fetchone()[0]}")
+
+        cur.execute(
+            f"SELECT c.name, "
+            f"SUM(ST_Area(ST_Intersection(c.geom, ST_Buffer(r.geom, {radius}, 4)))) "
+            f"FROM rivers r JOIN counties c ON ST_Intersects(c.geom, r.geom) "
+            f"WHERE r.gid = {gid} GROUP BY c.name ORDER BY 2 DESC LIMIT 3"
+        )
+        for county, flooded in cur.fetchall():
+            print(f"  {county}: {flooded / 1e6:.2f} km^2 flooded")
+        print()
+
+    print("buffer-pipeline statistics:", conn.stats.snapshot())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,106 @@
+"""A miniature geocoding / reverse-geocoding service.
+
+Shows the two lookup workloads from the paper's macro suite as library
+calls: forward geocoding (street + house number -> coordinate via
+address-range interpolation) and reverse geocoding (coordinate ->
+nearest road + interpolated house number).
+
+Run with::
+
+    python examples/geocoding_service.py
+"""
+
+import random
+
+from repro.datagen import generate
+from repro.dbapi import connect
+from repro.engines import Database
+
+
+class GeocodingService:
+    """Forward and reverse geocoding over the `edges` road layer."""
+
+    def __init__(self, connection, search_radius: float = 3_000.0):
+        self.cursor = connection.cursor()
+        self.search_radius = search_radius
+
+    def geocode(self, street: str, house_number: int, county_fips: str):
+        """(x, y) of a street address, or None when no range matches."""
+        self.cursor.execute(
+            "SELECT gid, lfromadd, ltoadd FROM edges "
+            "WHERE fullname = ? AND county_fips = ? "
+            "AND lfromadd <= ? AND ltoadd >= ? LIMIT 1",
+            (street, county_fips, house_number, house_number),
+        )
+        row = self.cursor.fetchone()
+        if row is None:
+            return None
+        gid, lfrom, lto = row
+        fraction = (house_number - lfrom) / max(lto - lfrom, 1)
+        self.cursor.execute(
+            "SELECT ST_X(ST_LineInterpolatePoint(geom, ?)), "
+            "ST_Y(ST_LineInterpolatePoint(geom, ?)) "
+            "FROM edges WHERE gid = ?",
+            (round(fraction, 6), round(fraction, 6), gid),
+        )
+        return self.cursor.fetchone()
+
+    def reverse_geocode(self, x: float, y: float):
+        """Nearest road and interpolated address for a coordinate."""
+        r = self.search_radius
+        window = (
+            f"ST_MakeEnvelope({x - r}, {y - r}, {x + r}, {y + r})"
+        )
+        self.cursor.execute(
+            f"SELECT gid, fullname, lfromadd, ltoadd, "
+            f"ST_LineLocatePoint(geom, ST_Point({x}, {y})) frac, "
+            f"ST_Distance(geom, ST_Point({x}, {y})) d "
+            f"FROM edges WHERE ST_Intersects(geom, {window}) "
+            f"ORDER BY d LIMIT 1"
+        )
+        row = self.cursor.fetchone()
+        if row is None:
+            return None
+        _gid, fullname, lfrom, lto, fraction, dist = row
+        house = int(lfrom + fraction * (lto - lfrom))
+        house -= house % 2  # even side of the street
+        return f"{max(house, lfrom)} {fullname}", dist
+
+
+def main() -> None:
+    dataset = generate(seed=42, scale=0.5)
+    db = Database("greenwood")
+    dataset.load_into(db)
+    service = GeocodingService(connect(database=db))
+    rng = random.Random(7)
+
+    # forward geocode a handful of real addresses from the dataset
+    edges = dataset.layer("edges")
+    name_i = edges.columns.index("fullname")
+    fips_i = edges.columns.index("county_fips")
+    from_i = edges.columns.index("lfromadd")
+    to_i = edges.columns.index("ltoadd")
+    local = [r for r in edges.rows if r[edges.columns.index("road_class")] == "local"]
+    print("forward geocoding:")
+    for row in rng.sample(local, 5):
+        house = rng.randrange(row[from_i], row[to_i] + 1, 2)
+        address = f"{house} {row[name_i]} (county {row[fips_i]})"
+        location = service.geocode(row[name_i], house, row[fips_i])
+        print(f"  {address:45s} -> {location}")
+
+    print("\nreverse geocoding:")
+    from repro.datagen import WORLD_SIZE
+
+    for _ in range(5):
+        x = rng.uniform(0.2, 0.8) * WORLD_SIZE
+        y = rng.uniform(0.2, 0.8) * WORLD_SIZE
+        result = service.reverse_geocode(x, y)
+        if result is None:
+            print(f"  ({x:.0f}, {y:.0f}) -> no road within range")
+        else:
+            address, dist = result
+            print(f"  ({x:.0f}, {y:.0f}) -> {address} ({dist:.0f} m away)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+"""Jackpine reproduction: a spatial database benchmark, all the way down.
+
+This package reimplements the system described in *"Jackpine: A benchmark
+to evaluate spatial database performance"* (Ray, Simion, Demke Brown,
+ICDE 2011) as a self-contained pure-Python stack:
+
+- :mod:`repro.geometry` / :mod:`repro.algorithms` — OGC simple features,
+  DE-9IM, overlay, buffer, hull, distance (built from scratch);
+- :mod:`repro.index` — R-tree, grid, quadtree, scan indexes;
+- :mod:`repro.sql`, :mod:`repro.storage`, :mod:`repro.engines` — an
+  embedded spatial SQL engine with three capability profiles standing in
+  for the paper's two open-source DBMSes and one commercial DBMS;
+- :mod:`repro.dbapi` — the PEP 249 portability layer (the paper's JDBC);
+- :mod:`repro.datagen` — a deterministic TIGER-like dataset;
+- :mod:`repro.core` — the Jackpine benchmark itself: DE-9IM and
+  spatial-analysis micro suites, a loading suite, and six macro scenarios.
+
+Quickstart::
+
+    from repro import Jackpine, BenchmarkConfig, render_full
+
+    bench = Jackpine(BenchmarkConfig(engines=["greenwood"], scale=0.5))
+    print(render_full(bench.run()))
+"""
+
+from repro.core import BenchmarkConfig, BenchmarkResult, Jackpine, render_full
+from repro.datagen import generate
+from repro.dbapi import connect
+from repro.engines import Database
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BenchmarkConfig",
+    "BenchmarkResult",
+    "Database",
+    "Jackpine",
+    "connect",
+    "generate",
+    "render_full",
+    "__version__",
+]

@@ -1,0 +1,97 @@
+"""Computational geometry: predicates, DE-9IM, overlay, analysis operations.
+
+This package implements from scratch everything the benchmark's SQL layer
+exposes as ``ST_*`` functions. The split across modules mirrors how the
+routines layer on each other:
+
+- ``predicates``  — orientation / segment intersection primitives
+- ``location``    — interior/boundary/exterior point location
+- ``validation``  — ``ST_IsValid`` / ``ST_IsSimple``
+- ``de9im``       — the full DE-9IM matrix and every named predicate
+- ``clipping``    — areal boolean operations (segment arrangement clipper)
+- ``overlay``     — public intersection/union/difference/sym_difference
+- ``buffer``      — ``ST_Buffer`` via capsule unions
+- ``convexhull``  — Andrew monotone chain
+- ``distance``    — ``ST_Distance`` / ``ST_DWithin``
+- ``measures``    — area/length/centroid/point-on-surface
+- ``simplify``    — Douglas-Peucker
+"""
+
+from repro.algorithms.buffer import buffer, circle, segment_capsule
+from repro.algorithms.convexhull import convex_hull, convex_hull_coords
+from repro.algorithms.de9im import (
+    DE9IM,
+    contains,
+    covered_by,
+    covers,
+    crosses,
+    disjoint,
+    equals,
+    intersects,
+    overlaps,
+    relate,
+    relate_pattern,
+    touches,
+    within,
+)
+from repro.algorithms.distance import distance, dwithin
+from repro.algorithms.location import Location, locate
+from repro.algorithms.measures import (
+    area,
+    centroid,
+    dimension,
+    length,
+    num_points,
+    perimeter,
+    point_on_surface,
+)
+from repro.algorithms.overlay import (
+    difference,
+    intersection,
+    sym_difference,
+    union,
+    union_all,
+)
+from repro.algorithms.simplify import simplify, simplify_coords
+from repro.algorithms.validation import is_simple, is_valid
+
+__all__ = [
+    "DE9IM",
+    "Location",
+    "area",
+    "buffer",
+    "centroid",
+    "circle",
+    "contains",
+    "convex_hull",
+    "convex_hull_coords",
+    "covered_by",
+    "covers",
+    "crosses",
+    "difference",
+    "dimension",
+    "disjoint",
+    "distance",
+    "dwithin",
+    "equals",
+    "intersection",
+    "intersects",
+    "is_simple",
+    "is_valid",
+    "length",
+    "locate",
+    "num_points",
+    "overlaps",
+    "perimeter",
+    "point_on_surface",
+    "relate",
+    "relate_pattern",
+    "segment_capsule",
+    "simplify",
+    "simplify_coords",
+    "sym_difference",
+    "touches",
+    "union",
+    "union_all",
+    "within",
+]

@@ -1,0 +1,49 @@
+"""Convex hull via Andrew's monotone chain (``ST_ConvexHull``)."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.errors import GeometryError
+from repro.geometry.base import Coord, Geometry
+from repro.geometry.linestring import LineString
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+
+
+def _cross(o: Coord, a: Coord, b: Coord) -> float:
+    return (a[0] - o[0]) * (b[1] - o[1]) - (a[1] - o[1]) * (b[0] - o[0])
+
+
+def convex_hull_coords(coords: Sequence[Coord]) -> List[Coord]:
+    """Hull vertices in counter-clockwise order (no closing repeat).
+
+    Collinear input degenerates to the two extreme points; a single point
+    degenerates to itself.
+    """
+    pts = sorted(set(coords))
+    if not pts:
+        raise GeometryError("convex hull of zero points")
+    if len(pts) <= 2:
+        return pts
+    lower: List[Coord] = []
+    for p in pts:
+        while len(lower) >= 2 and _cross(lower[-2], lower[-1], p) <= 0:
+            lower.pop()
+        lower.append(p)
+    upper: List[Coord] = []
+    for p in reversed(pts):
+        while len(upper) >= 2 and _cross(upper[-2], upper[-1], p) <= 0:
+            upper.pop()
+        upper.append(p)
+    return lower[:-1] + upper[:-1]
+
+
+def convex_hull(geom: Geometry) -> Geometry:
+    """Convex hull as a geometry: Point, LineString or Polygon by rank."""
+    hull = convex_hull_coords(list(geom.coords_iter()))
+    if len(hull) == 1:
+        return Point(*hull[0])
+    if len(hull) == 2:
+        return LineString(hull)
+    return Polygon(hull)

@@ -1,0 +1,180 @@
+"""Geometry-to-geometry minimum distance (``ST_Distance``).
+
+Strategy: decompose each geometry into points and segments, take the
+pairwise minimum, and short-circuit to zero whenever one geometry's
+representative point is inside an areal operand (containment means the
+distance is zero without any boundary work). Envelope distance provides a
+cheap lower bound used to prune multi-part comparisons.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Tuple
+
+from repro.algorithms.location import Location, locate
+from repro.algorithms.predicates import (
+    point_segment_distance,
+    segment_segment_distance,
+)
+from repro.geometry.base import Coord, Geometry
+from repro.geometry.collection import GeometryCollection
+from repro.geometry.linestring import LineString, MultiLineString
+from repro.geometry.point import MultiPoint, Point
+from repro.geometry.polygon import MultiPolygon, Polygon
+
+Segment = Tuple[Coord, Coord]
+
+
+def _decompose(geom: Geometry) -> Tuple[List[Coord], List[Segment]]:
+    """(isolated points, segments) making up the geometry's point set."""
+    if isinstance(geom, Point):
+        return [geom.coord], []
+    if isinstance(geom, MultiPoint):
+        return [p.coord for p in geom.points], []
+    if isinstance(geom, (LineString, MultiLineString)):
+        return [], list(geom.segments())
+    if isinstance(geom, (Polygon, MultiPolygon)):
+        return [], list(geom.segments())
+    if isinstance(geom, GeometryCollection):
+        points: List[Coord] = []
+        segments: List[Segment] = []
+        for member in geom.geoms:
+            p, s = _decompose(member)
+            points.extend(p)
+            segments.extend(s)
+        return points, segments
+    raise TypeError(f"cannot decompose {type(geom).__name__}")
+
+
+def _areal_members(geom: Geometry) -> Iterable[Geometry]:
+    if isinstance(geom, (Polygon, MultiPolygon)):
+        yield geom
+    elif isinstance(geom, GeometryCollection):
+        for member in geom.geoms:
+            yield from _areal_members(member)
+
+
+def _representative(geom: Geometry) -> Coord:
+    return next(geom.coords_iter())
+
+
+def distance(a: Geometry, b: Geometry) -> float:
+    """Minimum Euclidean distance between two geometries."""
+    if a.is_empty or b.is_empty:
+        return math.inf
+    # Inside-an-area short circuit, both directions.
+    for areal, other in ((a, b), (b, a)):
+        for member in _areal_members(areal):
+            if locate(_representative(other), member) is not Location.EXTERIOR:
+                return 0.0
+    pts_a, segs_a = _decompose(a)
+    pts_b, segs_b = _decompose(b)
+    best = math.inf
+    for p in pts_a:
+        for q in pts_b:
+            best = min(best, math.hypot(p[0] - q[0], p[1] - q[1]))
+        for c, d in segs_b:
+            best = min(best, point_segment_distance(p, c, d))
+            if best == 0.0:
+                return 0.0
+    for q in pts_b:
+        for c, d in segs_a:
+            best = min(best, point_segment_distance(q, c, d))
+            if best == 0.0:
+                return 0.0
+    for s, t in segs_a:
+        for c, d in segs_b:
+            best = min(best, segment_segment_distance(s, t, c, d))
+            if best == 0.0:
+                return 0.0
+    return best
+
+
+def dwithin(a: Geometry, b: Geometry, radius: float) -> bool:
+    """``ST_DWithin``: are the geometries within ``radius`` of each other?
+
+    Uses the envelope lower bound to bail out before exact work.
+    """
+    if a.envelope.distance(b.envelope) > radius:
+        return False
+    return distance(a, b) <= radius
+
+
+def _closest_point_on_segment(p: Coord, a: Coord, b: Coord) -> Coord:
+    dx, dy = b[0] - a[0], b[1] - a[1]
+    seg2 = dx * dx + dy * dy
+    if seg2 == 0.0:
+        return a
+    t = max(0.0, min(1.0, ((p[0] - a[0]) * dx + (p[1] - a[1]) * dy) / seg2))
+    return (a[0] + t * dx, a[1] + t * dy)
+
+
+def closest_points(a: Geometry, b: Geometry) -> Tuple[Coord, Coord]:
+    """The closest pair of points (one on each geometry) —
+    ``ST_ClosestPoint`` returns the first, ``ST_ShortestLine`` both.
+
+    When the geometries intersect, a shared point is returned twice (for
+    areal containment, the contained operand's representative point).
+    """
+    from repro.algorithms.location import Location, locate
+
+    # containment/overlap short-circuit mirroring distance()
+    for areal, other, flip in ((a, b, False), (b, a, True)):
+        for member in _areal_members(areal):
+            probe = _representative(other)
+            if locate(probe, member) is not Location.EXTERIOR:
+                return (probe, probe)
+    pts_a, segs_a = _decompose(a)
+    pts_b, segs_b = _decompose(b)
+    best = math.inf
+    best_pair: Tuple[Coord, Coord] = (_representative(a), _representative(b))
+
+    def consider(pa: Coord, pb: Coord) -> None:
+        nonlocal best, best_pair
+        d = math.hypot(pa[0] - pb[0], pa[1] - pb[1])
+        if d < best:
+            best = d
+            best_pair = (pa, pb)
+
+    for p in pts_a:
+        for q in pts_b:
+            consider(p, q)
+        for c, d in segs_b:
+            consider(p, _closest_point_on_segment(p, c, d))
+    for q in pts_b:
+        for c, d in segs_a:
+            consider(_closest_point_on_segment(q, c, d), q)
+    for s, t in segs_a:
+        for c, d in segs_b:
+            # candidate pairs from each endpoint projected onto the other
+            for p in (s, t):
+                consider(p, _closest_point_on_segment(p, c, d))
+            for q in (c, d):
+                consider(_closest_point_on_segment(q, s, t), q)
+            hit = None
+            from repro.algorithms.predicates import segment_intersection
+
+            hit = segment_intersection(s, t, c, d)
+            if hit is not None:
+                point = hit[0] if isinstance(hit[0], tuple) else hit
+                consider(point, point)  # type: ignore[arg-type]
+    return best_pair
+
+
+def closest_point(a: Geometry, b: Geometry):
+    """``ST_ClosestPoint(a, b)``: the point on ``a`` closest to ``b``."""
+    from repro.geometry.point import Point
+
+    pa, _pb = closest_points(a, b)
+    return Point(*pa)
+
+
+def shortest_line(a: Geometry, b: Geometry):
+    """``ST_ShortestLine(a, b)`` (None when the geometries intersect)."""
+    from repro.geometry.linestring import LineString
+
+    pa, pb = closest_points(a, b)
+    if pa == pb:
+        return None
+    return LineString([pa, pb])

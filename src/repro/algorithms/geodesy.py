@@ -1,0 +1,146 @@
+"""Geodetic (spherical) measurements.
+
+The paper highlights *true geodetic support* as one of the axes on which
+the benchmarked DBMSes differ: planar engines compute on raw lon/lat as
+if it were Cartesian, geodetic engines measure on the sphere. This module
+provides the spherical implementations (haversine distances, l'Huilier
+spherical polygon areas, destination points) that back the
+``ST_DistanceSphere`` / ``ST_LengthSphere`` / ``ST_AreaSphere`` SQL
+functions — supported by the exact engines, absent from ``bluestem``,
+mirroring the MySQL-era gap.
+
+Coordinates are interpreted as (longitude, latitude) in degrees.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Tuple
+
+from repro.errors import GeometryError
+from repro.geometry.base import Coord, Geometry
+from repro.geometry.collection import GeometryCollection
+from repro.geometry.linestring import LineString, MultiLineString
+from repro.geometry.point import MultiPoint, Point
+from repro.geometry.polygon import MultiPolygon, Polygon
+
+#: mean Earth radius in metres (IUGG)
+EARTH_RADIUS_M = 6_371_008.8
+
+
+def _check_lonlat(coord: Coord) -> None:
+    lon, lat = coord
+    if not -180.0 <= lon <= 180.0 or not -90.0 <= lat <= 90.0:
+        raise GeometryError(
+            f"({lon}, {lat}) is not a (longitude, latitude) coordinate"
+        )
+
+
+def haversine_m(a: Coord, b: Coord, radius: float = EARTH_RADIUS_M) -> float:
+    """Great-circle distance in metres between two lon/lat coordinates."""
+    _check_lonlat(a)
+    _check_lonlat(b)
+    lon1, lat1 = map(math.radians, a)
+    lon2, lat2 = map(math.radians, b)
+    d_lat = lat2 - lat1
+    d_lon = lon2 - lon1
+    h = (
+        math.sin(d_lat / 2.0) ** 2
+        + math.cos(lat1) * math.cos(lat2) * math.sin(d_lon / 2.0) ** 2
+    )
+    return 2.0 * radius * math.asin(min(1.0, math.sqrt(h)))
+
+
+def destination(
+    start: Coord, bearing_deg: float, distance_m: float,
+    radius: float = EARTH_RADIUS_M,
+) -> Coord:
+    """The lon/lat reached from ``start`` on ``bearing`` after ``distance``."""
+    _check_lonlat(start)
+    lon1, lat1 = map(math.radians, start)
+    bearing = math.radians(bearing_deg)
+    angular = distance_m / radius
+    lat2 = math.asin(
+        math.sin(lat1) * math.cos(angular)
+        + math.cos(lat1) * math.sin(angular) * math.cos(bearing)
+    )
+    lon2 = lon1 + math.atan2(
+        math.sin(bearing) * math.sin(angular) * math.cos(lat1),
+        math.cos(angular) - math.sin(lat1) * math.sin(lat2),
+    )
+    lon2 = (lon2 + 3.0 * math.pi) % (2.0 * math.pi) - math.pi
+    return (math.degrees(lon2), math.degrees(lat2))
+
+
+def sphere_length_m(geom: Geometry, radius: float = EARTH_RADIUS_M) -> float:
+    """Great-circle length of a lineal geometry in metres."""
+    if isinstance(geom, (Point, MultiPoint)):
+        return 0.0
+    if isinstance(geom, (LineString, MultiLineString, Polygon, MultiPolygon)):
+        return sum(
+            haversine_m(a, b, radius) for a, b in geom.segments()
+        )
+    if isinstance(geom, GeometryCollection):
+        return sum(sphere_length_m(m, radius) for m in geom.geoms)
+    raise TypeError(f"cannot measure {type(geom).__name__} on the sphere")
+
+
+def _ring_sphere_area(
+    ring: Sequence[Coord], radius: float
+) -> float:
+    """Unsigned spherical area of a ring via the spherical excess
+    (l'Huilier / Girard through the summed spherical polygon angles,
+    computed with the stable "signed spherical excess" formulation)."""
+    if len(ring) < 4:
+        return 0.0
+    total = 0.0
+    # sum of the per-edge spherical excess contributions (Todhunter)
+    for (lon1, lat1), (lon2, lat2) in zip(ring, ring[1:]):
+        phi1 = math.radians(lat1)
+        phi2 = math.radians(lat2)
+        d_lon = math.radians(lon2 - lon1)
+        total += 2.0 * math.atan2(
+            math.tan(d_lon / 2.0) * (math.tan(phi1 / 2.0) + math.tan(phi2 / 2.0)),
+            1.0 + math.tan(phi1 / 2.0) * math.tan(phi2 / 2.0),
+        )
+    return abs(total) * radius * radius
+
+
+def sphere_area_m2(geom: Geometry, radius: float = EARTH_RADIUS_M) -> float:
+    """Spherical area of an areal geometry in square metres."""
+    if isinstance(geom, Polygon):
+        area = _ring_sphere_area(geom.shell, radius)
+        for hole in geom.holes:
+            area -= _ring_sphere_area(hole, radius)
+        return area
+    if isinstance(geom, MultiPolygon):
+        return sum(sphere_area_m2(p, radius) for p in geom.polygons)
+    if isinstance(geom, GeometryCollection):
+        return sum(
+            sphere_area_m2(m, radius)
+            for m in geom.geoms
+            if isinstance(m, (Polygon, MultiPolygon))
+        )
+    return 0.0
+
+
+def sphere_distance_m(
+    a: Geometry, b: Geometry, radius: float = EARTH_RADIUS_M
+) -> float:
+    """Great-circle distance between two geometries.
+
+    Computed over vertex/segment samples: exact for point operands, a
+    tight approximation for short segments (the benchmark's road/landmark
+    scale), which matches how 2011-era engines implemented it.
+    """
+    best = math.inf
+    coords_a = list(a.coords_iter())
+    coords_b = list(b.coords_iter())
+    for pa in coords_a:
+        for pb in coords_b:
+            d = haversine_m(pa, pb, radius)
+            if d < best:
+                best = d
+                if best == 0.0:
+                    return 0.0
+    return best

@@ -1,0 +1,124 @@
+"""Point location: where does a point sit relative to a geometry?
+
+DE-9IM is defined over the interior/boundary/exterior partition, so the
+location primitives return one of the three :class:`Location` labels rather
+than a bare boolean. Ring tests use a crossing-number walk with explicit
+boundary detection (a point on an edge is BOUNDARY, never mis-counted).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Sequence
+
+from repro.algorithms.predicates import on_segment
+from repro.geometry.base import Coord, Geometry
+from repro.geometry.collection import GeometryCollection
+from repro.geometry.linestring import LineString, MultiLineString
+from repro.geometry.point import MultiPoint, Point
+from repro.geometry.polygon import MultiPolygon, Polygon
+
+
+class Location(enum.IntEnum):
+    INTERIOR = 0
+    BOUNDARY = 1
+    EXTERIOR = 2
+
+
+def locate_in_ring(p: Coord, ring: Sequence[Coord]) -> Location:
+    """Locate ``p`` against a closed ring (interior = inside the ring)."""
+    px, py = p
+    inside = False
+    for a, b in zip(ring, ring[1:]):
+        if a == b:
+            continue
+        if on_segment(p, a, b):
+            return Location.BOUNDARY
+        ax, ay = a
+        bx, by = b
+        # Count crossings of the upward ray from p: half-open rule on y.
+        if (ay > py) != (by > py):
+            x_cross = ax + (py - ay) * (bx - ax) / (by - ay)
+            if x_cross > px:
+                inside = not inside
+    return Location.INTERIOR if inside else Location.EXTERIOR
+
+
+def locate_in_polygon(p: Coord, polygon: Polygon) -> Location:
+    """Locate ``p`` against a polygon with holes."""
+    if not polygon.envelope.contains_point(*p):
+        return Location.EXTERIOR
+    where = locate_in_ring(p, polygon.shell)
+    if where is not Location.INTERIOR:
+        return where
+    for hole in polygon.holes:
+        inner = locate_in_ring(p, hole)
+        if inner is Location.BOUNDARY:
+            return Location.BOUNDARY
+        if inner is Location.INTERIOR:
+            return Location.EXTERIOR
+    return Location.INTERIOR
+
+
+def locate_in_multipolygon(p: Coord, geom: MultiPolygon) -> Location:
+    result = Location.EXTERIOR
+    for polygon in geom.polygons:
+        where = locate_in_polygon(p, polygon)
+        if where is Location.INTERIOR:
+            return Location.INTERIOR
+        if where is Location.BOUNDARY:
+            result = Location.BOUNDARY
+    return result
+
+
+def locate_on_line(p: Coord, line: LineString) -> Location:
+    """Locate ``p`` against a linestring (interior = on the line, not an endpoint)."""
+    if not line.envelope.expanded(1e-9).contains_point(*p):
+        return Location.EXTERIOR
+    if not line.is_closed and (p == line.coords[0] or p == line.coords[-1]):
+        return Location.BOUNDARY
+    for a, b in line.segments():
+        if on_segment(p, a, b):
+            return Location.INTERIOR
+    return Location.EXTERIOR
+
+
+def locate_on_multiline(p: Coord, geom: MultiLineString) -> Location:
+    boundary = {pt.coord for pt in geom.boundary_points()}
+    if p in boundary:
+        return Location.BOUNDARY
+    for line in geom.lines:
+        for a, b in line.segments():
+            if on_segment(p, a, b):
+                return Location.INTERIOR
+    return Location.EXTERIOR
+
+
+def locate(p: Coord, geom: Geometry) -> Location:
+    """Locate a coordinate against any geometry type."""
+    if isinstance(geom, Point):
+        return Location.INTERIOR if p == geom.coord else Location.EXTERIOR
+    if isinstance(geom, MultiPoint):
+        return (
+            Location.INTERIOR
+            if any(p == pt.coord for pt in geom.points)
+            else Location.EXTERIOR
+        )
+    if isinstance(geom, LineString):
+        return locate_on_line(p, geom)
+    if isinstance(geom, MultiLineString):
+        return locate_on_multiline(p, geom)
+    if isinstance(geom, Polygon):
+        return locate_in_polygon(p, geom)
+    if isinstance(geom, MultiPolygon):
+        return locate_in_multipolygon(p, geom)
+    if isinstance(geom, GeometryCollection):
+        best = Location.EXTERIOR
+        for member in geom.geoms:
+            where = locate(p, member)
+            if where is Location.INTERIOR:
+                return Location.INTERIOR
+            if where is Location.BOUNDARY:
+                best = Location.BOUNDARY
+        return best
+    raise TypeError(f"cannot locate against {type(geom).__name__}")

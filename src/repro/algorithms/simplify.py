@@ -1,0 +1,75 @@
+"""Douglas-Peucker line simplification (``ST_Simplify``).
+
+Used by the map search-and-browsing macro scenario: lower zoom levels
+request simplified geometry, exactly as a tile-rendering client would.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.algorithms.predicates import point_segment_distance
+from repro.geometry.base import Coord, Geometry
+from repro.geometry.collection import GeometryCollection
+from repro.geometry.linestring import LineString, MultiLineString
+from repro.geometry.point import MultiPoint, Point
+from repro.geometry.polygon import MultiPolygon, Polygon
+
+
+def simplify_coords(coords: Sequence[Coord], tolerance: float) -> List[Coord]:
+    """Douglas-Peucker on an open coordinate chain."""
+    if len(coords) <= 2:
+        return list(coords)
+    keep = [False] * len(coords)
+    keep[0] = keep[-1] = True
+    stack: List[Tuple[int, int]] = [(0, len(coords) - 1)]
+    while stack:
+        lo, hi = stack.pop()
+        if hi - lo < 2:
+            continue
+        worst_d = -1.0
+        worst_i = -1
+        a, b = coords[lo], coords[hi]
+        for i in range(lo + 1, hi):
+            d = point_segment_distance(coords[i], a, b)
+            if d > worst_d:
+                worst_d = d
+                worst_i = i
+        if worst_d > tolerance:
+            keep[worst_i] = True
+            stack.append((lo, worst_i))
+            stack.append((worst_i, hi))
+    return [c for c, k in zip(coords, keep) if k]
+
+
+def _simplify_ring(ring: Sequence[Coord], tolerance: float) -> List[Coord]:
+    """Simplify a closed ring, guarding against collapse below a triangle."""
+    slim = simplify_coords(ring, tolerance)
+    if len(slim) < 4:
+        return list(ring)  # refuse to collapse the ring
+    return slim
+
+
+def simplify(geom: Geometry, tolerance: float) -> Geometry:
+    """Topology-unaware simplification, preserving geometry type."""
+    if tolerance < 0.0:
+        raise ValueError("tolerance must be non-negative")
+    if isinstance(geom, (Point, MultiPoint)):
+        return geom
+    if isinstance(geom, LineString):
+        slim = simplify_coords(geom.coords, tolerance)
+        if len(slim) < 2 or all(c == slim[0] for c in slim[1:]):
+            return geom
+        return LineString(slim)
+    if isinstance(geom, MultiLineString):
+        return MultiLineString([simplify(line, tolerance) for line in geom.lines])
+    if isinstance(geom, Polygon):
+        return Polygon(
+            _simplify_ring(geom.shell, tolerance),
+            [_simplify_ring(h, tolerance) for h in geom.holes],
+        )
+    if isinstance(geom, MultiPolygon):
+        return MultiPolygon([simplify(p, tolerance) for p in geom.polygons])
+    if isinstance(geom, GeometryCollection):
+        return GeometryCollection([simplify(m, tolerance) for m in geom.geoms])
+    raise TypeError(f"cannot simplify {type(geom).__name__}")

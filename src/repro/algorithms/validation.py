@@ -1,0 +1,193 @@
+"""Geometry validity checks (OGC-style ``ST_IsValid`` / ``ST_IsSimple``).
+
+Validity matters to the benchmark in two places: the data generator must
+emit valid layers (asserted by tests), and the loading micro benchmark
+optionally validates each geometry as it ingests it, the way a production
+loader would.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.algorithms.location import Location, locate_in_ring
+from repro.algorithms.predicates import (
+    on_segment,
+    segment_intersection,
+    segments_properly_cross,
+)
+from repro.geometry.base import Coord, Geometry
+from repro.geometry.collection import GeometryCollection
+from repro.geometry.linestring import LineString, MultiLineString
+from repro.geometry.point import MultiPoint, Point
+from repro.geometry.polygon import MultiPolygon, Polygon
+
+
+def ring_is_simple(ring: Sequence[Coord]) -> bool:
+    """True iff the closed ring has no self-intersections besides the closure."""
+    segs = [
+        (a, b) for a, b in zip(ring, ring[1:]) if a != b
+    ]
+    n = len(segs)
+    for i in range(n):
+        a, b = segs[i]
+        for j in range(i + 1, n):
+            c, d = segs[j]
+            hit = segment_intersection(a, b, c, d)
+            if hit is None:
+                continue
+            adjacent = j == i + 1 or (i == 0 and j == n - 1)
+            if isinstance(hit, tuple) and isinstance(hit[0], tuple):
+                return False  # collinear overlap is never allowed
+            if adjacent:
+                # adjacent segments may share exactly their common endpoint
+                shared = b if j == i + 1 else a
+                if hit != shared:
+                    return False
+            else:
+                return False
+    return True
+
+
+def line_is_simple(line: LineString) -> bool:
+    """True iff the linestring does not pass through the same point twice
+    (except for a closing endpoint)."""
+    segs = list(line.segments())
+    n = len(segs)
+    closed = line.is_closed
+    for i in range(n):
+        a, b = segs[i]
+        for j in range(i + 1, n):
+            c, d = segs[j]
+            hit = segment_intersection(a, b, c, d)
+            if hit is None:
+                continue
+            if isinstance(hit, tuple) and isinstance(hit[0], tuple):
+                return False
+            adjacent = j == i + 1
+            wraps = closed and i == 0 and j == n - 1
+            if adjacent and hit == b:
+                continue
+            if wraps and hit == a:
+                continue
+            return False
+    return True
+
+
+def _rings_conflict(outer: Sequence[Coord], inner: Sequence[Coord]) -> bool:
+    """True when two rings cross each other (proper segment crossings)."""
+    for a, b in zip(outer, outer[1:]):
+        for c, d in zip(inner, inner[1:]):
+            if segments_properly_cross(a, b, c, d):
+                return True
+    return False
+
+
+def polygon_validity_errors(polygon: Polygon) -> List[str]:
+    """All the reasons a polygon is invalid (empty list = valid)."""
+    errors: List[str] = []
+    if not ring_is_simple(polygon.shell):
+        errors.append("shell is not simple")
+    for i, hole in enumerate(polygon.holes):
+        if not ring_is_simple(hole):
+            errors.append(f"hole {i} is not simple")
+            continue
+        if _rings_conflict(polygon.shell, hole):
+            errors.append(f"hole {i} crosses the shell")
+            continue
+        probe = _ring_probe_point(hole)
+        if locate_in_ring(probe, polygon.shell) is Location.EXTERIOR:
+            errors.append(f"hole {i} lies outside the shell")
+    for i in range(len(polygon.holes)):
+        for j in range(i + 1, len(polygon.holes)):
+            if _rings_conflict(polygon.holes[i], polygon.holes[j]):
+                errors.append(f"holes {i} and {j} cross")
+            else:
+                probe = _ring_probe_point(polygon.holes[j])
+                if locate_in_ring(probe, polygon.holes[i]) is Location.INTERIOR:
+                    errors.append(f"hole {j} is nested inside hole {i}")
+    return errors
+
+
+def _ring_probe_point(ring: Sequence[Coord]) -> Coord:
+    """A point in the closed region bounded by the ring (vertex centroid of
+    an ear; falls back to the first vertex)."""
+    for i in range(1, len(ring) - 1):
+        a, b, c = ring[i - 1], ring[i], ring[i + 1]
+        mid = ((a[0] + c[0]) / 2.0, (a[1] + c[1]) / 2.0)
+        if locate_in_ring(mid, ring) is Location.INTERIOR:
+            return mid
+        del b
+    return ring[0]
+
+
+def is_valid(geom: Geometry) -> bool:
+    """OGC validity: simple rings, holes inside shells, no ring crossings."""
+    if isinstance(geom, (Point, MultiPoint)):
+        return True
+    if isinstance(geom, LineString):
+        return True  # linestrings are valid if constructible
+    if isinstance(geom, MultiLineString):
+        return True
+    if isinstance(geom, Polygon):
+        return not polygon_validity_errors(geom)
+    if isinstance(geom, MultiPolygon):
+        if any(polygon_validity_errors(p) for p in geom.polygons):
+            return False
+        # member shells must not cross each other
+        polys = geom.polygons
+        for i in range(len(polys)):
+            for j in range(i + 1, len(polys)):
+                if _rings_conflict(polys[i].shell, polys[j].shell):
+                    return False
+        return True
+    if isinstance(geom, GeometryCollection):
+        return all(is_valid(member) for member in geom.geoms)
+    raise TypeError(f"cannot validate {type(geom).__name__}")
+
+
+def is_simple(geom: Geometry) -> bool:
+    """OGC ``ST_IsSimple``."""
+    if isinstance(geom, Point):
+        return True
+    if isinstance(geom, MultiPoint):
+        coords = [p.coord for p in geom.points]
+        return len(set(coords)) == len(coords)
+    if isinstance(geom, LineString):
+        return line_is_simple(geom)
+    if isinstance(geom, MultiLineString):
+        if not all(line_is_simple(line) for line in geom.lines):
+            return False
+        # members may only touch at their endpoints
+        lines = geom.lines
+        for i in range(len(lines)):
+            for j in range(i + 1, len(lines)):
+                ends = {
+                    lines[i].coords[0], lines[i].coords[-1],
+                    lines[j].coords[0], lines[j].coords[-1],
+                }
+                for a, b in lines[i].segments():
+                    for c, d in lines[j].segments():
+                        hit = segment_intersection(a, b, c, d)
+                        if hit is None:
+                            continue
+                        if isinstance(hit, tuple) and isinstance(hit[0], tuple):
+                            return False
+                        if hit not in ends:
+                            return False
+        return True
+    if isinstance(geom, (Polygon, MultiPolygon)):
+        return is_valid(geom)
+    if isinstance(geom, GeometryCollection):
+        return all(is_simple(member) for member in geom.geoms)
+    raise TypeError(f"cannot test simplicity of {type(geom).__name__}")
+
+
+__all__ = [
+    "ring_is_simple",
+    "line_is_simple",
+    "polygon_validity_errors",
+    "is_valid",
+    "is_simple",
+    "on_segment",
+]

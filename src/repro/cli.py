@@ -1,0 +1,177 @@
+"""Command-line interface: ``jackpine run`` / ``jackpine explain``.
+
+Examples::
+
+    jackpine run --engines greenwood bluestem --scale 0.5 --suite micro
+    jackpine run --suite macro --scenarios geocoding toxic_spill
+    jackpine explain --engine greenwood \
+        "SELECT COUNT(*) FROM edges WHERE ST_Intersects(geom, ST_MakeEnvelope(0,0,1000,1000))"
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core import BenchmarkConfig, Jackpine, render_full
+from repro.core.report import (
+    render_loading,
+    render_macro,
+    render_micro_analysis,
+    render_micro_topology,
+)
+from repro.datagen import generate
+from repro.engines import ENGINE_NAMES, Database
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="jackpine",
+        description="Jackpine spatial database benchmark (reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run benchmark suites")
+    run.add_argument(
+        "--engines", nargs="+", default=list(ENGINE_NAMES),
+        choices=list(ENGINE_NAMES),
+    )
+    run.add_argument("--seed", type=int, default=42)
+    run.add_argument("--scale", type=float, default=1.0)
+    run.add_argument("--repeats", type=int, default=3)
+    run.add_argument("--warmups", type=int, default=1)
+    run.add_argument(
+        "--suite",
+        choices=["all", "micro", "macro", "loading"],
+        default="all",
+    )
+    run.add_argument("--scenarios", nargs="*", default=None)
+    run.add_argument(
+        "--no-index", action="store_true",
+        help="skip CREATE SPATIAL INDEX (index-effect experiments)",
+    )
+    run.add_argument(
+        "--out", default=None, metavar="DIR",
+        help="also export every figure's data series as CSV into DIR",
+    )
+    run.add_argument(
+        "--details", action="store_true",
+        help="with --suite macro: print per-step timings",
+    )
+
+    explain = sub.add_parser("explain", help="show a query plan")
+    explain.add_argument("--engine", default="greenwood",
+                         choices=list(ENGINE_NAMES))
+    explain.add_argument("--seed", type=int, default=42)
+    explain.add_argument("--scale", type=float, default=0.5)
+    explain.add_argument("sql")
+
+    experiment = sub.add_parser(
+        "experiment", help="run one of the standalone experiments"
+    )
+    experiment.add_argument(
+        "which", choices=["jf5", "jf6", "ja1", "ja2", "jx1", "jx2"],
+        help="jf5=index effect, jf6=scalability, "
+             "ja1=refinement ablation, ja2=index-structure ablation, "
+             "jx1=selectivity sweep (extension), "
+             "jx2=concurrent clients (extension)",
+    )
+    experiment.add_argument("--seed", type=int, default=42)
+    experiment.add_argument("--scale", type=float, default=0.25)
+    experiment.add_argument(
+        "--distribution", choices=["uniform", "clustered"],
+        default="uniform",
+        help="landmark placement for ja2 (clustered = urban skew)",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "experiment":
+        from repro.core import experiments as exp
+
+        if args.which == "jf5":
+            print(exp.render_index_effect(
+                exp.run_index_effect(seed=args.seed, scale=args.scale)
+            ))
+        elif args.which == "jf6":
+            print(exp.render_scalability(exp.run_scalability(seed=args.seed)))
+        elif args.which == "ja1":
+            print(exp.render_refinement(
+                exp.run_refinement_ablation(seed=args.seed, scale=args.scale)
+            ))
+        elif args.which == "ja2":
+            print(exp.render_index_ablation(
+                exp.run_index_ablation(
+                    seed=args.seed, scale=args.scale,
+                    distribution=args.distribution,
+                )
+            ))
+        elif args.which == "jx1":
+            print(exp.render_selectivity(
+                exp.run_selectivity_sweep(seed=args.seed, scale=args.scale)
+            ))
+        else:
+            print(exp.render_concurrency(
+                exp.run_concurrency(seed=args.seed, scale=args.scale)
+            ))
+        return 0
+    if args.command == "explain":
+        db = Database(args.engine)
+        generate(seed=args.seed, scale=args.scale).load_into(db)
+        print(db.explain(args.sql))
+        return 0
+
+    config = BenchmarkConfig(
+        engines=args.engines,
+        seed=args.seed,
+        scale=args.scale,
+        repeats=args.repeats,
+        warmups=args.warmups,
+        scenarios=args.scenarios,
+        with_indexes=not args.no_index,
+    )
+    bench = Jackpine(config)
+    if args.suite == "all":
+        result = bench.run()
+        print(render_full(result))
+        if args.out:
+            from repro.core.figures import export_all
+
+            for path in export_all(result, args.out):
+                print(f"wrote {path}")
+        return 0
+
+    from repro.core.benchmark import BenchmarkResult, EngineRun
+
+    result = BenchmarkResult(config=config,
+                             dataset_rows=bench.dataset.total_rows())
+    for engine in config.engines:
+        run = EngineRun(engine=engine)
+        if args.suite == "loading":
+            run.loading = bench.run_loading(engine)
+        elif args.suite == "micro":
+            run.micro = bench.run_micro(engine)
+        elif args.suite == "macro":
+            run.macro = bench.run_macro(engine)
+        result.runs[engine] = run
+    if args.suite == "loading":
+        print(render_loading(result))
+    elif args.suite == "micro":
+        print(render_micro_topology(result))
+        print()
+        print(render_micro_analysis(result))
+    else:
+        print(render_macro(result))
+        if args.details:
+            from repro.core.report import render_macro_details
+
+            print()
+            print(render_macro_details(result))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,138 @@
+"""The Jackpine benchmark orchestrator.
+
+Mirrors the paper's harness: one benchmark definition (micro topology +
+micro analysis + loading + six macro scenarios) executed against any
+engine reachable through the DB-API portability layer, with a shared
+dataset, a warmup/repeat measurement protocol, and per-query results that
+the report module renders as the paper's tables and figures.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.macro import ALL_SCENARIOS, SCENARIOS_BY_NAME, ScenarioResult
+from repro.core.micro import (
+    LoadResult,
+    analysis_queries,
+    bind_dataset,
+    run_loading,
+    topology_queries,
+)
+from repro.core.query import BenchmarkQuery
+from repro.core.stats import QueryTiming, run_timed
+from repro.datagen import TigerDataset, generate
+from repro.dbapi import connect
+from repro.engines import Database
+
+
+@dataclass
+class BenchmarkConfig:
+    """Knobs for one benchmark run."""
+
+    engines: Sequence[str] = ("greenwood", "bluestem", "ironbark")
+    seed: int = 42
+    scale: float = 1.0
+    repeats: int = 3
+    warmups: int = 1
+    scenarios: Optional[Sequence[str]] = None  # None = all six
+    with_indexes: bool = True
+
+
+@dataclass
+class EngineRun:
+    """All results for one engine."""
+
+    engine: str
+    micro: Dict[str, QueryTiming] = field(default_factory=dict)
+    macro: Dict[str, ScenarioResult] = field(default_factory=dict)
+    loading: Optional[LoadResult] = None
+
+
+@dataclass
+class BenchmarkResult:
+    config: BenchmarkConfig
+    dataset_rows: int
+    runs: Dict[str, EngineRun] = field(default_factory=dict)
+
+    def engines(self) -> List[str]:
+        return list(self.runs)
+
+
+class Jackpine:
+    """Programmatic entry point: build once, run suites selectively.
+
+    >>> bench = Jackpine(BenchmarkConfig(engines=["greenwood"], scale=0.5))
+    >>> result = bench.run()            # everything
+    >>> result.runs["greenwood"].macro["geocoding"].queries_per_minute
+    """
+
+    def __init__(self, config: Optional[BenchmarkConfig] = None,
+                 dataset: Optional[TigerDataset] = None):
+        self.config = config or BenchmarkConfig()
+        self.dataset = dataset or generate(
+            seed=self.config.seed, scale=self.config.scale
+        )
+        self._databases: Dict[str, Database] = {}
+
+    # -- engine management -------------------------------------------------
+
+    def database(self, engine: str) -> Database:
+        """A loaded database for ``engine`` (created and cached on demand)."""
+        if engine not in self._databases:
+            db = Database(engine)
+            self.dataset.load_into(
+                db, create_indexes=self.config.with_indexes
+            )
+            self._databases[engine] = db
+        return self._databases[engine]
+
+    # -- suites ----------------------------------------------------------------
+
+    def micro_queries(self) -> List[BenchmarkQuery]:
+        return topology_queries() + bind_dataset(analysis_queries(), self.dataset)
+
+    def run_micro(self, engine: str) -> Dict[str, QueryTiming]:
+        conn = connect(database=self.database(engine))
+        cursor = conn.cursor()
+        results: Dict[str, QueryTiming] = {}
+        for query in self.micro_queries():
+            timing = QueryTiming(query.query_id)
+            run_timed(
+                timing,
+                lambda q=query: q.run(cursor),
+                repeats=self.config.repeats,
+                warmups=self.config.warmups,
+            )
+            results[query.query_id] = timing
+        conn.close()
+        return results
+
+    def run_macro(self, engine: str) -> Dict[str, ScenarioResult]:
+        wanted = self.config.scenarios or [s.name for s in ALL_SCENARIOS]
+        conn = connect(database=self.database(engine))
+        results: Dict[str, ScenarioResult] = {}
+        for name in wanted:
+            scenario = SCENARIOS_BY_NAME[name]()
+            results[name] = scenario.run(
+                conn, self.dataset, seed=self.config.seed, engine_name=engine
+            )
+        conn.close()
+        return results
+
+    def run_loading(self, engine: str) -> LoadResult:
+        return run_loading(engine, self.dataset)
+
+    def run(self) -> BenchmarkResult:
+        result = BenchmarkResult(
+            config=self.config, dataset_rows=self.dataset.total_rows()
+        )
+        for engine in self.config.engines:
+            run = EngineRun(engine=engine)
+            run.loading = self.run_loading(engine)
+            run.micro = self.run_micro(engine)
+            run.macro = self.run_macro(engine)
+            result.runs[engine] = run
+        return result

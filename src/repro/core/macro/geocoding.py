@@ -1,0 +1,100 @@
+"""Macro scenarios: geocoding and reverse geocoding.
+
+Geocoding turns "415 Oak St, county 48007" into a coordinate: find the
+road segment whose street name matches and whose address range covers the
+house number, then interpolate along it. Reverse geocoding inverts the
+process: given a GPS point, find the nearest road and read an address off
+the projection. Both are the lookup workloads behind every mapping
+service the paper's introduction motivates.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List
+
+from repro.core.macro.scenario import Scenario, WorkItem, column_value, sample_rows
+from repro.datagen.tiger import WORLD_SIZE
+
+
+class Geocoding(Scenario):
+    name = "geocoding"
+    title = "Geocoding"
+    description = "street + house-number lookups with address interpolation"
+
+    lookups = 25
+
+    def build_workload(self, dataset, rng: random.Random) -> Iterable[WorkItem]:
+        items: List[WorkItem] = []
+        edges = dataset.layer("edges")
+        local = [
+            row
+            for row in edges.rows
+            if column_value(edges, row, "road_class") == "local"
+        ]
+        for i, row in enumerate(sample_rows_list(local, rng, self.lookups)):
+            fullname = column_value(edges, row, "fullname")
+            fips = column_value(edges, row, "county_fips")
+            lfrom = column_value(edges, row, "lfromadd")
+            lto = column_value(edges, row, "ltoadd")
+            house = rng.randrange(lfrom, lto + 1, 2)
+            fraction = (house - lfrom) / max(lto - lfrom, 1)
+            items.append(
+                WorkItem(
+                    f"geocode{i}",
+                    "SELECT gid, "
+                    "ST_AsText(ST_LineInterpolatePoint(geom, ?)) AS location "
+                    "FROM edges WHERE fullname = ? AND county_fips = ? "
+                    "AND lfromadd <= ? AND ltoadd >= ? LIMIT 1",
+                    (round(fraction, 6), fullname, fips, house, house),
+                )
+            )
+        return items
+
+
+class ReverseGeocoding(Scenario):
+    name = "reverse_geocoding"
+    title = "Reverse geocoding"
+    description = "nearest-road search for GPS points, then address read-off"
+
+    lookups = 25
+    search_radius = WORLD_SIZE / 40.0  # candidate window around the point
+
+    def build_workload(self, dataset, rng: random.Random) -> Iterable[WorkItem]:
+        items: List[WorkItem] = []
+        for i in range(self.lookups):
+            x = rng.uniform(0.1, 0.9) * WORLD_SIZE
+            y = rng.uniform(0.1, 0.9) * WORLD_SIZE
+            r = self.search_radius
+            window = (
+                f"ST_MakeEnvelope({x - r:.1f}, {y - r:.1f}, "
+                f"{x + r:.1f}, {y + r:.1f})"
+            )
+            point = f"ST_Point({x:.1f}, {y:.1f})"
+            # candidate roads from the index window, ranked by true distance
+            items.append(
+                WorkItem(
+                    f"nearest{i}",
+                    f"SELECT gid, fullname, ST_Distance(geom, {point}) AS d "
+                    f"FROM edges WHERE ST_Intersects(geom, {window}) "
+                    f"ORDER BY d LIMIT 1",
+                )
+            )
+            # address interpolation on the winner (engines lacking
+            # ST_LineLocatePoint skip this step, as the paper's MySQL did)
+            items.append(
+                WorkItem(
+                    f"address{i}",
+                    f"SELECT gid, lfromadd + "
+                    f"ST_LineLocatePoint(geom, {point}) * (ltoadd - lfromadd) "
+                    f"FROM edges WHERE ST_Intersects(geom, {window}) "
+                    f"ORDER BY ST_Distance(geom, {point}) LIMIT 1",
+                )
+            )
+        return items
+
+
+def sample_rows_list(rows: List[tuple], rng: random.Random, count: int):
+    if len(rows) <= count:
+        return list(rows)
+    return rng.sample(rows, count)

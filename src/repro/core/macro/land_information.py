@@ -1,0 +1,96 @@
+"""Macro scenario: land information management.
+
+A county land office workload over the parcel fabric: adjacency searches
+(Touches), containment checks against the county polygon, merging a block
+of parcels into one shape (aggregate Union), area/value reports, and
+proximity lookups around a landmark. Exercises exactly-shared borders,
+where MBR-only engines over-report neighbours."""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List
+
+from repro.core.macro.scenario import Scenario, WorkItem, column_value, sample_rows
+
+
+class LandInformationManagement(Scenario):
+    name = "land_information"
+    title = "Land information management"
+    description = "parcel adjacency, containment, merge and report queries"
+
+    parcels = 10
+
+    def build_workload(self, dataset, rng: random.Random) -> Iterable[WorkItem]:
+        items: List[WorkItem] = []
+        parcels = dataset.layer("parcels")
+        chosen = sample_rows(parcels, rng, self.parcels)
+        for i, row in enumerate(chosen):
+            gid = column_value(parcels, row, "gid")
+            items.append(
+                WorkItem(
+                    f"p{i}.neighbours",
+                    "SELECT b.gid, b.owner FROM parcels a JOIN parcels b "
+                    "ON ST_Touches(a.geom, b.geom) "
+                    f"WHERE a.gid = {gid} AND b.gid <> {gid}",
+                )
+            )
+            items.append(
+                WorkItem(
+                    f"p{i}.county",
+                    "SELECT c.name FROM parcels p JOIN counties c "
+                    "ON ST_Within(p.geom, c.geom) "
+                    f"WHERE p.gid = {gid}",
+                )
+            )
+        # block merges and valuation reports per suburb
+        fips_idx = parcels.columns.index("county_fips")
+        suburbs = sorted({row[fips_idx] for row in parcels.rows})[:3]
+        for j, fips in enumerate(suburbs):
+            items.append(
+                WorkItem(
+                    f"b{j}.merge",
+                    "SELECT ST_Area(ST_Union(geom)) FROM parcels "
+                    f"WHERE county_fips = '{fips}' AND land_use = 'residential'",
+                )
+            )
+            items.append(
+                WorkItem(
+                    f"b{j}.report",
+                    "SELECT land_use, COUNT(*), SUM(assessed_value), "
+                    "SUM(ST_Area(geom)) FROM parcels "
+                    f"WHERE county_fips = '{fips}' GROUP BY land_use "
+                    "ORDER BY land_use",
+                )
+            )
+            items.append(
+                WorkItem(
+                    f"b{j}.frontage",
+                    "SELECT COUNT(*) FROM parcels p JOIN edges e "
+                    "ON ST_Intersects(e.geom, p.geom) "
+                    f"WHERE p.county_fips = '{fips}'",
+                )
+            )
+        # proximity: parcels near a school (distance-bounded search)
+        pointlm = dataset.layer("pointlm")
+        schools = [
+            row for row in pointlm.rows
+            if column_value(pointlm, row, "category") == "school"
+        ]
+        for k, row in enumerate(sample_rows_list(schools, rng, 3)):
+            geom = column_value(pointlm, row, "geom")
+            items.append(
+                WorkItem(
+                    f"near{k}.school",
+                    "SELECT COUNT(*) FROM parcels "
+                    f"WHERE ST_DWithin(geom, ST_Point({geom.x:.1f}, "
+                    f"{geom.y:.1f}), 3000)",
+                )
+            )
+        return items
+
+
+def sample_rows_list(rows: List[tuple], rng: random.Random, count: int):
+    if len(rows) <= count:
+        return list(rows)
+    return rng.sample(rows, count)

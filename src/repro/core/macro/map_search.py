@@ -1,0 +1,94 @@
+"""Macro scenario: map search and browsing.
+
+Models a slippy-map client: the user searches for a landmark, the map
+window centres on it and every layer is fetched for the window at three
+zoom levels; the user then pans the window and finally clicks a feature
+for an info popup. All fetches are envelope-driven window queries — the
+workload that spatial indexes exist for.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List
+
+from repro.core.macro.scenario import Scenario, WorkItem, column_value, sample_rows
+from repro.datagen.tiger import WORLD_SIZE
+
+_ZOOM_WINDOWS = (0.20, 0.08, 0.02)  # window side as a fraction of the state
+_LAYERS = ("counties", "edges", "pointlm", "arealm", "areawater")
+
+
+class MapSearchBrowsing(Scenario):
+    name = "map_search"
+    title = "Map search and browsing"
+    description = (
+        "landmark search, layered window fetches at three zoom levels, "
+        "a panning sequence, and feature-info point queries"
+    )
+
+    sessions = 4
+    pans = 3
+
+    def build_workload(self, dataset, rng: random.Random) -> Iterable[WorkItem]:
+        items: List[WorkItem] = []
+        pointlm = dataset.layer("pointlm")
+        for session, row in enumerate(
+            sample_rows(pointlm, rng, self.sessions)
+        ):
+            name = column_value(pointlm, row, "name")
+            geom = column_value(pointlm, row, "geom")
+            items.append(
+                WorkItem(
+                    f"s{session}.search",
+                    "SELECT gid, name, ST_X(geom), ST_Y(geom) FROM pointlm "
+                    "WHERE name LIKE ? LIMIT 10",
+                    (name.split()[0] + "%",),
+                )
+            )
+            cx, cy = geom.x, geom.y
+            for zoom, fraction in enumerate(_ZOOM_WINDOWS):
+                half = fraction * WORLD_SIZE / 2.0
+                window = _window_sql(cx, cy, half)
+                for layer in _LAYERS:
+                    simplify = zoom == 0 and layer in ("edges", "counties")
+                    shape = (
+                        "ST_Simplify(geom, 100)" if simplify else "geom"
+                    )
+                    items.append(
+                        WorkItem(
+                            f"s{session}.z{zoom}.{layer}",
+                            f"SELECT gid, ST_NPoints({shape}) FROM {layer} "
+                            f"WHERE ST_Intersects(geom, {window})",
+                        )
+                    )
+            # panning: shift the mid-zoom window diagonally
+            half = _ZOOM_WINDOWS[1] * WORLD_SIZE / 2.0
+            for pan in range(self.pans):
+                cx += half * 0.8
+                cy += half * 0.4
+                window = _window_sql(cx, cy, half)
+                items.append(
+                    WorkItem(
+                        f"s{session}.pan{pan}",
+                        f"SELECT COUNT(*) FROM edges "
+                        f"WHERE ST_Intersects(geom, {window})",
+                    )
+                )
+            # feature info: tiny window around a click near the landmark
+            click = _window_sql(geom.x + 50.0, geom.y + 50.0, 200.0)
+            items.append(
+                WorkItem(
+                    f"s{session}.info",
+                    f"SELECT gid, name, category FROM pointlm "
+                    f"WHERE ST_Within(geom, {click})",
+                )
+            )
+        return items
+
+
+def _window_sql(cx: float, cy: float, half: float) -> str:
+    return (
+        f"ST_MakeEnvelope({cx - half:.1f}, {cy - half:.1f}, "
+        f"{cx + half:.1f}, {cy + half:.1f})"
+    )

@@ -1,0 +1,105 @@
+"""Macro scenario framework.
+
+A scenario is a deterministic sequence of SQL statements modelling one
+real spatial application (the paper's map browsing, geocoding, reverse
+geocoding, flood risk, land management and toxic spill workloads). The
+runner executes the sequence through the DB-API, timing every statement;
+statements an engine cannot run (missing function) are recorded as
+skipped rather than failing the scenario — feature gaps are a result the
+paper reports, not an error.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import UnsupportedFeatureError
+
+
+@dataclass(frozen=True)
+class WorkItem:
+    """One step of a scenario: a labelled SQL statement."""
+
+    label: str
+    sql: str
+    params: Tuple[Any, ...] = ()
+
+
+@dataclass
+class StepResult:
+    label: str
+    seconds: float
+    rows: int
+    skipped: bool = False
+    error: Optional[str] = None
+
+
+@dataclass
+class ScenarioResult:
+    scenario: str
+    engine: str
+    steps: List[StepResult] = field(default_factory=list)
+
+    @property
+    def executed(self) -> int:
+        return sum(1 for s in self.steps if not s.skipped)
+
+    @property
+    def skipped(self) -> int:
+        return sum(1 for s in self.steps if s.skipped)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(s.seconds for s in self.steps)
+
+    @property
+    def queries_per_minute(self) -> float:
+        if self.total_seconds == 0.0:
+            return 0.0
+        return 60.0 * self.executed / self.total_seconds
+
+
+class Scenario:
+    """Base class: subclasses define ``name``, ``title`` and the workload."""
+
+    name: str = "abstract"
+    title: str = "Abstract scenario"
+    description: str = ""
+
+    def build_workload(
+        self, dataset, rng: random.Random
+    ) -> Iterable[WorkItem]:
+        raise NotImplementedError
+
+    def run(self, connection, dataset, seed: int = 7,
+            engine_name: str = "?") -> ScenarioResult:
+        rng = random.Random(seed)
+        result = ScenarioResult(scenario=self.name, engine=engine_name)
+        cursor = connection.cursor()
+        for item in self.build_workload(dataset, rng):
+            start = time.perf_counter()
+            try:
+                cursor.execute(item.sql, item.params)
+                rows = len(cursor.fetchall())
+                elapsed = time.perf_counter() - start
+                result.steps.append(StepResult(item.label, elapsed, rows))
+            except UnsupportedFeatureError as exc:
+                result.steps.append(
+                    StepResult(item.label, 0.0, 0, skipped=True, error=str(exc))
+                )
+        return result
+
+
+def sample_rows(layer, rng: random.Random, count: int) -> List[tuple]:
+    """Deterministic sample of a layer's rows."""
+    rows = layer.rows
+    if len(rows) <= count:
+        return list(rows)
+    return rng.sample(rows, count)
+
+
+def column_value(layer, row: tuple, column: str):
+    return row[layer.columns.index(column)]

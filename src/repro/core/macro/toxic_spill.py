@@ -1,0 +1,71 @@
+"""Macro scenario: toxic spill analysis.
+
+Emergency response around chemical spill sites: an impact buffer around
+the spill point, water bodies it reaches, road segments inside the
+evacuation zone, sensitive landmarks (schools, hospitals) within a larger
+radius, and the contaminated area broken down by county."""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List
+
+from repro.core.macro.scenario import Scenario, WorkItem
+from repro.datagen.tiger import WORLD_SIZE
+
+
+class ToxicSpillAnalysis(Scenario):
+    name = "toxic_spill"
+    title = "Toxic spill analysis"
+    description = (
+        "spill-site buffers vs. water, roads, sensitive landmarks, counties"
+    )
+
+    spills = 5
+    impact_radius = 2_000.0
+    alert_radius = 6_000.0
+
+    def build_workload(self, dataset, rng: random.Random) -> Iterable[WorkItem]:
+        items: List[WorkItem] = []
+        for i in range(self.spills):
+            x = rng.uniform(0.15, 0.85) * WORLD_SIZE
+            y = rng.uniform(0.15, 0.85) * WORLD_SIZE
+            point = f"ST_Point({x:.1f}, {y:.1f})"
+            zone = f"ST_Buffer({point}, {self.impact_radius}, 6)"
+            items.append(
+                WorkItem(
+                    f"s{i}.water",
+                    f"SELECT gid, name FROM areawater "
+                    f"WHERE ST_Intersects(geom, {zone})",
+                )
+            )
+            items.append(
+                WorkItem(
+                    f"s{i}.rivers",
+                    f"SELECT gid, name FROM rivers "
+                    f"WHERE ST_Intersects(geom, {zone})",
+                )
+            )
+            items.append(
+                WorkItem(
+                    f"s{i}.roads",
+                    f"SELECT COUNT(*) FROM edges "
+                    f"WHERE ST_Intersects(geom, {zone})",
+                )
+            )
+            items.append(
+                WorkItem(
+                    f"s{i}.sensitive",
+                    f"SELECT gid, name, category FROM pointlm "
+                    f"WHERE category IN ('school', 'hospital') "
+                    f"AND ST_DWithin(geom, {point}, {self.alert_radius})",
+                )
+            )
+            items.append(
+                WorkItem(
+                    f"s{i}.county_area",
+                    f"SELECT c.name, ST_Area(ST_Intersection(c.geom, {zone})) "
+                    f"FROM counties c WHERE ST_Intersects(c.geom, {zone})",
+                )
+            )
+        return items

@@ -1,0 +1,13 @@
+"""Micro benchmark suites: topology (DE-9IM), spatial analysis, loading."""
+
+from repro.core.micro.analysis import analysis_queries, bind_dataset
+from repro.core.micro.loading import LoadResult, run_loading
+from repro.core.micro.topology import topology_queries
+
+__all__ = [
+    "LoadResult",
+    "analysis_queries",
+    "bind_dataset",
+    "run_loading",
+    "topology_queries",
+]

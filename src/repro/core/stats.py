@@ -1,0 +1,89 @@
+"""Timing statistics for benchmark runs."""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+
+@dataclass
+class QueryTiming:
+    """Repeated-measurement record for one benchmark query."""
+
+    query_id: str
+    times: List[float] = field(default_factory=list)
+    result_value: Optional[object] = None  # e.g. COUNT(*) for answer checks
+    supported: bool = True
+    error: Optional[str] = None
+
+    def record(self, seconds: float) -> None:
+        self.times.append(seconds)
+
+    @property
+    def runs(self) -> int:
+        return len(self.times)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.times) / len(self.times) if self.times else math.nan
+
+    @property
+    def median(self) -> float:
+        if not self.times:
+            return math.nan
+        ordered = sorted(self.times)
+        mid = len(ordered) // 2
+        if len(ordered) % 2:
+            return ordered[mid]
+        return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+    @property
+    def minimum(self) -> float:
+        return min(self.times) if self.times else math.nan
+
+    @property
+    def maximum(self) -> float:
+        return max(self.times) if self.times else math.nan
+
+    @property
+    def stddev(self) -> float:
+        if len(self.times) < 2:
+            return 0.0
+        mean = self.mean
+        var = sum((t - mean) ** 2 for t in self.times) / (len(self.times) - 1)
+        return math.sqrt(var)
+
+    @property
+    def total(self) -> float:
+        return sum(self.times)
+
+
+def time_call(fn: Callable[[], object]) -> tuple:
+    """(elapsed_seconds, return_value) of one call."""
+    start = time.perf_counter()
+    value = fn()
+    return time.perf_counter() - start, value
+
+
+def run_timed(
+    timing: QueryTiming,
+    fn: Callable[[], object],
+    repeats: int = 3,
+    warmups: int = 1,
+) -> QueryTiming:
+    """Standard protocol: discard warmups, record ``repeats`` runs."""
+    from repro.errors import UnsupportedFeatureError
+
+    try:
+        for _ in range(warmups):
+            fn()
+        for _ in range(repeats):
+            elapsed, value = time_call(fn)
+            timing.record(elapsed)
+            timing.result_value = value
+    except UnsupportedFeatureError as exc:
+        timing.supported = False
+        timing.error = str(exc)
+    return timing

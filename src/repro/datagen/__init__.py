@@ -1,0 +1,5 @@
+"""Deterministic synthetic data: the TIGER-like benchmark dataset."""
+
+from repro.datagen.tiger import WORLD_SIZE, Layer, TigerDataset, generate
+
+__all__ = ["WORLD_SIZE", "Layer", "TigerDataset", "generate"]

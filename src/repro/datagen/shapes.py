@@ -1,0 +1,148 @@
+"""Random geometry factories used by the TIGER-like generator.
+
+All factories take an explicit ``random.Random`` so every layer is fully
+determined by the dataset seed. Shapes are built to be valid by
+construction (star-shaped radial polygons, convex hulls, jittered
+lattices) — validity of every generated layer is asserted by the test
+suite rather than patched after the fact.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Sequence, Tuple
+
+from repro.algorithms.convexhull import convex_hull_coords
+from repro.geometry.base import Coord
+from repro.geometry.linestring import LineString
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+
+
+def radial_polygon(
+    rng: random.Random,
+    center: Coord,
+    mean_radius: float,
+    irregularity: float = 0.35,
+    vertices: int = 12,
+) -> Polygon:
+    """A star-shaped (hence simple) polygon around ``center``.
+
+    Radii vary by up to ``irregularity`` of the mean and are smoothed with
+    a small moving average so lakes look blobby rather than spiky.
+    """
+    if vertices < 3:
+        raise ValueError("a polygon needs at least three vertices")
+    raw = [
+        mean_radius * (1.0 + irregularity * (rng.random() * 2.0 - 1.0))
+        for _ in range(vertices)
+    ]
+    radii = [
+        (raw[i - 1] + raw[i] + raw[(i + 1) % vertices]) / 3.0
+        for i in range(vertices)
+    ]
+    cx, cy = center
+    coords = [
+        (
+            cx + r * math.cos(2.0 * math.pi * i / vertices),
+            cy + r * math.sin(2.0 * math.pi * i / vertices),
+        )
+        for i, r in enumerate(radii)
+    ]
+    return Polygon(coords)
+
+
+def convex_blob(
+    rng: random.Random, center: Coord, radius: float, samples: int = 14
+) -> Polygon:
+    """Convex hull of points scattered around ``center``."""
+    cx, cy = center
+    points = [
+        (cx + rng.gauss(0.0, radius / 2.0), cy + rng.gauss(0.0, radius / 2.0))
+        for _ in range(max(samples, 5))
+    ]
+    hull = convex_hull_coords(points)
+    if len(hull) < 3:  # pathological gauss draw; retry deterministically
+        return convex_blob(rng, center, radius * 1.1, samples + 3)
+    return Polygon(hull)
+
+
+def wiggly_line(
+    rng: random.Random,
+    start: Coord,
+    end: Coord,
+    segments: int = 8,
+    wobble: float = 0.15,
+) -> LineString:
+    """A polyline from start to end with perpendicular wobble (roads, rivers)."""
+    sx, sy = start
+    ex, ey = end
+    dx, dy = ex - sx, ey - sy
+    span = math.hypot(dx, dy)
+    if span == 0.0:
+        raise ValueError("wiggly line needs distinct endpoints")
+    nx, ny = -dy / span, dx / span
+    coords: List[Coord] = [start]
+    for i in range(1, segments):
+        t = i / segments
+        offset = rng.gauss(0.0, wobble * span / segments)
+        coords.append((sx + t * dx + offset * nx, sy + t * dy + offset * ny))
+    coords.append(end)
+    return LineString(coords)
+
+
+def jittered_lattice(
+    rng: random.Random,
+    cells_x: int,
+    cells_y: int,
+    width: float,
+    height: float,
+    jitter: float = 0.25,
+) -> List[List[Coord]]:
+    """(cells_x+1) × (cells_y+1) lattice of corner points, interior nodes
+    jittered by up to ``jitter`` of a cell — corners are shared between
+    neighbouring cells so county polygons tile the plane exactly."""
+    step_x = width / cells_x
+    step_y = height / cells_y
+    nodes: List[List[Coord]] = []
+    for iy in range(cells_y + 1):
+        row: List[Coord] = []
+        for ix in range(cells_x + 1):
+            x = ix * step_x
+            y = iy * step_y
+            if 0 < ix < cells_x:
+                x += rng.uniform(-jitter, jitter) * step_x
+            if 0 < iy < cells_y:
+                y += rng.uniform(-jitter, jitter) * step_y
+            row.append((x, y))
+        nodes.append(row)
+    return nodes
+
+
+def lattice_cell(nodes: Sequence[Sequence[Coord]], ix: int, iy: int) -> Polygon:
+    """The quadrilateral cell (ix, iy) of a jittered lattice."""
+    return Polygon(
+        [
+            nodes[iy][ix],
+            nodes[iy][ix + 1],
+            nodes[iy + 1][ix + 1],
+            nodes[iy + 1][ix],
+        ]
+    )
+
+
+def random_point_in(rng: random.Random, polygon: Polygon) -> Point:
+    """Rejection-sample a point strictly inside ``polygon``."""
+    from repro.algorithms.location import Location, locate_in_polygon
+
+    env = polygon.envelope
+    for _attempt in range(1000):
+        x = rng.uniform(env.min_x, env.max_x)
+        y = rng.uniform(env.min_y, env.max_y)
+        if locate_in_polygon((x, y), polygon) is Location.INTERIOR:
+            return Point(x, y)
+    # fall back to a guaranteed interior point
+    from repro.algorithms.measures import point_on_surface
+
+    return point_on_surface(polygon)

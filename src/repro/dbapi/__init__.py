@@ -1,0 +1,61 @@
+"""PEP 249 (DB-API 2.0) driver over the embedded engines.
+
+This is the reproduction's analogue of the paper's JDBC portability
+layer: the entire benchmark is written against :func:`connect` /
+:class:`Connection` / :class:`Cursor`, and switching the engine under
+test is just ``connect(engine="bluestem")``.
+
+Module-level attributes required by PEP 249 (``apilevel``, ``paramstyle``,
+exception hierarchy) are provided so generic DB-API tooling works.
+"""
+
+from repro.dbapi.connection import Connection, Cursor, connect
+from repro.errors import (
+    EngineError,
+    ReproError,
+    SqlError,
+    SqlPlanError,
+    SqlSyntaxError,
+    UnsupportedFeatureError,
+)
+
+apilevel = "2.0"
+threadsafety = 1  # threads may share the module, not connections
+paramstyle = "qmark"
+
+
+# -- PEP 249 exception hierarchy, aliased onto the library's own errors ----
+
+
+class Warning(Exception):  # noqa: A001 - name mandated by PEP 249
+    pass
+
+
+Error = ReproError
+InterfaceError = SqlError
+DatabaseError = EngineError
+DataError = SqlPlanError
+OperationalError = EngineError
+IntegrityError = EngineError
+InternalError = EngineError
+ProgrammingError = SqlSyntaxError
+NotSupportedError = UnsupportedFeatureError
+
+__all__ = [
+    "Connection",
+    "Cursor",
+    "connect",
+    "apilevel",
+    "threadsafety",
+    "paramstyle",
+    "Warning",
+    "Error",
+    "InterfaceError",
+    "DatabaseError",
+    "DataError",
+    "OperationalError",
+    "IntegrityError",
+    "InternalError",
+    "ProgrammingError",
+    "NotSupportedError",
+]

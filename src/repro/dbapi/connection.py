@@ -1,0 +1,161 @@
+"""DB-API 2.0 Connection and Cursor over :class:`repro.engines.Database`."""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional, Sequence, Tuple
+
+from repro.engines.database import Database, ResultSet
+from repro.errors import SqlError
+
+
+def connect(engine: str = "greenwood", database: Optional[Database] = None) -> "Connection":
+    """Open a connection to an embedded engine.
+
+    ``engine`` selects the profile (``greenwood``/``bluestem``/``ironbark``);
+    pass an existing ``database`` to share one datastore across
+    connections (the benchmark loads once and reconnects per scenario).
+    """
+    return Connection(database or Database(engine))
+
+
+class Connection:
+    def __init__(self, database: Database):
+        self.database = database
+        self._closed = False
+
+    # transactions are no-ops: the embedded engine is auto-commit
+    def commit(self) -> None:
+        self._check_open()
+
+    def rollback(self) -> None:
+        self._check_open()
+
+    def close(self) -> None:
+        self._closed = True
+
+    def cursor(self) -> "Cursor":
+        self._check_open()
+        return Cursor(self)
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise SqlError("connection is closed")
+
+    # convenience mirrors of the engine API
+    @property
+    def stats(self):
+        return self.database.stats
+
+    def explain(self, sql: str) -> str:
+        self._check_open()
+        return self.database.explain(sql)
+
+    def __enter__(self) -> "Connection":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class Cursor:
+    arraysize = 1
+
+    def __init__(self, connection: Connection):
+        self.connection = connection
+        self._result: Optional[ResultSet] = None
+        self._position = 0
+        self._closed = False
+
+    # -- PEP 249 surface ------------------------------------------------------
+
+    @property
+    def description(
+        self,
+    ) -> Optional[List[Tuple[str, None, None, None, None, None, None]]]:
+        if self._result is None or not self._result.columns:
+            return None
+        return [
+            (name, None, None, None, None, None, None)
+            for name in self._result.columns
+        ]
+
+    @property
+    def rowcount(self) -> int:
+        if self._result is None:
+            return -1
+        return self._result.rowcount
+
+    def execute(self, sql: str, params: Sequence[Any] = ()) -> "Cursor":
+        self._check_open()
+        self._result = self.connection.database.execute(sql, params)
+        self._position = 0
+        return self
+
+    def executemany(
+        self, sql: str, seq_of_params: Sequence[Sequence[Any]]
+    ) -> "Cursor":
+        self._check_open()
+        total = 0
+        for params in seq_of_params:
+            result = self.connection.database.execute(sql, params)
+            total += result.rowcount
+        self._result = ResultSet([], [], total)
+        self._position = 0
+        return self
+
+    def fetchone(self) -> Optional[tuple]:
+        rows = self._rows()
+        if self._position >= len(rows):
+            return None
+        row = rows[self._position]
+        self._position += 1
+        return row
+
+    def fetchmany(self, size: Optional[int] = None) -> List[tuple]:
+        rows = self._rows()
+        n = size if size is not None else self.arraysize
+        chunk = rows[self._position : self._position + n]
+        self._position += len(chunk)
+        return chunk
+
+    def fetchall(self) -> List[tuple]:
+        rows = self._rows()
+        chunk = rows[self._position :]
+        self._position = len(rows)
+        return chunk
+
+    def close(self) -> None:
+        self._closed = True
+        self._result = None
+
+    def setinputsizes(self, sizes) -> None:  # PEP 249 no-op
+        pass
+
+    def setoutputsize(self, size, column=None) -> None:  # PEP 249 no-op
+        pass
+
+    def __iter__(self) -> Iterator[tuple]:
+        while True:
+            row = self.fetchone()
+            if row is None:
+                return
+            yield row
+
+    def __enter__(self) -> "Cursor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _rows(self) -> List[tuple]:
+        self._check_open()
+        if self._result is None:
+            raise SqlError("no query has been executed")
+        return self._result.rows
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise SqlError("cursor is closed")
+        self.connection._check_open()

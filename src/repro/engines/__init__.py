@@ -1,0 +1,25 @@
+"""Engines: the embedded spatial database and its capability profiles."""
+
+from repro.engines.database import Database, ResultSet
+from repro.engines.profiles import (
+    BLUESTEM,
+    GREENWOOD,
+    IRONBARK,
+    PROFILES,
+    EngineProfile,
+    get_profile,
+)
+
+ENGINE_NAMES = tuple(sorted(PROFILES))
+
+__all__ = [
+    "BLUESTEM",
+    "Database",
+    "ENGINE_NAMES",
+    "EngineProfile",
+    "GREENWOOD",
+    "IRONBARK",
+    "PROFILES",
+    "ResultSet",
+    "get_profile",
+]

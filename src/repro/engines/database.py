@@ -1,0 +1,332 @@
+"""The in-process spatial database engine.
+
+One :class:`Database` owns a catalog, a function registry and an engine
+profile. It executes parsed statements and returns result sets. The three
+benchmarked engines are the same machinery instantiated with the three
+profiles — exactly the paper's setup of "one benchmark, N JDBC targets",
+with profiles standing in for distinct server products.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.engines.profiles import EngineProfile, get_profile
+from repro.errors import SqlPlanError
+from repro.geometry.base import Geometry
+from repro.index import make_index
+from repro.index.base import SpatialIndex
+from repro.sql import ast
+from repro.sql.executor import Compiler, ExecContext, Scope, Stats
+from repro.sql.functions import FunctionRegistry
+from repro.sql.parser import parse
+from repro.sql.planner import Planner
+from repro.storage.catalog import Catalog, IndexEntry
+from repro.storage.table import Column, ColumnType, Table
+
+
+class ResultSet:
+    """Materialised query result: column names + row tuples."""
+
+    __slots__ = ("columns", "rows", "rowcount")
+
+    def __init__(self, columns: List[str], rows: List[tuple],
+                 rowcount: int = -1):
+        self.columns = columns
+        self.rows = rows
+        self.rowcount = rowcount if rowcount >= 0 else len(rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def scalar(self) -> Any:
+        """First column of the first row (for COUNT-style queries)."""
+        if not self.rows:
+            raise SqlPlanError("result set is empty")
+        return self.rows[0][0]
+
+
+class Database:
+    """An embedded spatial database with one of the benchmark profiles."""
+
+    #: SELECT plans cached per SQL text (the PreparedStatement analogue);
+    #: bounded, and flushed whenever the schema changes
+    PLAN_CACHE_SIZE = 256
+
+    def __init__(self, profile: "EngineProfile | str" = "greenwood"):
+        if isinstance(profile, str):
+            profile = get_profile(profile)
+        self.profile = profile
+        self.catalog = Catalog()
+        self.registry = FunctionRegistry()
+        self.stats = Stats()
+        self._planner = Planner(self.catalog, self.registry, self.profile)
+        self._plan_cache: dict = {}
+        self._parse_cache: dict = {}
+
+    # -- public API --------------------------------------------------------
+
+    def execute(
+        self, sql: str, params: Sequence[Any] = ()
+    ) -> ResultSet:
+        """Parse and run one statement (parse results and SELECT plans are
+        cached per SQL text, the way a driver reuses prepared statements)."""
+        statement = self._parse_cache.get(sql)
+        if statement is None:
+            statement = parse(sql)
+            if len(self._parse_cache) >= self.PLAN_CACHE_SIZE:
+                self._parse_cache.clear()
+            self._parse_cache[sql] = statement
+        if isinstance(statement, ast.Select):
+            cached = self._plan_cache.get(sql)
+            if cached is None:
+                cached = self._planner.plan_select(statement)
+                if len(self._plan_cache) >= self.PLAN_CACHE_SIZE:
+                    self._plan_cache.clear()
+                self._plan_cache[sql] = cached
+            plan, names = cached
+            ctx = ExecContext(
+                tuple(params), self.profile, self.registry, self.catalog,
+                self.stats,
+            )
+            rows = [row["__out__"] for row in plan.rows(ctx)]
+            return ResultSet(names, rows)
+        # any non-SELECT may change schema or data layout: flush plans
+        self._plan_cache.clear()
+        return self.execute_statement(statement, params)
+
+    def execute_statement(
+        self, statement: ast.Statement, params: Sequence[Any] = ()
+    ) -> ResultSet:
+        if isinstance(statement, ast.Select):
+            return self._run_select(statement, params)
+        if isinstance(statement, ast.Insert):
+            return self._run_insert(statement, params)
+        if isinstance(statement, ast.Delete):
+            return self._run_delete(statement, params)
+        if isinstance(statement, ast.Update):
+            return self._run_update(statement, params)
+        if isinstance(statement, ast.CreateTable):
+            return self._run_create_table(statement)
+        if isinstance(statement, ast.CreateSpatialIndex):
+            return self._run_create_index(statement)
+        if isinstance(statement, ast.DropTable):
+            self.catalog.drop_table(statement.name, statement.if_exists)
+            return ResultSet([], [], 0)
+        if isinstance(statement, ast.DropIndex):
+            self.catalog.drop_index(statement.name, statement.if_exists)
+            return ResultSet([], [], 0)
+        raise SqlPlanError(f"unsupported statement {type(statement).__name__}")
+
+    def explain(self, sql: str) -> str:
+        """The plan tree for a SELECT, as indented text."""
+        statement = parse(sql)
+        if not isinstance(statement, ast.Select):
+            raise SqlPlanError("EXPLAIN supports SELECT statements only")
+        plan, _names = self._planner.plan_select(statement)
+        return "\n".join(plan.explain())
+
+    def explain_analyze(self, sql: str, params: Sequence[Any] = ()) -> str:
+        """Execute a SELECT and report per-operator rows and times.
+
+        Plans afresh (never from the cache — instrumentation rewires the
+        tree) and drains the full result before rendering, like
+        ``EXPLAIN ANALYZE`` in the DBMSes the paper benchmarks.
+        """
+        from repro.sql.executor import Instrumented
+
+        statement = parse(sql)
+        if not isinstance(statement, ast.Select):
+            raise SqlPlanError("EXPLAIN ANALYZE supports SELECT statements only")
+        plan, _names = self._planner.plan_select(statement)
+        wrapped = Instrumented(plan)
+        ctx = ExecContext(
+            tuple(params), self.profile, self.registry, self.catalog,
+            self.stats,
+        )
+        emitted = sum(1 for _row in wrapped.rows(ctx))
+        lines = wrapped.explain()
+        lines.append(f"Total output rows: {emitted}")
+        return "\n".join(lines)
+
+    # -- statement runners -----------------------------------------------------
+
+    def _run_select(self, stmt: ast.Select, params: Sequence[Any]) -> ResultSet:
+        plan, names = self._planner.plan_select(stmt)
+        ctx = ExecContext(
+            tuple(params), self.profile, self.registry, self.catalog, self.stats
+        )
+        rows = [row["__out__"] for row in plan.rows(ctx)]
+        return ResultSet(names, rows)
+
+    def _run_insert(self, stmt: ast.Insert, params: Sequence[Any]) -> ResultSet:
+        table = self.catalog.table(stmt.table)
+        if stmt.columns is None:
+            positions = list(range(len(table.columns)))
+        else:
+            positions = [table.column_index(c) for c in stmt.columns]
+        compiler = Compiler(Scope(), self.registry, self.profile)
+        ctx = ExecContext(
+            tuple(params), self.profile, self.registry, self.catalog, self.stats
+        )
+        # statement atomicity: evaluate and type-check every row before
+        # touching the heap, so a failure in row k leaves nothing behind
+        pending: List[List[Any]] = []
+        for row_exprs in stmt.rows:
+            if len(row_exprs) != len(positions):
+                raise SqlPlanError(
+                    f"INSERT expects {len(positions)} values, got {len(row_exprs)}"
+                )
+            values: List[Any] = [None] * len(table.columns)
+            for position, expr in zip(positions, row_exprs):
+                values[position] = compiler.compile(expr)({}, ctx)
+            pending.append(values)
+        from repro.storage.table import _coerce
+
+        coerced = [
+            tuple(_coerce(v, col) for v, col in zip(vals, table.columns))
+            for vals in pending
+        ]
+        for values in coerced:
+            row_id = table.insert_row(values)
+            self._index_insert(table, row_id)
+        return ResultSet([], [], len(coerced))
+
+    def insert_rows(self, table_name: str, rows: Sequence[Sequence[Any]]) -> int:
+        """Bulk insert of Python values (the fast path the loader uses)."""
+        table = self.catalog.table(table_name)
+        count = 0
+        for values in rows:
+            row_id = table.insert_row(values)
+            self._index_insert(table, row_id)
+            count += 1
+        return count
+
+    def _index_insert(self, table: Table, row_id: int) -> None:
+        for entry in self.catalog.indexes():
+            if entry.table_name != table.name:
+                continue
+            idx = table.column_index(entry.column_name)
+            geom = table.get_row(row_id)[idx]
+            if isinstance(geom, Geometry):
+                entry.index.insert(row_id, geom.envelope)
+
+    def _run_delete(self, stmt: ast.Delete, params: Sequence[Any]) -> ResultSet:
+        table = self.catalog.table(stmt.table)
+        scope = Scope()
+        scope.add(stmt.table, table)
+        ctx = ExecContext(
+            tuple(params), self.profile, self.registry, self.catalog, self.stats
+        )
+        predicate = None
+        if stmt.where is not None:
+            predicate = Compiler(scope, self.registry, self.profile).compile(
+                stmt.where
+            )
+        doomed: List[int] = []
+        for row_id, row in table.scan():
+            if predicate is None or predicate({table.name: row}, ctx) is True:
+                doomed.append(row_id)
+        for row_id in doomed:
+            row = table.get_row(row_id)
+            for entry in self.catalog.indexes():
+                if entry.table_name != table.name:
+                    continue
+                idx = table.column_index(entry.column_name)
+                geom = row[idx]
+                if isinstance(geom, Geometry):
+                    entry.index.remove(row_id, geom.envelope)
+            table.delete_row(row_id)
+        return ResultSet([], [], len(doomed))
+
+    def _run_update(self, stmt: ast.Update, params: Sequence[Any]) -> ResultSet:
+        table = self.catalog.table(stmt.table)
+        scope = Scope()
+        scope.add(stmt.table, table)
+        compiler = Compiler(scope, self.registry, self.profile)
+        ctx = ExecContext(
+            tuple(params), self.profile, self.registry, self.catalog, self.stats
+        )
+        predicate = (
+            compiler.compile(stmt.where) if stmt.where is not None else None
+        )
+        assignments = [
+            (table.column_index(column), compiler.compile(expr))
+            for column, expr in stmt.assignments
+        ]
+        geom_positions = {
+            table.column_index(name) for name in table.geometry_columns()
+        }
+        # two-phase for statement atomicity: evaluate first, apply after
+        pending: List[Tuple[int, list]] = []
+        alias = table.name
+        for row_id, row in table.scan():
+            if predicate is not None and predicate({alias: row}, ctx) is not True:
+                continue
+            values = list(row)
+            for position, value_fn in assignments:
+                values[position] = value_fn({alias: row}, ctx)
+            pending.append((row_id, values))
+        for row_id, values in pending:
+            old_row = table.get_row(row_id)
+            table.update_row(row_id, values)
+            new_row = table.get_row(row_id)
+            for entry in self.catalog.indexes():
+                if entry.table_name != table.name:
+                    continue
+                position = table.column_index(entry.column_name)
+                if position not in geom_positions:
+                    continue
+                old_geom = old_row[position]
+                new_geom = new_row[position]
+                if old_geom is new_geom:
+                    continue
+                if isinstance(old_geom, Geometry):
+                    entry.index.remove(row_id, old_geom.envelope)
+                if isinstance(new_geom, Geometry):
+                    entry.index.insert(row_id, new_geom.envelope)
+        return ResultSet([], [], len(pending))
+
+    def _run_create_table(self, stmt: ast.CreateTable) -> ResultSet:
+        if stmt.if_not_exists and self.catalog.has_table(stmt.name):
+            return ResultSet([], [], 0)
+        columns = [
+            Column(c.name, ColumnType.parse(c.type_name)) for c in stmt.columns
+        ]
+        self.catalog.create_table(stmt.name, columns)
+        return ResultSet([], [], 0)
+
+    def _run_create_index(self, stmt: ast.CreateSpatialIndex) -> ResultSet:
+        table = self.catalog.table(stmt.table)
+        column = table.column(stmt.column)
+        if column.type is not ColumnType.GEOMETRY:
+            raise SqlPlanError(
+                f"CREATE SPATIAL INDEX requires a GEOMETRY column, "
+                f"{stmt.column!r} is {column.type.value}"
+            )
+        kind = stmt.using or self.profile.index_kind
+        index = self._build_index(table, column.name, kind)
+        self.catalog.register_index(
+            IndexEntry(stmt.name, table.name, column.name, index)
+        )
+        return ResultSet([], [], len(index))
+
+    def _build_index(
+        self, table: Table, column_name: str, kind: str
+    ) -> SpatialIndex:
+        idx = table.column_index(column_name)
+        items = [
+            (row_id, row[idx].envelope)
+            for row_id, row in table.scan()
+            if isinstance(row[idx], Geometry)
+        ]
+        from repro.index import INDEX_KINDS
+
+        cls = INDEX_KINDS.get(kind)
+        if cls is None:
+            raise SqlPlanError(f"unknown index kind {kind!r}")
+        options = dict(self.profile.index_options)
+        return cls.bulk_load(items, **options)

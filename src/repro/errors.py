@@ -1,0 +1,60 @@
+"""Exception hierarchy shared by every subsystem in the reproduction.
+
+The hierarchy mirrors how a real spatial DBMS separates faults: geometry
+construction/parsing problems, algorithmic failures on valid input, SQL
+front-end errors, and engine/driver errors (the latter two also feed the
+PEP 249 hierarchy in :mod:`repro.dbapi`).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class GeometryError(ReproError):
+    """Invalid geometry construction or an operation on unsuitable input."""
+
+
+class WktParseError(GeometryError):
+    """Malformed Well-Known Text."""
+
+    def __init__(self, message: str, position: int = -1):
+        if position >= 0:
+            message = f"{message} (at offset {position})"
+        super().__init__(message)
+        self.position = position
+
+
+class WkbParseError(GeometryError):
+    """Malformed Well-Known Binary."""
+
+
+class TopologyError(ReproError):
+    """A computational-geometry routine could not produce a valid result."""
+
+
+class SqlError(ReproError):
+    """Base class for SQL front-end problems."""
+
+
+class SqlSyntaxError(SqlError):
+    """The statement failed to lex or parse."""
+
+
+class SqlPlanError(SqlError):
+    """The statement parsed but cannot be planned (unknown table/column...)."""
+
+
+class UnsupportedFeatureError(SqlError):
+    """The engine profile does not implement the requested spatial feature.
+
+    Mirrors the feature-matrix differences Jackpine reports between DBMSes:
+    a benchmark query that uses an unsupported function fails with this
+    error and is recorded as "not supported" rather than timed.
+    """
+
+
+class EngineError(ReproError):
+    """Internal engine failure (catalog corruption, executor invariant...)."""

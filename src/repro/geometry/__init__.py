@@ -1,0 +1,40 @@
+"""Geometry model: OGC simple-feature types, envelopes, WKT/WKB.
+
+Quick tour::
+
+    from repro.geometry import Point, Polygon, wkt_loads
+
+    square = Polygon([(0, 0), (10, 0), (10, 10), (0, 10)])
+    assert square.contains(Point(5, 5))
+    assert wkt_loads(square.wkt()) == square
+"""
+
+from repro.geometry.base import Coord, Envelope, Geometry, GeometryType
+from repro.geometry.collection import EMPTY, GeometryCollection
+from repro.geometry.linestring import LineString, MultiLineString
+from repro.geometry.point import MultiPoint, Point
+from repro.geometry.polygon import MultiPolygon, Polygon, signed_ring_area
+from repro.geometry.wkb import dumps as wkb_dumps
+from repro.geometry.wkb import loads as wkb_loads
+from repro.geometry.wkt import dumps as wkt_dumps
+from repro.geometry.wkt import loads as wkt_loads
+
+__all__ = [
+    "Coord",
+    "Envelope",
+    "Geometry",
+    "GeometryType",
+    "GeometryCollection",
+    "EMPTY",
+    "LineString",
+    "MultiLineString",
+    "MultiPoint",
+    "MultiPolygon",
+    "Point",
+    "Polygon",
+    "signed_ring_area",
+    "wkb_dumps",
+    "wkb_loads",
+    "wkt_dumps",
+    "wkt_loads",
+]

@@ -1,0 +1,61 @@
+"""GeometryCollection: a heterogeneous bag of geometries.
+
+Overlay operations return collections when the result mixes dimensions
+(e.g. the intersection of two polygons that share both an edge and an
+area). An *empty* collection doubles as the canonical empty geometry
+(``GEOMETRYCOLLECTION EMPTY``), which is what ``ST_Intersection`` returns
+for disjoint inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence, Tuple
+
+from repro.geometry.base import Coord, Geometry, GeometryType
+
+
+class GeometryCollection(Geometry):
+    __slots__ = ("geoms",)
+
+    geom_type = GeometryType.GEOMETRYCOLLECTION
+
+    def __init__(self, geoms: Sequence[Geometry] = ()):
+        super().__init__()
+        flat = []
+        for g in geoms:
+            if isinstance(g, GeometryCollection):
+                flat.extend(g.geoms)
+            else:
+                flat.append(g)
+        self.geoms: Tuple[Geometry, ...] = tuple(flat)
+
+    @property
+    def dimension(self) -> int:
+        if not self.geoms:
+            return -1
+        return max(g.dimension for g in self.geoms)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.geoms
+
+    def coords_iter(self) -> Iterator[Coord]:
+        for g in self.geoms:
+            yield from g.coords_iter()
+
+    def __len__(self) -> int:
+        return len(self.geoms)
+
+    def __iter__(self) -> Iterator[Geometry]:
+        return iter(self.geoms)
+
+    def __getitem__(self, idx: int) -> Geometry:
+        return self.geoms[idx]
+
+    def _struct_key(self) -> tuple:
+        return tuple(
+            (type(g).__name__, g._struct_key()) for g in self.geoms
+        )
+
+
+EMPTY = GeometryCollection(())

@@ -1,0 +1,181 @@
+"""LineString and MultiLineString geometries."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, List, Sequence, Tuple
+
+from repro.errors import GeometryError
+from repro.geometry.base import Coord, Geometry, GeometryType, clean_coords
+from repro.geometry.point import Point
+
+
+class LineString(Geometry):
+    """An open or closed polyline with at least two distinct vertices.
+
+    The boundary of a non-closed linestring is its two endpoints; a closed
+    linestring (a ring) has an empty boundary — both cases matter for the
+    DE-9IM micro benchmark's Touches/Crosses queries.
+    """
+
+    __slots__ = ("coords",)
+
+    geom_type = GeometryType.LINESTRING
+
+    def __init__(self, coords: Sequence[Coord]):
+        super().__init__()
+        self.coords: Tuple[Coord, ...] = clean_coords(coords, "LineString")
+        if len(self.coords) < 2:
+            raise GeometryError("LineString requires at least two coordinates")
+        if all(c == self.coords[0] for c in self.coords[1:]):
+            raise GeometryError("LineString is degenerate: all points coincide")
+
+    @property
+    def dimension(self) -> int:
+        return 1
+
+    @property
+    def is_empty(self) -> bool:
+        return False
+
+    def coords_iter(self) -> Iterator[Coord]:
+        return iter(self.coords)
+
+    @property
+    def is_closed(self) -> bool:
+        return self.coords[0] == self.coords[-1]
+
+    @property
+    def is_ring(self) -> bool:
+        """Closed and non-self-intersecting (simple)."""
+        from repro.algorithms.validation import ring_is_simple
+
+        return self.is_closed and ring_is_simple(self.coords)
+
+    def segments(self) -> Iterator[Tuple[Coord, Coord]]:
+        for a, b in zip(self.coords, self.coords[1:]):
+            if a != b:  # skip repeated vertices
+                yield (a, b)
+
+    def boundary_points(self) -> Tuple[Point, ...]:
+        if self.is_closed:
+            return ()
+        return (Point(*self.coords[0]), Point(*self.coords[-1]))
+
+    @property
+    def start(self) -> Point:
+        return Point(*self.coords[0])
+
+    @property
+    def end(self) -> Point:
+        return Point(*self.coords[-1])
+
+    def interpolate(self, fraction: float) -> Point:
+        """The point at ``fraction`` (0..1) of the line's length.
+
+        Used by the geocoding macro scenario to turn an address-range match
+        into a street-address location.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise GeometryError(f"interpolate fraction {fraction} outside [0, 1]")
+        total = self.length()
+        if total == 0.0:
+            return Point(*self.coords[0])
+        target = fraction * total
+        walked = 0.0
+        for (ax, ay), (bx, by) in self.segments():
+            seg = math.hypot(bx - ax, by - ay)
+            if walked + seg >= target:
+                t = (target - walked) / seg if seg else 0.0
+                return Point(ax + t * (bx - ax), ay + t * (by - ay))
+            walked += seg
+        return Point(*self.coords[-1])
+
+    def project(self, point: Point) -> float:
+        """Fraction (0..1) along the line of the closest point to ``point``.
+
+        The reverse-geocoding macro scenario projects a query location onto
+        the nearest road and reads the address off this fraction.
+        """
+        best_d2 = math.inf
+        best_walked = 0.0
+        walked = 0.0
+        px, py = point.x, point.y
+        for (ax, ay), (bx, by) in self.segments():
+            dx, dy = bx - ax, by - ay
+            seg2 = dx * dx + dy * dy
+            t = 0.0 if seg2 == 0.0 else max(
+                0.0, min(1.0, ((px - ax) * dx + (py - ay) * dy) / seg2)
+            )
+            cx, cy = ax + t * dx, ay + t * dy
+            d2 = (px - cx) ** 2 + (py - cy) ** 2
+            seg = math.sqrt(seg2)
+            if d2 < best_d2:
+                best_d2 = d2
+                best_walked = walked + t * seg
+            walked += seg
+        return best_walked / walked if walked else 0.0
+
+    def reversed(self) -> "LineString":
+        return LineString(tuple(reversed(self.coords)))
+
+    def _struct_key(self) -> tuple:
+        return self.coords
+
+
+class MultiLineString(Geometry):
+    """A collection of linestrings (dimension 1)."""
+
+    __slots__ = ("lines",)
+
+    geom_type = GeometryType.MULTILINESTRING
+
+    def __init__(self, lines: Sequence):
+        super().__init__()
+        built: List[LineString] = []
+        for line in lines:
+            if isinstance(line, LineString):
+                built.append(line)
+            else:
+                built.append(LineString(line))
+        self.lines: Tuple[LineString, ...] = tuple(built)
+        if not self.lines:
+            raise GeometryError("MultiLineString requires at least one linestring")
+
+    @property
+    def dimension(self) -> int:
+        return 1
+
+    @property
+    def is_empty(self) -> bool:
+        return False
+
+    def coords_iter(self) -> Iterator[Coord]:
+        for line in self.lines:
+            yield from line.coords
+
+    def segments(self) -> Iterator[Tuple[Coord, Coord]]:
+        for line in self.lines:
+            yield from line.segments()
+
+    def boundary_points(self) -> Tuple[Point, ...]:
+        """Mod-2 rule: endpoints shared by an even number of members vanish."""
+        counts: dict = {}
+        for line in self.lines:
+            if line.is_closed:
+                continue
+            for coord in (line.coords[0], line.coords[-1]):
+                counts[coord] = counts.get(coord, 0) + 1
+        return tuple(Point(*c) for c, n in counts.items() if n % 2 == 1)
+
+    def __len__(self) -> int:
+        return len(self.lines)
+
+    def __iter__(self) -> Iterator[LineString]:
+        return iter(self.lines)
+
+    def __getitem__(self, idx: int) -> LineString:
+        return self.lines[idx]
+
+    def _struct_key(self) -> tuple:
+        return tuple(line.coords for line in self.lines)

@@ -1,0 +1,89 @@
+"""Point and MultiPoint geometries."""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence, Tuple
+
+from repro.errors import GeometryError
+from repro.geometry.base import Coord, Envelope, Geometry, GeometryType, clean_coords
+
+
+class Point(Geometry):
+    """A single 2-D location. Boundary is empty; dimension is 0."""
+
+    __slots__ = ("x", "y")
+
+    geom_type = GeometryType.POINT
+
+    def __init__(self, x: float, y: float):
+        super().__init__()
+        ((self.x, self.y),) = clean_coords([(x, y)], "Point")
+
+    @property
+    def dimension(self) -> int:
+        return 0
+
+    @property
+    def is_empty(self) -> bool:
+        return False
+
+    def coords_iter(self) -> Iterator[Coord]:
+        yield (self.x, self.y)
+
+    @property
+    def coord(self) -> Coord:
+        return (self.x, self.y)
+
+    @property
+    def envelope(self) -> Envelope:
+        if self._envelope is None:
+            self._envelope = Envelope(self.x, self.y, self.x, self.y)
+        return self._envelope
+
+    def _struct_key(self) -> tuple:
+        return (self.x, self.y)
+
+
+class MultiPoint(Geometry):
+    """A collection of points. Dimension 0, empty boundary."""
+
+    __slots__ = ("points",)
+
+    geom_type = GeometryType.MULTIPOINT
+
+    def __init__(self, points: Sequence):
+        super().__init__()
+        built = []
+        for p in points:
+            if isinstance(p, Point):
+                built.append(p)
+            else:
+                x, y = p
+                built.append(Point(x, y))
+        self.points: Tuple[Point, ...] = tuple(built)
+        if not self.points:
+            raise GeometryError("MultiPoint requires at least one point")
+
+    @property
+    def dimension(self) -> int:
+        return 0
+
+    @property
+    def is_empty(self) -> bool:
+        return False
+
+    def coords_iter(self) -> Iterator[Coord]:
+        for p in self.points:
+            yield p.coord
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __iter__(self) -> Iterator[Point]:
+        return iter(self.points)
+
+    def __getitem__(self, idx: int) -> Point:
+        return self.points[idx]
+
+    def _struct_key(self) -> tuple:
+        return tuple(p.coord for p in self.points)

@@ -1,0 +1,164 @@
+"""Polygon and MultiPolygon geometries.
+
+A polygon is an exterior ring (shell) plus zero or more interior rings
+(holes). Rings are stored closed (first coordinate == last) and oriented
+canonically: shell counter-clockwise, holes clockwise. Construction
+normalises orientation so that downstream algorithms (overlay, point
+location, area) can rely on it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import GeometryError
+from repro.geometry.base import Coord, Geometry, GeometryType, clean_coords
+from repro.geometry.linestring import LineString, MultiLineString
+
+
+def signed_ring_area(coords: Sequence[Coord]) -> float:
+    """Shoelace signed area of a closed ring (positive = counter-clockwise)."""
+    total = 0.0
+    for (ax, ay), (bx, by) in zip(coords, coords[1:]):
+        total += ax * by - bx * ay
+    return total / 2.0
+
+
+def _close_ring(coords: Sequence[Coord], what: str) -> Tuple[Coord, ...]:
+    ring = clean_coords(coords, what)
+    if len(ring) < 3:
+        raise GeometryError(f"{what}: a ring needs at least three coordinates")
+    if ring[0] != ring[-1]:
+        ring = ring + (ring[0],)
+    if len(ring) < 4:
+        raise GeometryError(f"{what}: a closed ring needs at least four coordinates")
+    if signed_ring_area(ring) == 0.0:
+        raise GeometryError(f"{what}: ring has zero area")
+    return ring
+
+
+class Polygon(Geometry):
+    """A simple polygon with optional holes (dimension 2)."""
+
+    __slots__ = ("shell", "holes")
+
+    geom_type = GeometryType.POLYGON
+
+    def __init__(
+        self,
+        shell: Sequence[Coord],
+        holes: Optional[Sequence[Sequence[Coord]]] = None,
+    ):
+        super().__init__()
+        ring = _close_ring(shell, "Polygon shell")
+        if signed_ring_area(ring) < 0.0:
+            ring = tuple(reversed(ring))
+        self.shell: Tuple[Coord, ...] = ring
+        fixed_holes: List[Tuple[Coord, ...]] = []
+        for i, hole in enumerate(holes or ()):
+            hring = _close_ring(hole, f"Polygon hole {i}")
+            if signed_ring_area(hring) > 0.0:
+                hring = tuple(reversed(hring))
+            fixed_holes.append(hring)
+        self.holes: Tuple[Tuple[Coord, ...], ...] = tuple(fixed_holes)
+
+    @property
+    def dimension(self) -> int:
+        return 2
+
+    @property
+    def is_empty(self) -> bool:
+        return False
+
+    def coords_iter(self) -> Iterator[Coord]:
+        yield from self.shell
+        for hole in self.holes:
+            yield from hole
+
+    def rings(self) -> Iterator[Tuple[Coord, ...]]:
+        """All rings: shell first, then holes."""
+        yield self.shell
+        yield from self.holes
+
+    def segments(self) -> Iterator[Tuple[Coord, Coord]]:
+        for ring in self.rings():
+            for a, b in zip(ring, ring[1:]):
+                if a != b:
+                    yield (a, b)
+
+    def boundary(self) -> Geometry:
+        rings = [LineString(r) for r in self.rings()]
+        if len(rings) == 1:
+            return rings[0]
+        return MultiLineString(rings)
+
+    def exterior(self) -> LineString:
+        return LineString(self.shell)
+
+    def _struct_key(self) -> tuple:
+        return (self.shell, self.holes)
+
+
+class MultiPolygon(Geometry):
+    """A collection of polygons (dimension 2)."""
+
+    __slots__ = ("polygons",)
+
+    geom_type = GeometryType.MULTIPOLYGON
+
+    def __init__(self, polygons: Sequence):
+        super().__init__()
+        built: List[Polygon] = []
+        for poly in polygons:
+            if isinstance(poly, Polygon):
+                built.append(poly)
+            elif isinstance(poly, (tuple, list)) and poly and isinstance(
+                poly[0], (tuple, list)
+            ) and poly[0] and isinstance(poly[0][0], (int, float)):
+                # a bare shell: [(x, y), ...]
+                built.append(Polygon(poly))
+            else:
+                # a (shell, holes...) sequence: [shell, hole1, hole2, ...]
+                shell, *holes = poly
+                built.append(Polygon(shell, holes))
+        self.polygons: Tuple[Polygon, ...] = tuple(built)
+        if not self.polygons:
+            raise GeometryError("MultiPolygon requires at least one polygon")
+
+    @property
+    def dimension(self) -> int:
+        return 2
+
+    @property
+    def is_empty(self) -> bool:
+        return False
+
+    def coords_iter(self) -> Iterator[Coord]:
+        for poly in self.polygons:
+            yield from poly.coords_iter()
+
+    def rings(self) -> Iterator[Tuple[Coord, ...]]:
+        for poly in self.polygons:
+            yield from poly.rings()
+
+    def segments(self) -> Iterator[Tuple[Coord, Coord]]:
+        for poly in self.polygons:
+            yield from poly.segments()
+
+    def boundary(self) -> Geometry:
+        rings = [LineString(r) for r in self.rings()]
+        if len(rings) == 1:
+            return rings[0]
+        return MultiLineString(rings)
+
+    def __len__(self) -> int:
+        return len(self.polygons)
+
+    def __iter__(self) -> Iterator[Polygon]:
+        return iter(self.polygons)
+
+    def __getitem__(self, idx: int) -> Polygon:
+        return self.polygons[idx]
+
+    def _struct_key(self) -> tuple:
+        return tuple(p._struct_key() for p in self.polygons)

@@ -1,0 +1,163 @@
+"""Well-Known Binary reader and writer.
+
+Implements the OGC WKB encoding (byte-order flag, uint32 type code,
+IEEE-754 doubles). Both little- and big-endian inputs are accepted; output
+is little-endian, matching what the popular databases emit by default.
+The benchmark's data-loading component ships geometries into the engines
+as WKB, so this path is on the hot loop of experiment J-T3/J-F4.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Tuple
+
+from repro.errors import WkbParseError
+from repro.geometry.base import Coord, Geometry, GeometryType
+from repro.geometry.collection import GeometryCollection
+from repro.geometry.linestring import LineString, MultiLineString
+from repro.geometry.point import MultiPoint, Point
+from repro.geometry.polygon import MultiPolygon, Polygon
+
+_LE, _BE = 1, 0
+
+
+class _Reader:
+    def __init__(self, data: bytes):
+        self.data = data
+        self.pos = 0
+
+    def byte(self) -> int:
+        if self.pos >= len(self.data):
+            raise WkbParseError("unexpected end of WKB")
+        value = self.data[self.pos]
+        self.pos += 1
+        return value
+
+    def uint32(self, order: str) -> int:
+        end = self.pos + 4
+        if end > len(self.data):
+            raise WkbParseError("unexpected end of WKB reading uint32")
+        (value,) = struct.unpack_from(order + "I", self.data, self.pos)
+        self.pos = end
+        return value
+
+    def coord(self, order: str) -> Coord:
+        end = self.pos + 16
+        if end > len(self.data):
+            raise WkbParseError("unexpected end of WKB reading coordinate")
+        x, y = struct.unpack_from(order + "dd", self.data, self.pos)
+        self.pos = end
+        return (x, y)
+
+    def coords(self, order: str) -> List[Coord]:
+        n = self.uint32(order)
+        if n > (len(self.data) - self.pos) // 16:
+            raise WkbParseError(f"coordinate count {n} exceeds buffer")
+        return [self.coord(order) for _ in range(n)]
+
+    def rings(self, order: str) -> List[List[Coord]]:
+        n = self.uint32(order)
+        return [self.coords(order) for _ in range(n)]
+
+
+def _read_geometry(r: _Reader) -> Geometry:
+    endian = r.byte()
+    if endian == _LE:
+        order = "<"
+    elif endian == _BE:
+        order = ">"
+    else:
+        raise WkbParseError(f"bad byte-order flag {endian}")
+    raw_type = r.uint32(order)
+    base_type = raw_type & 0xFF  # strip any SRID/dimension flag bits
+    try:
+        geom_type = GeometryType(base_type)
+    except ValueError:
+        raise WkbParseError(f"unknown WKB geometry type {raw_type}")
+
+    if geom_type is GeometryType.POINT:
+        return Point(*r.coord(order))
+    if geom_type is GeometryType.LINESTRING:
+        return LineString(r.coords(order))
+    if geom_type is GeometryType.POLYGON:
+        rings = r.rings(order)
+        if not rings:
+            raise WkbParseError("polygon with zero rings")
+        return Polygon(rings[0], rings[1:])
+
+    # Multi-types and collections embed full WKB geometries.
+    n = r.uint32(order)
+    members = [_read_geometry(r) for _ in range(n)]
+    if geom_type is GeometryType.MULTIPOINT:
+        if not all(isinstance(m, Point) for m in members):
+            raise WkbParseError("MULTIPOINT member is not a point")
+        return MultiPoint(members)
+    if geom_type is GeometryType.MULTILINESTRING:
+        if not all(isinstance(m, LineString) for m in members):
+            raise WkbParseError("MULTILINESTRING member is not a linestring")
+        return MultiLineString(members)
+    if geom_type is GeometryType.MULTIPOLYGON:
+        if not all(isinstance(m, Polygon) for m in members):
+            raise WkbParseError("MULTIPOLYGON member is not a polygon")
+        return MultiPolygon(members)
+    return GeometryCollection(members)
+
+
+def loads(data: bytes) -> Geometry:
+    """Parse WKB bytes into a geometry."""
+    r = _Reader(bytes(data))
+    geom = _read_geometry(r)
+    if r.pos != len(r.data):
+        raise WkbParseError(f"{len(r.data) - r.pos} trailing bytes after geometry")
+    return geom
+
+
+# ---------------------------------------------------------------------------
+# writer (always little-endian)
+# ---------------------------------------------------------------------------
+
+
+def _write_coords(out: List[bytes], coords: Tuple[Coord, ...]) -> None:
+    out.append(struct.pack("<I", len(coords)))
+    for x, y in coords:
+        out.append(struct.pack("<dd", x, y))
+
+
+def _write_geometry(out: List[bytes], geom: Geometry) -> None:
+    out.append(b"\x01")  # little-endian
+    out.append(struct.pack("<I", geom.geom_type.value))
+    if isinstance(geom, Point):
+        out.append(struct.pack("<dd", geom.x, geom.y))
+    elif isinstance(geom, LineString):
+        _write_coords(out, geom.coords)
+    elif isinstance(geom, Polygon):
+        rings = tuple(geom.rings())
+        out.append(struct.pack("<I", len(rings)))
+        for ring in rings:
+            _write_coords(out, ring)
+    elif isinstance(geom, MultiPoint):
+        out.append(struct.pack("<I", len(geom.points)))
+        for point in geom.points:
+            _write_geometry(out, point)
+    elif isinstance(geom, MultiLineString):
+        out.append(struct.pack("<I", len(geom.lines)))
+        for line in geom.lines:
+            _write_geometry(out, line)
+    elif isinstance(geom, MultiPolygon):
+        out.append(struct.pack("<I", len(geom.polygons)))
+        for poly in geom.polygons:
+            _write_geometry(out, poly)
+    elif isinstance(geom, GeometryCollection):
+        out.append(struct.pack("<I", len(geom.geoms)))
+        for member in geom.geoms:
+            _write_geometry(out, member)
+    else:
+        raise TypeError(f"cannot serialise {type(geom).__name__}")
+
+
+def dumps(geom: Geometry) -> bytes:
+    """Serialise a geometry to little-endian WKB bytes."""
+    out: List[bytes] = []
+    _write_geometry(out, geom)
+    return b"".join(out)

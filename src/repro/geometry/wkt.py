@@ -1,0 +1,225 @@
+"""Well-Known Text reader and writer.
+
+Supports the seven OGC simple-feature types plus ``EMPTY`` markers.
+The parser is a small hand-written tokenizer + recursive descent reader —
+no regex backtracking, positions carried through for useful error messages.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.errors import WktParseError
+from repro.geometry.base import Coord, Geometry
+from repro.geometry.collection import GeometryCollection
+from repro.geometry.linestring import LineString, MultiLineString
+from repro.geometry.point import MultiPoint, Point
+from repro.geometry.polygon import MultiPolygon, Polygon
+
+_WORD_CHARS = frozenset("ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz_")
+_NUM_CHARS = frozenset("0123456789+-.eE")
+
+
+class _Scanner:
+    """Tokenizer over a WKT string: words, numbers, parens, commas."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+
+    def _skip_ws(self) -> None:
+        while self.pos < len(self.text) and self.text[self.pos].isspace():
+            self.pos += 1
+
+    def peek(self) -> str:
+        self._skip_ws()
+        if self.pos >= len(self.text):
+            return ""
+        return self.text[self.pos]
+
+    def expect(self, char: str) -> None:
+        got = self.peek()
+        if got != char:
+            raise WktParseError(f"expected {char!r}, found {got!r}", self.pos)
+        self.pos += 1
+
+    def try_consume(self, char: str) -> bool:
+        if self.peek() == char:
+            self.pos += 1
+            return True
+        return False
+
+    def word(self) -> str:
+        self._skip_ws()
+        start = self.pos
+        while self.pos < len(self.text) and self.text[self.pos] in _WORD_CHARS:
+            self.pos += 1
+        if self.pos == start:
+            raise WktParseError("expected a keyword", start)
+        return self.text[start : self.pos].upper()
+
+    def try_word(self) -> str:
+        self._skip_ws()
+        if self.pos < len(self.text) and self.text[self.pos] in _WORD_CHARS:
+            return self.word()
+        return ""
+
+    def number(self) -> float:
+        self._skip_ws()
+        start = self.pos
+        while self.pos < len(self.text) and self.text[self.pos] in _NUM_CHARS:
+            self.pos += 1
+        if self.pos == start:
+            raise WktParseError("expected a number", start)
+        try:
+            return float(self.text[start : self.pos])
+        except ValueError:
+            raise WktParseError(
+                f"bad number {self.text[start:self.pos]!r}", start
+            )
+
+    def at_end(self) -> bool:
+        self._skip_ws()
+        return self.pos >= len(self.text)
+
+
+def _read_coord(sc: _Scanner) -> Coord:
+    x = sc.number()
+    y = sc.number()
+    # tolerate (and drop) Z / M ordinates
+    while sc.peek() not in (",", ")", ""):
+        sc.number()
+    return (x, y)
+
+
+def _read_coord_list(sc: _Scanner) -> List[Coord]:
+    sc.expect("(")
+    coords = [_read_coord(sc)]
+    while sc.try_consume(","):
+        coords.append(_read_coord(sc))
+    sc.expect(")")
+    return coords
+
+
+def _read_ring_list(sc: _Scanner) -> List[List[Coord]]:
+    sc.expect("(")
+    rings = [_read_coord_list(sc)]
+    while sc.try_consume(","):
+        rings.append(_read_coord_list(sc))
+    sc.expect(")")
+    return rings
+
+
+def _read_geometry(sc: _Scanner) -> Geometry:
+    tag = sc.word()
+    # Tolerate dimensionality suffixes written as separate words: "POINT Z".
+    if tag in ("POINT", "LINESTRING", "POLYGON", "MULTIPOINT", "MULTILINESTRING",
+               "MULTIPOLYGON", "GEOMETRYCOLLECTION"):
+        nxt = sc.try_word()
+        if nxt == "EMPTY":
+            if tag == "GEOMETRYCOLLECTION":
+                return GeometryCollection(())
+            raise WktParseError(f"{tag} EMPTY is not representable", sc.pos)
+        if nxt not in ("", "Z", "M", "ZM"):
+            raise WktParseError(f"unexpected keyword {nxt!r}", sc.pos)
+    else:
+        raise WktParseError(f"unknown geometry type {tag!r}", sc.pos)
+
+    if tag == "POINT":
+        sc.expect("(")
+        coord = _read_coord(sc)
+        sc.expect(")")
+        return Point(*coord)
+    if tag == "LINESTRING":
+        return LineString(_read_coord_list(sc))
+    if tag == "POLYGON":
+        rings = _read_ring_list(sc)
+        return Polygon(rings[0], rings[1:])
+    if tag == "MULTIPOINT":
+        sc.expect("(")
+        coords: List[Coord] = []
+        while True:
+            if sc.try_consume("("):
+                coords.append(_read_coord(sc))
+                sc.expect(")")
+            else:
+                coords.append(_read_coord(sc))
+            if not sc.try_consume(","):
+                break
+        sc.expect(")")
+        return MultiPoint(coords)
+    if tag == "MULTILINESTRING":
+        return MultiLineString(_read_ring_list(sc))
+    if tag == "MULTIPOLYGON":
+        sc.expect("(")
+        polys = [_read_ring_list(sc)]
+        while sc.try_consume(","):
+            polys.append(_read_ring_list(sc))
+        sc.expect(")")
+        return MultiPolygon([Polygon(rings[0], rings[1:]) for rings in polys])
+    # GEOMETRYCOLLECTION
+    sc.expect("(")
+    geoms = [_read_geometry(sc)]
+    while sc.try_consume(","):
+        geoms.append(_read_geometry(sc))
+    sc.expect(")")
+    return GeometryCollection(geoms)
+
+
+def loads(text: str) -> Geometry:
+    """Parse a WKT string into a geometry."""
+    sc = _Scanner(text)
+    geom = _read_geometry(sc)
+    if not sc.at_end():
+        raise WktParseError("trailing characters after geometry", sc.pos)
+    return geom
+
+
+# ---------------------------------------------------------------------------
+# writer
+# ---------------------------------------------------------------------------
+
+
+def _fmt(value: float, precision: int) -> str:
+    if precision >= 17:
+        # shortest representation that round-trips the double exactly
+        text = repr(value)
+        return "0" if text == "-0.0" else text
+    text = f"{value:.{precision}f}".rstrip("0").rstrip(".")
+    return text if text not in ("-0", "") else "0"
+
+
+def _coords_text(coords, precision: int) -> str:
+    return ", ".join(f"{_fmt(x, precision)} {_fmt(y, precision)}" for x, y in coords)
+
+
+def dumps(geom: Geometry, precision: int = 12) -> str:
+    """Serialise a geometry to WKT."""
+    p = precision
+    if isinstance(geom, Point):
+        return f"POINT ({_fmt(geom.x, p)} {_fmt(geom.y, p)})"
+    if isinstance(geom, LineString):
+        return f"LINESTRING ({_coords_text(geom.coords, p)})"
+    if isinstance(geom, Polygon):
+        rings = ", ".join(f"({_coords_text(r, p)})" for r in geom.rings())
+        return f"POLYGON ({rings})"
+    if isinstance(geom, MultiPoint):
+        inner = ", ".join(
+            f"({_fmt(pt.x, p)} {_fmt(pt.y, p)})" for pt in geom.points
+        )
+        return f"MULTIPOINT ({inner})"
+    if isinstance(geom, MultiLineString):
+        inner = ", ".join(f"({_coords_text(line.coords, p)})" for line in geom.lines)
+        return f"MULTILINESTRING ({inner})"
+    if isinstance(geom, MultiPolygon):
+        inner = ", ".join(
+            "(" + ", ".join(f"({_coords_text(r, p)})" for r in poly.rings()) + ")"
+            for poly in geom.polygons
+        )
+        return f"MULTIPOLYGON ({inner})"
+    if isinstance(geom, GeometryCollection):
+        if geom.is_empty:
+            return "GEOMETRYCOLLECTION EMPTY"
+        inner = ", ".join(dumps(g, precision) for g in geom.geoms)
+        return f"GEOMETRYCOLLECTION ({inner})"
+    raise TypeError(f"cannot serialise {type(geom).__name__}")

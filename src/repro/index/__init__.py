@@ -1,0 +1,43 @@
+"""Spatial index implementations: R-tree, uniform grid, PR quadtree, scan.
+
+All indexes speak the :class:`repro.index.base.SpatialIndex` interface so
+that engine profiles (and the J-A2 ablation benchmark) can swap them
+freely.
+"""
+
+from typing import Dict, Type
+
+from repro.index.base import SpatialIndex
+from repro.index.grid import GridIndex
+from repro.index.noindex import LinearScanIndex
+from repro.index.quadtree import QuadTree
+from repro.index.rtree import RTree
+
+INDEX_KINDS: Dict[str, Type[SpatialIndex]] = {
+    RTree.kind: RTree,
+    GridIndex.kind: GridIndex,
+    QuadTree.kind: QuadTree,
+    LinearScanIndex.kind: LinearScanIndex,
+}
+
+
+def make_index(kind: str, **kwargs) -> SpatialIndex:
+    """Instantiate an index by kind name (``rtree``/``grid``/``quadtree``/``scan``)."""
+    try:
+        cls = INDEX_KINDS[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown index kind {kind!r}; expected one of {sorted(INDEX_KINDS)}"
+        )
+    return cls(**kwargs)
+
+
+__all__ = [
+    "SpatialIndex",
+    "RTree",
+    "GridIndex",
+    "QuadTree",
+    "LinearScanIndex",
+    "INDEX_KINDS",
+    "make_index",
+]

@@ -1,0 +1,66 @@
+"""Common interface for spatial indexes.
+
+Every index maps integer item ids to envelopes and answers three queries:
+envelope search (the filter step of every spatial predicate), point
+queries, and nearest-neighbour. Engines pick their index class through the
+profile system (R-tree for ``greenwood``/``bluestem``, quadtree for
+``ironbark``), and experiment J-A2 races the implementations directly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+from repro.geometry.base import Envelope
+
+
+class SpatialIndex:
+    """Abstract spatial index over ``(item_id, envelope)`` pairs."""
+
+    #: human-readable name used in benchmark reports
+    kind: str = "abstract"
+
+    def insert(self, item_id: int, envelope: Envelope) -> None:
+        raise NotImplementedError
+
+    def remove(self, item_id: int, envelope: Envelope) -> bool:
+        """Remove one entry; returns False when it was not present."""
+        raise NotImplementedError
+
+    def search(self, envelope: Envelope) -> List[int]:
+        """Ids of all items whose envelope intersects the query envelope."""
+        raise NotImplementedError
+
+    def search_point(self, x: float, y: float) -> List[int]:
+        return self.search(Envelope(x, y, x, y))
+
+    def nearest(self, x: float, y: float, k: int = 1) -> List[int]:
+        """Ids of the k items with smallest envelope distance to (x, y)."""
+        raise NotImplementedError
+
+    def nearest_iter(self, x: float, y: float) -> Iterator[Tuple[int, float]]:
+        """Stream ``(item_id, envelope_distance)`` in nondecreasing
+        envelope-distance order.
+
+        The envelope distance is a lower bound on the true geometry
+        distance, which makes this iterator the engine's substrate for
+        exact KNN (best-first search with exact re-ranking). The default
+        materialises and sorts everything; tree indexes override with
+        incremental heap traversal.
+        """
+        ranked = self.nearest(x, y, k=len(self))
+        for item_id in ranked:
+            yield item_id, 0.0  # distance unknown in the fallback
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    @classmethod
+    def bulk_load(
+        cls, items: Iterable[Tuple[int, Envelope]], **kwargs
+    ) -> "SpatialIndex":
+        """Default bulk load: repeated insertion (subclasses override)."""
+        index = cls(**kwargs)
+        for item_id, envelope in items:
+            index.insert(item_id, envelope)
+        return index

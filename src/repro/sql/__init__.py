@@ -1,0 +1,7 @@
+"""SQL front-end: lexer, parser, planner, executor, function registry."""
+
+from repro.sql.functions import FunctionRegistry, SPATIAL_PREDICATES
+from repro.sql.parser import parse
+from repro.sql.planner import Planner
+
+__all__ = ["FunctionRegistry", "Planner", "SPATIAL_PREDICATES", "parse"]

@@ -1,0 +1,928 @@
+"""Execution machinery: compiled expressions and iterator plan operators.
+
+Expressions compile to Python closures over ``(row, ctx)`` where ``row``
+maps table aliases to stored tuples and ``ctx`` carries parameters, the
+engine profile, the function registry and runtime statistics. Plans are
+trees of operators, each exposing ``rows(ctx)`` as a restartable
+generator — the executor is a plain Volcano-style iterator model.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import SqlPlanError
+from repro.geometry.base import Envelope, Geometry
+from repro.sql import ast
+from repro.sql.functions import (
+    AGGREGATES,
+    DUAL_ROLE_AGGREGATES,
+    SPATIAL_PREDICATES,
+    FunctionRegistry,
+)
+from repro.storage.catalog import Catalog, IndexEntry
+from repro.storage.table import Table
+
+Row = Dict[str, tuple]
+Evaluator = Callable[[Row, "ExecContext"], Any]
+
+#: expensive pure geometry functions memoised per statement execution
+_CACHEABLE_FUNCTIONS = frozenset(
+    {
+        "st_buffer",
+        "st_convexhull",
+        "st_simplify",
+        "st_union",
+        "st_intersection",
+        "st_difference",
+        "st_symdifference",
+        "st_centroid",
+        "st_pointonsurface",
+        "st_boundary",
+    }
+)
+
+
+class Stats:
+    """Runtime counters, exposed on the connection for the benchmark."""
+
+    __slots__ = ("rows_scanned", "index_probes", "index_candidates", "pages_read")
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self.rows_scanned = 0
+        self.index_probes = 0
+        self.index_candidates = 0
+        self.pages_read = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        return {
+            "rows_scanned": self.rows_scanned,
+            "index_probes": self.index_probes,
+            "index_candidates": self.index_candidates,
+            "pages_read": self.pages_read,
+        }
+
+
+class ExecContext:
+    """Everything an operator needs at run time."""
+
+    __slots__ = ("params", "profile", "registry", "catalog", "stats", "cache")
+
+    def __init__(self, params, profile, registry: FunctionRegistry,
+                 catalog: Catalog, stats: Stats):
+        self.params = params
+        self.profile = profile
+        self.registry = registry
+        self.catalog = catalog
+        self.stats = stats
+        # per-statement memo for expensive pure geometry functions, keyed
+        # by (function, argument identities) — geometries are immutable
+        self.cache: Dict[tuple, Any] = {}
+
+
+class Scope:
+    """Alias → table map used during compilation for name resolution."""
+
+    def __init__(self) -> None:
+        self._aliases: Dict[str, Table] = {}
+        self.order: List[str] = []
+
+    def add(self, alias: str, table: Table) -> None:
+        key = alias.lower()
+        if key in self._aliases:
+            raise SqlPlanError(f"duplicate table alias {alias!r}")
+        self._aliases[key] = table
+        self.order.append(key)
+
+    def resolve(self, ref: ast.ColumnRef) -> Tuple[str, int]:
+        if ref.table is not None:
+            alias = ref.table.lower()
+            if alias not in self._aliases:
+                raise SqlPlanError(f"unknown table alias {ref.table!r}")
+            return alias, self._aliases[alias].column_index(ref.name)
+        hits = [
+            (alias, table.column_index(ref.name))
+            for alias, table in self._aliases.items()
+            if table.has_column(ref.name)
+        ]
+        if not hits:
+            raise SqlPlanError(f"unknown column {ref.name!r}")
+        if len(hits) > 1:
+            raise SqlPlanError(f"ambiguous column {ref.name!r}")
+        return hits[0]
+
+    def table(self, alias: str) -> Table:
+        return self._aliases[alias.lower()]
+
+    def aliases(self) -> List[str]:
+        return list(self.order)
+
+
+# ---------------------------------------------------------------------------
+# expression compilation
+# ---------------------------------------------------------------------------
+
+
+def _like_matcher(pattern: str) -> Callable[[str], bool]:
+    regex = re.escape(pattern).replace("%", ".*").replace("_", ".")
+    compiled = re.compile(f"^{regex}$", re.IGNORECASE | re.DOTALL)
+    return lambda text: compiled.match(text) is not None
+
+
+def referenced_aliases(expr: ast.Expr, scope: Scope) -> set:
+    """All table aliases an expression touches (for placement decisions)."""
+    found: set = set()
+
+    def walk(node: ast.Expr) -> None:
+        if isinstance(node, ast.ColumnRef):
+            alias, _idx = scope.resolve(node)
+            found.add(alias)
+        elif isinstance(node, ast.FuncCall):
+            for arg in node.args:
+                walk(arg)
+        elif isinstance(node, ast.BinaryOp):
+            walk(node.left)
+            walk(node.right)
+        elif isinstance(node, ast.UnaryOp):
+            walk(node.operand)
+        elif isinstance(node, ast.Between):
+            walk(node.value)
+            walk(node.low)
+            walk(node.high)
+        elif isinstance(node, ast.InList):
+            walk(node.value)
+            for option in node.options:
+                walk(option)
+        elif isinstance(node, ast.IsNull):
+            walk(node.value)
+        elif isinstance(node, ast.Star):
+            raise SqlPlanError("'*' is only valid in the select list or COUNT(*)")
+
+    walk(expr)
+    return found
+
+
+def contains_aggregate(expr: ast.Expr) -> bool:
+    if isinstance(expr, ast.FuncCall):
+        if is_aggregate_call(expr):
+            return True
+        return any(contains_aggregate(a) for a in expr.args)
+    if isinstance(expr, ast.BinaryOp):
+        return contains_aggregate(expr.left) or contains_aggregate(expr.right)
+    if isinstance(expr, ast.UnaryOp):
+        return contains_aggregate(expr.operand)
+    if isinstance(expr, ast.Between):
+        return any(
+            contains_aggregate(e) for e in (expr.value, expr.low, expr.high)
+        )
+    if isinstance(expr, ast.InList):
+        return contains_aggregate(expr.value) or any(
+            contains_aggregate(o) for o in expr.options
+        )
+    if isinstance(expr, ast.IsNull):
+        return contains_aggregate(expr.value)
+    return False
+
+
+def is_aggregate_call(expr: ast.FuncCall) -> bool:
+    name = expr.name
+    if name not in AGGREGATES:
+        return False
+    if name in DUAL_ROLE_AGGREGATES:
+        return len(expr.args) == 1
+    return True
+
+
+class Compiler:
+    """Compiles AST expressions into closures."""
+
+    def __init__(self, scope: Scope, registry: FunctionRegistry, profile,
+                 agg_slots: Optional[Dict[int, int]] = None):
+        self.scope = scope
+        self.registry = registry
+        self.profile = profile
+        # id(FuncCall-node) -> slot index in the aggregate row suffix
+        self.agg_slots = agg_slots
+
+    def compile(self, expr: ast.Expr) -> Evaluator:
+        if isinstance(expr, ast.Literal):
+            value = expr.value
+            return lambda row, ctx: value
+        if isinstance(expr, ast.Param):
+            index = expr.index
+            return lambda row, ctx: ctx.params[index]
+        if isinstance(expr, ast.ColumnRef):
+            alias, idx = self.scope.resolve(expr)
+            return lambda row, ctx: row[alias][idx]
+        if isinstance(expr, ast.FuncCall):
+            return self._compile_func(expr)
+        if isinstance(expr, ast.BinaryOp):
+            return self._compile_binary(expr)
+        if isinstance(expr, ast.UnaryOp):
+            operand = self.compile(expr.operand)
+            if expr.op == "-":
+                return lambda row, ctx: (
+                    None if (v := operand(row, ctx)) is None else -v
+                )
+            if expr.op == "not":
+                return lambda row, ctx: (
+                    None if (v := operand(row, ctx)) is None else not v
+                )
+            raise SqlPlanError(f"unknown unary operator {expr.op!r}")
+        if isinstance(expr, ast.Between):
+            value = self.compile(expr.value)
+            low = self.compile(expr.low)
+            high = self.compile(expr.high)
+            negated = expr.negated
+
+            def between(row: Row, ctx: ExecContext) -> Optional[bool]:
+                v = value(row, ctx)
+                lo = low(row, ctx)
+                hi = high(row, ctx)
+                if v is None or lo is None or hi is None:
+                    return None
+                result = lo <= v <= hi
+                return not result if negated else result
+
+            return between
+        if isinstance(expr, ast.InList):
+            value = self.compile(expr.value)
+            options = [self.compile(o) for o in expr.options]
+            negated = expr.negated
+
+            def in_list(row: Row, ctx: ExecContext) -> Optional[bool]:
+                v = value(row, ctx)
+                if v is None:
+                    return None
+                result = any(v == o(row, ctx) for o in options)
+                return not result if negated else result
+
+            return in_list
+        if isinstance(expr, ast.IsNull):
+            value = self.compile(expr.value)
+            negated = expr.negated
+            return lambda row, ctx: (value(row, ctx) is None) != negated
+        if isinstance(expr, ast.Star):
+            raise SqlPlanError("'*' is only valid in the select list or COUNT(*)")
+        raise SqlPlanError(f"cannot compile {type(expr).__name__}")
+
+    def _compile_func(self, expr: ast.FuncCall) -> Evaluator:
+        if self.agg_slots is not None and id(expr) in self.agg_slots:
+            slot = self.agg_slots[id(expr)]
+            return lambda row, ctx: row["__agg__"][slot]
+        if is_aggregate_call(expr):
+            raise SqlPlanError(
+                f"aggregate {expr.name}() not allowed in this clause"
+            )
+        name = expr.name
+        if name in SPATIAL_PREDICATES:
+            self.profile.check_supported(name)
+            if len(expr.args) != 2:
+                raise SqlPlanError(f"{name} takes exactly two arguments")
+            arg_a = self.compile(expr.args[0])
+            arg_b = self.compile(expr.args[1])
+
+            def predicate(row: Row, ctx: ExecContext) -> Optional[bool]:
+                ga = arg_a(row, ctx)
+                gb = arg_b(row, ctx)
+                if ga is None or gb is None:
+                    return None
+                if not isinstance(ga, Geometry) or not isinstance(gb, Geometry):
+                    raise SqlPlanError(f"{name} expects geometry arguments")
+                return ctx.profile.evaluate_predicate(name, ga, gb)
+
+            return predicate
+        if name.startswith("st_"):
+            self.profile.check_supported(name)
+        impl = self.registry.lookup(name)
+        arg_fns = [self.compile(a) for a in expr.args]
+
+        if name in _CACHEABLE_FUNCTIONS:
+            def cached_call(row: Row, ctx: ExecContext) -> Any:
+                args = [fn(row, ctx) for fn in arg_fns]
+                key = (name,) + tuple(
+                    id(a) if isinstance(a, Geometry) else a for a in args
+                )
+                try:
+                    return ctx.cache[key]
+                except KeyError:
+                    value = impl(*args)
+                    ctx.cache[key] = value
+                    return value
+
+            return cached_call
+
+        def call(row: Row, ctx: ExecContext) -> Any:
+            return impl(*[fn(row, ctx) for fn in arg_fns])
+
+        return call
+
+    def _compile_binary(self, expr: ast.BinaryOp) -> Evaluator:
+        op = expr.op
+        left = self.compile(expr.left)
+        right = self.compile(expr.right)
+        if op == "and":
+            return lambda row, ctx: _and3(left(row, ctx), right(row, ctx))
+        if op == "or":
+            return lambda row, ctx: _or3(left(row, ctx), right(row, ctx))
+        if op == "like":
+            def like(row: Row, ctx: ExecContext) -> Optional[bool]:
+                text = left(row, ctx)
+                pattern = right(row, ctx)
+                if text is None or pattern is None:
+                    return None
+                return _like_matcher(str(pattern))(str(text))
+
+            return like
+        if op == "&&":
+            def env_overlap(row: Row, ctx: ExecContext) -> Optional[bool]:
+                a = left(row, ctx)
+                b = right(row, ctx)
+                if a is None or b is None:
+                    return None
+                return _as_envelope(a).intersects(_as_envelope(b))
+
+            return env_overlap
+        if op == "<->":
+            def knn_distance(row: Row, ctx: ExecContext) -> Optional[float]:
+                a = left(row, ctx)
+                b = right(row, ctx)
+                if a is None or b is None:
+                    return None
+                if not isinstance(a, Geometry) or not isinstance(b, Geometry):
+                    raise SqlPlanError("'<->' expects geometry operands")
+                from repro.algorithms.distance import distance
+
+                return distance(a, b)
+
+            return knn_distance
+        if op == "||":
+            return lambda row, ctx: _concat(left(row, ctx), right(row, ctx))
+
+        simple = {
+            "=": lambda a, b: a == b,
+            "<>": lambda a, b: a != b,
+            "<": lambda a, b: a < b,
+            "<=": lambda a, b: a <= b,
+            ">": lambda a, b: a > b,
+            ">=": lambda a, b: a >= b,
+            "+": lambda a, b: a + b,
+            "-": lambda a, b: a - b,
+            "*": lambda a, b: a * b,
+            "/": lambda a, b: a / b,
+            "%": lambda a, b: a % b,
+        }
+        if op not in simple:
+            raise SqlPlanError(f"unknown operator {op!r}")
+        fn = simple[op]
+
+        def binary(row: Row, ctx: ExecContext) -> Any:
+            a = left(row, ctx)
+            b = right(row, ctx)
+            if a is None or b is None:
+                return None
+            return fn(a, b)
+
+        return binary
+
+
+def _and3(a: Any, b: Any) -> Optional[bool]:
+    if a is False or b is False:
+        return False
+    if a is None or b is None:
+        return None
+    return bool(a) and bool(b)
+
+
+def _or3(a: Any, b: Any) -> Optional[bool]:
+    if a is True or b is True:
+        return True
+    if a is None or b is None:
+        return None
+    return bool(a) or bool(b)
+
+
+def _concat(a: Any, b: Any) -> Optional[str]:
+    if a is None or b is None:
+        return None
+    return str(a) + str(b)
+
+
+def _as_envelope(value: Any) -> Envelope:
+    if isinstance(value, Geometry):
+        return value.envelope
+    if isinstance(value, Envelope):
+        return value
+    raise SqlPlanError(f"expected a geometry for '&&', got {value!r}")
+
+
+# ---------------------------------------------------------------------------
+# plan operators
+# ---------------------------------------------------------------------------
+
+
+class PlanNode:
+    def rows(self, ctx: ExecContext) -> Iterator[Row]:
+        raise NotImplementedError
+
+    def explain(self, depth: int = 0) -> List[str]:
+        lines = ["  " * depth + self.describe()]
+        for child in self.children():
+            lines.extend(child.explain(depth + 1))
+        return lines
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+    def children(self) -> Sequence["PlanNode"]:
+        return ()
+
+
+class Instrumented(PlanNode):
+    """Wraps a node to record emitted-row counts and cumulative time —
+    the machinery behind ``EXPLAIN ANALYZE``-style output."""
+
+    __slots__ = ("inner", "emitted", "seconds", "_children")
+
+    def __init__(self, inner: PlanNode):
+        self.inner = inner
+        self.emitted = 0
+        self.seconds = 0.0
+        self._children = [Instrumented(c) for c in inner.children()]
+        _graft_children(self.inner, self._children)
+
+    def rows(self, ctx: ExecContext) -> Iterator[Row]:
+        import time as _time
+
+        start = _time.perf_counter()
+        for row in self.inner.rows(ctx):
+            self.seconds += _time.perf_counter() - start
+            self.emitted += 1
+            yield row
+            start = _time.perf_counter()
+        self.seconds += _time.perf_counter() - start
+
+    def describe(self) -> str:
+        return (
+            f"{self.inner.describe()}  "
+            f"(rows={self.emitted}, time={self.seconds * 1e3:.2f}ms)"
+        )
+
+    def children(self) -> Sequence[PlanNode]:
+        return self._children
+
+
+def _graft_children(node: PlanNode, wrapped: List["Instrumented"]) -> None:
+    """Point a node's child references at the instrumented wrappers."""
+    originals = list(node.children())
+    for attr in ("child", "outer", "inner"):
+        if hasattr(node, attr):
+            current = getattr(node, attr)
+            for original, wrapper in zip(originals, wrapped):
+                if current is original:
+                    setattr(node, attr, wrapper)
+
+
+class OneRow(PlanNode):
+    """Source for SELECT without FROM."""
+
+    def rows(self, ctx: ExecContext) -> Iterator[Row]:
+        yield {}
+
+    def describe(self) -> str:
+        return "Result (no table)"
+
+
+class SeqScan(PlanNode):
+    def __init__(self, table: Table, alias: str):
+        self.table = table
+        self.alias = alias
+
+    def rows(self, ctx: ExecContext) -> Iterator[Row]:
+        ctx.stats.pages_read += self.table.page_count
+        alias = self.alias
+        for _row_id, row in self.table.scan():
+            ctx.stats.rows_scanned += 1
+            yield {alias: row}
+
+    def describe(self) -> str:
+        return f"SeqScan {self.table.name} AS {self.alias}"
+
+
+class IndexScan(PlanNode):
+    """Envelope probe of a spatial index, yielding candidate rows.
+
+    The probe envelope comes from a compiled expression evaluated once per
+    execution (it may reference parameters but no tables).
+    """
+
+    def __init__(
+        self,
+        table: Table,
+        alias: str,
+        entry: IndexEntry,
+        probe: Callable[[ExecContext], Optional[Envelope]],
+        label: str = "",
+    ):
+        self.table = table
+        self.alias = alias
+        self.entry = entry
+        self.probe = probe
+        self.label = label
+
+    def rows(self, ctx: ExecContext) -> Iterator[Row]:
+        envelope = self.probe(ctx)
+        if envelope is None:
+            return
+        ctx.stats.index_probes += 1
+        row_ids = self.entry.index.search(envelope)
+        ctx.stats.index_candidates += len(row_ids)
+        pages = {self.table.page_of(rid) for rid in row_ids}
+        ctx.stats.pages_read += len(pages)
+        alias = self.alias
+        for row_id in row_ids:
+            ctx.stats.rows_scanned += 1
+            yield {alias: self.table.get_row(row_id)}
+
+    def describe(self) -> str:
+        return (
+            f"IndexScan {self.table.name} AS {self.alias} "
+            f"USING {self.entry.name} ({self.entry.index.kind}) {self.label}"
+        )
+
+
+class KNNScan(PlanNode):
+    """Exact k-nearest-neighbour scan (Hjaltason-Samet best-first).
+
+    Streams index entries in envelope-distance order (a lower bound on the
+    exact geometry distance) and holds back each candidate until no
+    unseen entry could beat it — yielding rows in *exact* distance order
+    without ranking the whole table. Serves ``ORDER BY geom <-> <point>
+    LIMIT k`` over an indexed column.
+    """
+
+    def __init__(
+        self,
+        table,
+        alias: str,
+        entry,
+        geom_index: int,
+        probe: Callable[[ExecContext], Any],
+        k_fn: Callable[[ExecContext], int],
+    ):
+        self.table = table
+        self.alias = alias
+        self.entry = entry
+        self.geom_index = geom_index
+        self.probe = probe
+        self.k_fn = k_fn
+
+    def rows(self, ctx: ExecContext) -> Iterator[Row]:
+        import heapq
+
+        from repro.algorithms.distance import distance as exact_distance
+        from repro.geometry.point import Point
+
+        probe_geom = self.probe(ctx)
+        if probe_geom is None:
+            return
+        if not isinstance(probe_geom, Geometry):
+            raise SqlPlanError("KNN probe must be a geometry")
+        k = self.k_fn(ctx)
+        if k <= 0:
+            return
+        if not isinstance(probe_geom, Point):
+            # envelope-to-point bounds only hold for point probes; fall
+            # back to an exact full ranking for other probe geometries
+            ranked = sorted(
+                (
+                    (exact_distance(row[self.geom_index], probe_geom), row_id)
+                    for row_id, row in self.table.scan()
+                    if isinstance(row[self.geom_index], Geometry)
+                ),
+            )
+            for _d, row_id in ranked[:k]:
+                ctx.stats.rows_scanned += 1
+                yield {self.alias: self.table.get_row(row_id)}
+            return
+        cx, cy = probe_geom.x, probe_geom.y
+        ctx.stats.index_probes += 1
+        emitted = 0
+        pending: List[tuple] = []  # (exact_dist, seq, row_id)
+        seq = 0
+        for row_id, lower_bound in self.entry.index.nearest_iter(cx, cy):
+            while pending and pending[0][0] <= lower_bound:
+                _d, _s, ready_id = heapq.heappop(pending)
+                yield {self.alias: self.table.get_row(ready_id)}
+                emitted += 1
+                if emitted >= k:
+                    return
+            ctx.stats.rows_scanned += 1
+            row = self.table.get_row(row_id)
+            geom = row[self.geom_index]
+            if not isinstance(geom, Geometry):
+                continue
+            d = exact_distance(geom, probe_geom)
+            seq += 1
+            heapq.heappush(pending, (d, seq, row_id))
+        while pending and emitted < k:
+            _d, _s, ready_id = heapq.heappop(pending)
+            yield {self.alias: self.table.get_row(ready_id)}
+            emitted += 1
+
+    def describe(self) -> str:
+        return (
+            f"KNNScan {self.table.name} AS {self.alias} "
+            f"USING {self.entry.name} ({self.entry.index.kind})"
+        )
+
+
+class Filter(PlanNode):
+    def __init__(self, child: PlanNode, predicate: Evaluator, label: str = ""):
+        self.child = child
+        self.predicate = predicate
+        self.label = label
+
+    def rows(self, ctx: ExecContext) -> Iterator[Row]:
+        predicate = self.predicate
+        for row in self.child.rows(ctx):
+            if predicate(row, ctx) is True:
+                yield row
+
+    def describe(self) -> str:
+        return f"Filter {self.label}".rstrip()
+
+    def children(self) -> Sequence[PlanNode]:
+        return (self.child,)
+
+
+class NestedLoopJoin(PlanNode):
+    """Materialising nested loop (inner side buffered once)."""
+
+    def __init__(self, outer: PlanNode, inner: PlanNode,
+                 condition: Optional[Evaluator], label: str = ""):
+        self.outer = outer
+        self.inner = inner
+        self.condition = condition
+        self.label = label
+
+    def rows(self, ctx: ExecContext) -> Iterator[Row]:
+        inner_rows = list(self.inner.rows(ctx))
+        condition = self.condition
+        for outer_row in self.outer.rows(ctx):
+            for inner_row in inner_rows:
+                merged = {**outer_row, **inner_row}
+                if condition is None or condition(merged, ctx) is True:
+                    yield merged
+
+    def describe(self) -> str:
+        return f"NestedLoopJoin {self.label}".rstrip()
+
+    def children(self) -> Sequence[PlanNode]:
+        return (self.outer, self.inner)
+
+
+class HashJoin(PlanNode):
+    def __init__(
+        self,
+        outer: PlanNode,
+        inner: PlanNode,
+        outer_key: Evaluator,
+        inner_key: Evaluator,
+        residual: Optional[Evaluator] = None,
+        label: str = "",
+    ):
+        self.outer = outer
+        self.inner = inner
+        self.outer_key = outer_key
+        self.inner_key = inner_key
+        self.residual = residual
+        self.label = label
+
+    def rows(self, ctx: ExecContext) -> Iterator[Row]:
+        buckets: Dict[Any, List[Row]] = {}
+        for inner_row in self.inner.rows(ctx):
+            key = self.inner_key(inner_row, ctx)
+            if key is None:
+                continue
+            buckets.setdefault(key, []).append(inner_row)
+        residual = self.residual
+        for outer_row in self.outer.rows(ctx):
+            key = self.outer_key(outer_row, ctx)
+            if key is None:
+                continue
+            for inner_row in buckets.get(key, ()):
+                merged = {**outer_row, **inner_row}
+                if residual is None or residual(merged, ctx) is True:
+                    yield merged
+
+    def describe(self) -> str:
+        return f"HashJoin {self.label}".rstrip()
+
+    def children(self) -> Sequence[PlanNode]:
+        return (self.outer, self.inner)
+
+
+class IndexNestedLoopJoin(PlanNode):
+    """For each outer row, probe the inner table's spatial index."""
+
+    def __init__(
+        self,
+        outer: PlanNode,
+        table: Table,
+        alias: str,
+        entry: IndexEntry,
+        probe: Callable[[Row, ExecContext], Optional[Envelope]],
+        residual: Optional[Evaluator],
+        label: str = "",
+    ):
+        self.outer = outer
+        self.table = table
+        self.alias = alias
+        self.entry = entry
+        self.probe = probe
+        self.residual = residual
+        self.label = label
+
+    def rows(self, ctx: ExecContext) -> Iterator[Row]:
+        alias = self.alias
+        residual = self.residual
+        for outer_row in self.outer.rows(ctx):
+            envelope = self.probe(outer_row, ctx)
+            if envelope is None:
+                continue
+            ctx.stats.index_probes += 1
+            row_ids = self.entry.index.search(envelope)
+            ctx.stats.index_candidates += len(row_ids)
+            for row_id in row_ids:
+                ctx.stats.rows_scanned += 1
+                merged = dict(outer_row)
+                merged[alias] = self.table.get_row(row_id)
+                if residual is None or residual(merged, ctx) is True:
+                    yield merged
+
+    def describe(self) -> str:
+        return (
+            f"IndexNestedLoopJoin {self.table.name} AS {self.alias} "
+            f"USING {self.entry.name} {self.label}"
+        )
+
+    def children(self) -> Sequence[PlanNode]:
+        return (self.outer,)
+
+
+class Aggregate(PlanNode):
+    """Hash aggregation with optional grouping."""
+
+    def __init__(
+        self,
+        child: PlanNode,
+        group_keys: List[Evaluator],
+        agg_specs: List[Tuple[str, Optional[Evaluator], bool]],
+        # (name, argument evaluator or None for COUNT(*), distinct)
+        always_one_group: bool,
+    ):
+        self.child = child
+        self.group_keys = group_keys
+        self.agg_specs = agg_specs
+        self.always_one_group = always_one_group
+
+    def rows(self, ctx: ExecContext) -> Iterator[Row]:
+        groups: Dict[Any, Tuple[Row, list]] = {}
+        for row in self.child.rows(ctx):
+            key = tuple(_hashable(k(row, ctx)) for k in self.group_keys)
+            if key not in groups:
+                accs = []
+                for name, _arg, distinct in self.agg_specs:
+                    factory = AGGREGATES[name]
+                    accs.append(
+                        factory(distinct) if name == "count" else factory()
+                    )
+                groups[key] = (row, accs)
+            _first, accs = groups[key]
+            for (name, arg, _d), acc in zip(self.agg_specs, accs):
+                acc.add(1 if arg is None else arg(row, ctx))
+        if not groups and self.always_one_group:
+            accs = []
+            for name, _arg, distinct in self.agg_specs:
+                factory = AGGREGATES[name]
+                accs.append(factory(distinct) if name == "count" else factory())
+            groups[()] = ({}, accs)
+        for _key, (first_row, accs) in groups.items():
+            out = dict(first_row)
+            out["__agg__"] = tuple(acc.result() for acc in accs)
+            yield out
+
+    def describe(self) -> str:
+        kind = "grouped" if self.group_keys else "plain"
+        return f"Aggregate ({kind}, {len(self.agg_specs)} aggs)"
+
+    def children(self) -> Sequence[PlanNode]:
+        return (self.child,)
+
+
+def _hashable(value: Any) -> Any:
+    if isinstance(value, Geometry):
+        return value.wkb()
+    return value
+
+
+class Project(PlanNode):
+    def __init__(self, child: PlanNode, outputs: List[Tuple[str, Evaluator]]):
+        self.child = child
+        self.outputs = outputs
+
+    def rows(self, ctx: ExecContext) -> Iterator[Row]:
+        for row in self.child.rows(ctx):
+            yield {
+                "__out__": tuple(fn(row, ctx) for _name, fn in self.outputs)
+            }
+
+    @property
+    def column_names(self) -> List[str]:
+        return [name for name, _fn in self.outputs]
+
+    def describe(self) -> str:
+        return f"Project [{', '.join(self.column_names)}]"
+
+    def children(self) -> Sequence[PlanNode]:
+        return (self.child,)
+
+
+class Sort(PlanNode):
+    def __init__(self, child: PlanNode,
+                 keys: List[Tuple[Evaluator, bool]]):
+        self.child = child
+        self.keys = keys  # (evaluator, descending)
+
+    def rows(self, ctx: ExecContext) -> Iterator[Row]:
+        materialised = list(self.child.rows(ctx))
+        # stable multi-key sort: apply keys right-to-left
+        for evaluator, descending in reversed(self.keys):
+            materialised.sort(
+                key=lambda row: _sort_key(evaluator(row, ctx)),
+                reverse=descending,
+            )
+        yield from materialised
+
+    def describe(self) -> str:
+        return f"Sort ({len(self.keys)} keys)"
+
+    def children(self) -> Sequence[PlanNode]:
+        return (self.child,)
+
+
+def _sort_key(value: Any) -> tuple:
+    # None sorts first ascending (→ last descending); mixed types by name
+    if value is None:
+        return (0, "", 0)
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return (1, "", value)
+    return (2, str(value), 0)
+
+
+class Distinct(PlanNode):
+    def __init__(self, child: PlanNode):
+        self.child = child
+
+    def rows(self, ctx: ExecContext) -> Iterator[Row]:
+        seen = set()
+        for row in self.child.rows(ctx):
+            key = tuple(_hashable(v) for v in row["__out__"])
+            if key not in seen:
+                seen.add(key)
+                yield row
+
+    def children(self) -> Sequence[PlanNode]:
+        return (self.child,)
+
+
+class Limit(PlanNode):
+    def __init__(self, child: PlanNode, limit: Optional[Evaluator],
+                 offset: Optional[Evaluator]):
+        self.child = child
+        self.limit = limit
+        self.offset = offset
+
+    def rows(self, ctx: ExecContext) -> Iterator[Row]:
+        n = self.limit({}, ctx) if self.limit is not None else None
+        skip = self.offset({}, ctx) if self.offset is not None else 0
+        if n is not None and (not isinstance(n, int) or n < 0):
+            raise SqlPlanError(f"LIMIT must be a non-negative integer, got {n!r}")
+        if not isinstance(skip, int) or skip < 0:
+            raise SqlPlanError(f"OFFSET must be a non-negative integer, got {skip!r}")
+        emitted = 0
+        for i, row in enumerate(self.child.rows(ctx)):
+            if i < skip:
+                continue
+            if n is not None and emitted >= n:
+                return
+            emitted += 1
+            yield row
+
+    def children(self) -> Sequence[PlanNode]:
+        return (self.child,)

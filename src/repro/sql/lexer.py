@@ -1,0 +1,138 @@
+"""SQL tokenizer.
+
+Produces a flat token stream of keywords/identifiers, literals, operators
+and punctuation. Identifiers are case-insensitive (lower-cased); keywords
+are recognised by the parser, not here, so any keyword can still be used
+as a column name when quoted with double quotes.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, NamedTuple
+
+from repro.errors import SqlSyntaxError
+
+
+class TokenType(enum.Enum):
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"
+    PUNCT = "punct"
+    PARAM = "param"
+    END = "end"
+
+
+class Token(NamedTuple):
+    type: TokenType
+    value: str
+    pos: int
+
+    def is_ident(self, *names: str) -> bool:
+        return self.type is TokenType.IDENT and self.value in names
+
+
+_OPERATORS = (
+    "<->",  # KNN distance operator; must match before "<"
+    "<=", ">=", "<>", "!=", "&&", "||", "=", "<", ">", "+", "-", "*", "/", "%",
+)
+_PUNCT = "(),.;"
+_IDENT_START = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_"
+)
+_IDENT_CONT = _IDENT_START | frozenset("0123456789$")
+
+
+def tokenize(sql: str) -> List[Token]:
+    tokens: List[Token] = []
+    i = 0
+    n = len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "-" and i + 1 < n and sql[i + 1] == "-":  # line comment
+            while i < n and sql[i] != "\n":
+                i += 1
+            continue
+        if ch == "/" and i + 1 < n and sql[i + 1] == "*":  # block comment
+            end = sql.find("*/", i + 2)
+            if end < 0:
+                raise SqlSyntaxError(f"unterminated comment at {i}")
+            i = end + 2
+            continue
+        if ch == "'":
+            j = i + 1
+            parts: List[str] = []
+            while True:
+                if j >= n:
+                    raise SqlSyntaxError(f"unterminated string at {i}")
+                if sql[j] == "'":
+                    if j + 1 < n and sql[j + 1] == "'":  # doubled quote escape
+                        parts.append("'")
+                        j += 2
+                        continue
+                    break
+                parts.append(sql[j])
+                j += 1
+            tokens.append(Token(TokenType.STRING, "".join(parts), i))
+            i = j + 1
+            continue
+        if ch == '"':
+            j = sql.find('"', i + 1)
+            if j < 0:
+                raise SqlSyntaxError(f"unterminated quoted identifier at {i}")
+            tokens.append(Token(TokenType.IDENT, sql[i + 1 : j].lower(), i))
+            i = j + 1
+            continue
+        if ch == "?":
+            tokens.append(Token(TokenType.PARAM, "?", i))
+            i += 1
+            continue
+        if ch.isdigit() or (
+            ch == "." and i + 1 < n and sql[i + 1].isdigit()
+        ):
+            j = i
+            seen_dot = seen_exp = False
+            while j < n:
+                c = sql[j]
+                if c.isdigit():
+                    j += 1
+                elif c == "." and not seen_dot and not seen_exp:
+                    seen_dot = True
+                    j += 1
+                elif c in "eE" and not seen_exp and j > i:
+                    seen_exp = True
+                    j += 1
+                    if j < n and sql[j] in "+-":
+                        j += 1
+                else:
+                    break
+            tokens.append(Token(TokenType.NUMBER, sql[i:j], i))
+            i = j
+            continue
+        matched_op = None
+        for op in _OPERATORS:
+            if sql.startswith(op, i):
+                matched_op = op
+                break
+        if matched_op:
+            tokens.append(Token(TokenType.OPERATOR, matched_op, i))
+            i += len(matched_op)
+            continue
+        if ch in _PUNCT:
+            tokens.append(Token(TokenType.PUNCT, ch, i))
+            i += 1
+            continue
+        if ch in _IDENT_START:
+            j = i + 1
+            while j < n and sql[j] in _IDENT_CONT:
+                j += 1
+            tokens.append(Token(TokenType.IDENT, sql[i:j].lower(), i))
+            i = j
+            continue
+        raise SqlSyntaxError(f"unexpected character {ch!r}", i)
+    tokens.append(Token(TokenType.END, "", n))
+    return tokens

@@ -1,0 +1,618 @@
+"""Logical planner: AST → operator tree.
+
+The planner implements the filter-refine architecture every spatial DBMS
+in the paper uses: a WHERE or JOIN conjunct of the shape
+``ST_Predicate(geom_column, <expr>)`` is answered by probing the column's
+spatial index with the expression's envelope (filter step) and
+re-evaluating the original predicate on each candidate row (refinement
+step — whose cost and exactness differ per engine profile). Everything
+else runs as sequential scans, hash joins on equality conjuncts, or
+nested loops.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import SqlPlanError
+from repro.geometry.base import Envelope, Geometry
+from repro.sql import ast
+from repro.sql.executor import (
+    Aggregate,
+    Compiler,
+    Distinct,
+    Evaluator,
+    ExecContext,
+    Filter,
+    HashJoin,
+    IndexNestedLoopJoin,
+    IndexScan,
+    Limit,
+    NestedLoopJoin,
+    OneRow,
+    PlanNode,
+    Project,
+    Row,
+    Scope,
+    SeqScan,
+    Sort,
+    contains_aggregate,
+    is_aggregate_call,
+    referenced_aliases,
+)
+from repro.sql.functions import SPATIAL_PREDICATES, FunctionRegistry
+from repro.storage.catalog import Catalog
+from repro.storage.table import ColumnType
+
+#: predicates whose candidates can be produced by an envelope-intersects
+#: index probe (the probe envelope may be expanded, e.g. for ST_DWithin)
+_INDEXABLE_PREDICATES = SPATIAL_PREDICATES - {"st_disjoint"}
+
+
+def split_conjuncts(expr: Optional[ast.Expr]) -> List[ast.Expr]:
+    if expr is None:
+        return []
+    if isinstance(expr, ast.BinaryOp) and expr.op == "and":
+        return split_conjuncts(expr.left) + split_conjuncts(expr.right)
+    return [expr]
+
+
+def conjoin(conjuncts: Sequence[ast.Expr]) -> Optional[ast.Expr]:
+    result: Optional[ast.Expr] = None
+    for c in conjuncts:
+        result = c if result is None else ast.BinaryOp("and", result, c)
+    return result
+
+
+class _IndexableConjunct:
+    """A conjunct answerable through a spatial index on ``alias.column``."""
+
+    __slots__ = ("conjunct", "alias", "column", "other", "radius_expr")
+
+    def __init__(self, conjunct: ast.Expr, alias: str, column: str,
+                 other: ast.Expr, radius_expr: Optional[ast.Expr] = None):
+        self.conjunct = conjunct
+        self.alias = alias
+        self.column = column
+        self.other = other
+        self.radius_expr = radius_expr
+
+
+class Planner:
+    def __init__(self, catalog: Catalog, registry: FunctionRegistry, profile):
+        self.catalog = catalog
+        self.registry = registry
+        self.profile = profile
+
+    # -- entry point ------------------------------------------------------
+
+    def plan_select(self, stmt: ast.Select) -> Tuple[PlanNode, List[str]]:
+        scope = Scope()
+        refs: List[ast.TableRef] = []
+        if stmt.source is not None:
+            refs.append(stmt.source)
+            refs.extend(join.table for join in stmt.joins)
+            for ref in refs:
+                scope.add(ref.alias, self.catalog.table(ref.name))
+
+        conjuncts = split_conjuncts(stmt.where)
+        for join in stmt.joins:
+            conjuncts.extend(split_conjuncts(join.condition))
+
+        knn = self._try_plan_knn(stmt, scope, refs, conjuncts)
+        if knn is not None:
+            return knn
+
+        plan = self._plan_from(stmt, scope, refs, conjuncts)
+        plan, outputs, order_sorted = self._plan_output(stmt, scope, plan)
+        names = [name for name, _fn in outputs]
+        if stmt.distinct:
+            plan = Distinct(plan)
+        if stmt.limit is not None or stmt.offset is not None:
+            top = Compiler(scope, self.registry, self.profile)
+            limit_fn = top.compile(stmt.limit) if stmt.limit is not None else None
+            offset_fn = (
+                top.compile(stmt.offset) if stmt.offset is not None else None
+            )
+            plan = Limit(plan, limit_fn, offset_fn)
+        del order_sorted
+        return plan, names
+
+    # -- KNN rewrite -----------------------------------------------------
+
+    def _try_plan_knn(
+        self,
+        stmt: ast.Select,
+        scope: Scope,
+        refs: List[ast.TableRef],
+        conjuncts: List[ast.Expr],
+    ) -> Optional[Tuple[PlanNode, List[str]]]:
+        """Rewrite ``SELECT ... FROM t ORDER BY t.geom <-> <expr> LIMIT k``
+        into an exact best-first KNN scan over t's spatial index."""
+        if (
+            len(refs) != 1
+            or conjuncts
+            or stmt.group_by
+            or stmt.having is not None
+            or stmt.distinct
+            or stmt.limit is None
+            or len(stmt.order_by) != 1
+            or stmt.order_by[0].descending
+        ):
+            return None
+        order_expr = stmt.order_by[0].expr
+        if not (isinstance(order_expr, ast.BinaryOp) and order_expr.op == "<->"):
+            return None
+        alias = refs[0].alias.lower()
+        table = self.catalog.table(refs[0].name)
+        column = None
+        probe_expr = None
+        for col_side, other_side in (
+            (order_expr.left, order_expr.right),
+            (order_expr.right, order_expr.left),
+        ):
+            column = self._geometry_column(col_side, scope, alias)
+            if column is not None:
+                probe_expr = other_side
+                break
+        if column is None or probe_expr is None:
+            return None
+        if referenced_aliases(probe_expr, scope):
+            return None  # probe must be row-independent
+        entry = self.catalog.index_for(refs[0].name, column)
+        if entry is None:
+            return None
+        items = self._expand_stars(stmt.items, scope)
+        if any(contains_aggregate(i.expr) for i in items):
+            return None
+
+        from repro.sql.executor import KNNScan, Limit, Project
+
+        compiler = Compiler(scope, self.registry, self.profile)
+        probe_fn = compiler.compile(probe_expr)
+        limit_fn = compiler.compile(stmt.limit)
+        offset_fn = (
+            compiler.compile(stmt.offset) if stmt.offset is not None else None
+        )
+
+        def k_fn(ctx: ExecContext,
+                 limit_fn=limit_fn, offset_fn=offset_fn) -> int:
+            limit = limit_fn({}, ctx)
+            offset = offset_fn({}, ctx) if offset_fn is not None else 0
+            if not isinstance(limit, int) or limit < 0:
+                raise SqlPlanError(f"LIMIT must be a non-negative int, got {limit!r}")
+            return limit + (offset or 0)
+
+        scan = KNNScan(
+            table,
+            alias,
+            entry,
+            table.column_index(column),
+            lambda ctx, probe_fn=probe_fn: probe_fn({}, ctx),
+            k_fn,
+        )
+        outputs = [
+            (self._item_name(item, index), compiler.compile(item.expr))
+            for index, item in enumerate(items)
+        ]
+        plan: PlanNode = Project(scan, outputs)
+        plan = Limit(plan, limit_fn, offset_fn)
+        return plan, [name for name, _fn in outputs]
+
+    # -- FROM / WHERE / JOIN ------------------------------------------------
+
+    def _plan_from(
+        self,
+        stmt: ast.Select,
+        scope: Scope,
+        refs: List[ast.TableRef],
+        conjuncts: List[ast.Expr],
+    ) -> PlanNode:
+        if not refs:
+            if conjuncts:
+                raise SqlPlanError("WHERE without FROM")
+            return OneRow()
+        compiler = Compiler(scope, self.registry, self.profile)
+        remaining = list(conjuncts)
+        bound: Set[str] = set()
+
+        first = refs[0]
+        plan = self._plan_base_table(first, scope, compiler, remaining, bound)
+        bound.add(first.alias.lower())
+        plan = self._apply_bound_filters(plan, scope, compiler, remaining, bound)
+
+        for ref in refs[1:]:
+            alias = ref.alias.lower()
+            newly = [
+                c
+                for c in remaining
+                if referenced_aliases(c, scope) <= bound | {alias}
+                and alias in referenced_aliases(c, scope)
+            ]
+            plan = self._plan_join(plan, ref, scope, compiler, newly, bound)
+            for c in newly:
+                remaining.remove(c)
+            bound.add(alias)
+            plan = self._apply_bound_filters(
+                plan, scope, compiler, remaining, bound
+            )
+        if remaining:
+            residual = conjoin(remaining)
+            assert residual is not None
+            plan = Filter(plan, compiler.compile(residual), "residual")
+        return plan
+
+    def _apply_bound_filters(
+        self,
+        plan: PlanNode,
+        scope: Scope,
+        compiler: Compiler,
+        remaining: List[ast.Expr],
+        bound: Set[str],
+    ) -> PlanNode:
+        ready = [c for c in remaining if referenced_aliases(c, scope) <= bound]
+        for c in ready:
+            remaining.remove(c)
+        if ready:
+            combined = conjoin(ready)
+            assert combined is not None
+            plan = Filter(plan, compiler.compile(combined))
+        return plan
+
+    def _plan_base_table(
+        self,
+        ref: ast.TableRef,
+        scope: Scope,
+        compiler: Compiler,
+        remaining: List[ast.Expr],
+        bound: Set[str],
+    ) -> PlanNode:
+        table = self.catalog.table(ref.name)
+        alias = ref.alias.lower()
+        for conjunct in remaining:
+            indexable = self._match_indexable(conjunct, scope, alias)
+            if indexable is None:
+                continue
+            # the probe expression must be evaluable before any table binds
+            if referenced_aliases(indexable.other, scope):
+                continue
+            if indexable.radius_expr is not None and referenced_aliases(
+                indexable.radius_expr, scope
+            ):
+                continue
+            entry = self.catalog.index_for(ref.name, indexable.column)
+            if entry is None:
+                continue
+            other_fn = compiler.compile(indexable.other)
+            radius_fn = (
+                compiler.compile(indexable.radius_expr)
+                if indexable.radius_expr is not None
+                else None
+            )
+
+            def probe(ctx: ExecContext,
+                      other_fn=other_fn, radius_fn=radius_fn) -> Optional[Envelope]:
+                return _probe_envelope(other_fn({}, ctx),
+                                       radius_fn({}, ctx) if radius_fn else None)
+
+            return IndexScan(table, alias, entry, probe, label="filter")
+        return SeqScan(table, alias)
+
+    def _plan_join(
+        self,
+        outer: PlanNode,
+        ref: ast.TableRef,
+        scope: Scope,
+        compiler: Compiler,
+        conjuncts: List[ast.Expr],
+        bound: Set[str],
+    ) -> PlanNode:
+        table = self.catalog.table(ref.name)
+        alias = ref.alias.lower()
+
+        # try an index nested loop on a spatial conjunct
+        for conjunct in conjuncts:
+            indexable = self._match_indexable(conjunct, scope, alias)
+            if indexable is None:
+                continue
+            if not referenced_aliases(indexable.other, scope) <= bound:
+                continue
+            if indexable.radius_expr is not None and not referenced_aliases(
+                indexable.radius_expr, scope
+            ) <= bound:
+                continue
+            entry = self.catalog.index_for(ref.name, indexable.column)
+            if entry is None:
+                continue
+            other_fn = compiler.compile(indexable.other)
+            radius_fn = (
+                compiler.compile(indexable.radius_expr)
+                if indexable.radius_expr is not None
+                else None
+            )
+
+            def probe(row: Row, ctx: ExecContext,
+                      other_fn=other_fn, radius_fn=radius_fn) -> Optional[Envelope]:
+                return _probe_envelope(
+                    other_fn(row, ctx),
+                    radius_fn(row, ctx) if radius_fn else None,
+                )
+
+            residual = conjoin(conjuncts)
+            residual_fn = (
+                compiler.compile(residual) if residual is not None else None
+            )
+            return IndexNestedLoopJoin(
+                outer, table, alias, entry, probe, residual_fn, label="spatial"
+            )
+
+        # try a hash join on an equality conjunct
+        for conjunct in conjuncts:
+            keys = self._match_equi(conjunct, scope, alias, bound)
+            if keys is None:
+                continue
+            outer_key, inner_key = keys
+            residual_list = [c for c in conjuncts if c is not conjunct]
+            residual = conjoin(residual_list)
+            return HashJoin(
+                outer,
+                SeqScan(table, alias),
+                compiler.compile(outer_key),
+                compiler.compile(inner_key),
+                compiler.compile(residual) if residual is not None else None,
+                label=f"{outer_key} = {inner_key}",
+            )
+
+        condition = conjoin(conjuncts)
+        return NestedLoopJoin(
+            outer,
+            SeqScan(table, alias),
+            compiler.compile(condition) if condition is not None else None,
+        )
+
+    # -- conjunct pattern matching ---------------------------------------------
+
+    def _match_indexable(
+        self, conjunct: ast.Expr, scope: Scope, alias: str
+    ) -> Optional[_IndexableConjunct]:
+        """Recognise ``pred(t.geom, other)`` / ``other && t.geom`` shapes."""
+        if isinstance(conjunct, ast.BinaryOp) and conjunct.op == "&&":
+            for col_side, other_side in (
+                (conjunct.left, conjunct.right),
+                (conjunct.right, conjunct.left),
+            ):
+                col = self._geometry_column(col_side, scope, alias)
+                if col is not None:
+                    return _IndexableConjunct(conjunct, alias, col, other_side)
+            return None
+        if not isinstance(conjunct, ast.FuncCall):
+            return None
+        name = conjunct.name
+        if name == "st_dwithin" and len(conjunct.args) == 3:
+            for col_side, other_side in (
+                (conjunct.args[0], conjunct.args[1]),
+                (conjunct.args[1], conjunct.args[0]),
+            ):
+                col = self._geometry_column(col_side, scope, alias)
+                if col is not None:
+                    return _IndexableConjunct(
+                        conjunct, alias, col, other_side,
+                        radius_expr=conjunct.args[2],
+                    )
+            return None
+        if name not in _INDEXABLE_PREDICATES or len(conjunct.args) != 2:
+            return None
+        for col_side, other_side in (
+            (conjunct.args[0], conjunct.args[1]),
+            (conjunct.args[1], conjunct.args[0]),
+        ):
+            col = self._geometry_column(col_side, scope, alias)
+            if col is not None:
+                return _IndexableConjunct(conjunct, alias, col, other_side)
+        return None
+
+    def _geometry_column(
+        self, expr: ast.Expr, scope: Scope, alias: str
+    ) -> Optional[str]:
+        if not isinstance(expr, ast.ColumnRef):
+            return None
+        try:
+            resolved_alias, idx = scope.resolve(expr)
+        except SqlPlanError:
+            return None
+        if resolved_alias != alias:
+            return None
+        table = scope.table(resolved_alias)
+        if table.columns[idx].type is not ColumnType.GEOMETRY:
+            return None
+        return table.columns[idx].name
+
+    def _match_equi(
+        self, conjunct: ast.Expr, scope: Scope, alias: str, bound: Set[str]
+    ) -> Optional[Tuple[ast.Expr, ast.Expr]]:
+        if not (isinstance(conjunct, ast.BinaryOp) and conjunct.op == "="):
+            return None
+        left_refs = referenced_aliases(conjunct.left, scope)
+        right_refs = referenced_aliases(conjunct.right, scope)
+        if left_refs <= bound and right_refs == {alias}:
+            return conjunct.left, conjunct.right
+        if right_refs <= bound and left_refs == {alias}:
+            return conjunct.right, conjunct.left
+        return None
+
+    # -- output: aggregation, projection, ordering --------------------------------
+
+    def _plan_output(
+        self, stmt: ast.Select, scope: Scope, plan: PlanNode
+    ) -> Tuple[PlanNode, List[Tuple[str, Evaluator]], bool]:
+        items = self._expand_stars(stmt.items, scope)
+        has_aggregates = (
+            bool(stmt.group_by)
+            or any(contains_aggregate(i.expr) for i in items)
+            or (stmt.having is not None and contains_aggregate(stmt.having))
+        )
+        if has_aggregates:
+            return self._plan_aggregate(stmt, scope, plan, items)
+
+        compiler = Compiler(scope, self.registry, self.profile)
+        outputs = [
+            (self._item_name(item, index), compiler.compile(item.expr))
+            for index, item in enumerate(items)
+        ]
+        if stmt.having is not None:
+            raise SqlPlanError("HAVING requires GROUP BY or aggregates")
+        if stmt.order_by:
+            keys = self._order_keys(stmt.order_by, items, compiler)
+            plan = Sort(plan, keys)
+        return Project(plan, outputs), outputs, bool(stmt.order_by)
+
+    def _plan_aggregate(
+        self,
+        stmt: ast.Select,
+        scope: Scope,
+        plan: PlanNode,
+        items: List[ast.SelectItem],
+    ) -> Tuple[PlanNode, List[Tuple[str, Evaluator]], bool]:
+        base_compiler = Compiler(scope, self.registry, self.profile)
+
+        agg_nodes: List[ast.FuncCall] = []
+
+        def collect(expr: ast.Expr) -> None:
+            if isinstance(expr, ast.FuncCall):
+                if is_aggregate_call(expr):
+                    agg_nodes.append(expr)
+                    return
+                for arg in expr.args:
+                    collect(arg)
+            elif isinstance(expr, ast.BinaryOp):
+                collect(expr.left)
+                collect(expr.right)
+            elif isinstance(expr, ast.UnaryOp):
+                collect(expr.operand)
+            elif isinstance(expr, ast.Between):
+                for e in (expr.value, expr.low, expr.high):
+                    collect(e)
+            elif isinstance(expr, ast.InList):
+                collect(expr.value)
+                for option in expr.options:
+                    collect(option)
+            elif isinstance(expr, ast.IsNull):
+                collect(expr.value)
+
+        for item in items:
+            collect(item.expr)
+        if stmt.having is not None:
+            collect(stmt.having)
+        for order in stmt.order_by:
+            collect(order.expr)
+
+        agg_slots: Dict[int, int] = {}
+        agg_specs: List[Tuple[str, Optional[Evaluator], bool]] = []
+        for node in agg_nodes:
+            if id(node) in agg_slots:
+                continue
+            agg_slots[id(node)] = len(agg_specs)
+            if len(node.args) == 1 and isinstance(node.args[0], ast.Star):
+                arg_fn: Optional[Evaluator] = None
+            elif len(node.args) == 1:
+                arg_fn = base_compiler.compile(node.args[0])
+            else:
+                raise SqlPlanError(
+                    f"aggregate {node.name}() takes exactly one argument"
+                )
+            agg_specs.append((node.name, arg_fn, node.distinct))
+
+        group_keys = [base_compiler.compile(e) for e in stmt.group_by]
+        plan = Aggregate(
+            plan, group_keys, agg_specs, always_one_group=not stmt.group_by
+        )
+
+        out_compiler = Compiler(
+            scope, self.registry, self.profile, agg_slots=agg_slots
+        )
+        outputs = [
+            (self._item_name(item, index), out_compiler.compile(item.expr))
+            for index, item in enumerate(items)
+        ]
+        if stmt.having is not None:
+            plan = Filter(plan, out_compiler.compile(stmt.having), "having")
+        if stmt.order_by:
+            keys = self._order_keys(stmt.order_by, items, out_compiler)
+            plan = Sort(plan, keys)
+        return Project(plan, outputs), outputs, bool(stmt.order_by)
+
+    def _order_keys(
+        self,
+        order_by: List[ast.OrderItem],
+        items: List[ast.SelectItem],
+        compiler: Compiler,
+    ) -> List[Tuple[Evaluator, bool]]:
+        keys: List[Tuple[Evaluator, bool]] = []
+        alias_map = {
+            item.alias: item.expr for item in items if item.alias is not None
+        }
+        for order in order_by:
+            expr = order.expr
+            if isinstance(expr, ast.Literal) and isinstance(expr.value, int):
+                position = expr.value
+                if not 1 <= position <= len(items):
+                    raise SqlPlanError(
+                        f"ORDER BY position {position} out of range"
+                    )
+                expr = items[position - 1].expr
+            elif (
+                isinstance(expr, ast.ColumnRef)
+                and expr.table is None
+                and expr.name in alias_map
+            ):
+                expr = alias_map[expr.name]
+            keys.append((compiler.compile(expr), order.descending))
+        return keys
+
+    def _expand_stars(
+        self, items: List[ast.SelectItem], scope: Scope
+    ) -> List[ast.SelectItem]:
+        expanded: List[ast.SelectItem] = []
+        for item in items:
+            if not isinstance(item.expr, ast.Star):
+                expanded.append(item)
+                continue
+            aliases = (
+                [item.expr.table.lower()] if item.expr.table else scope.aliases()
+            )
+            if not aliases:
+                raise SqlPlanError("SELECT * requires a FROM clause")
+            for alias in aliases:
+                table = scope.table(alias)
+                for column in table.columns:
+                    expanded.append(
+                        ast.SelectItem(
+                            ast.ColumnRef(column.name, table=alias),
+                            alias=column.name,
+                        )
+                    )
+        return expanded
+
+    @staticmethod
+    def _item_name(item: ast.SelectItem, index: int) -> str:
+        if item.alias:
+            return item.alias
+        expr = item.expr
+        if isinstance(expr, ast.ColumnRef):
+            return expr.name
+        if isinstance(expr, ast.FuncCall):
+            return expr.name
+        return f"column{index + 1}"
+
+
+def _probe_envelope(value, radius) -> Optional[Envelope]:
+    if value is None:
+        return None
+    if not isinstance(value, Geometry):
+        raise SqlPlanError(
+            f"spatial index probe expects a geometry, got {value!r}"
+        )
+    envelope = value.envelope
+    if radius is not None:
+        envelope = envelope.expanded(float(radius))
+    return envelope

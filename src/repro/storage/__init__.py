@@ -1,0 +1,6 @@
+"""Storage layer: heap tables, schemas, and the system catalog."""
+
+from repro.storage.catalog import Catalog, IndexEntry
+from repro.storage.table import Column, ColumnType, Table
+
+__all__ = ["Catalog", "Column", "ColumnType", "IndexEntry", "Table"]

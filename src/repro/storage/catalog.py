@@ -1,0 +1,94 @@
+"""System catalog: tables and their spatial indexes."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import SqlPlanError
+from repro.index.base import SpatialIndex
+from repro.storage.table import Column, Table
+
+
+class IndexEntry:
+    """A spatial index over one geometry column of one table."""
+
+    __slots__ = ("name", "table_name", "column_name", "index")
+
+    def __init__(
+        self, name: str, table_name: str, column_name: str, index: SpatialIndex
+    ):
+        self.name = name.lower()
+        self.table_name = table_name.lower()
+        self.column_name = column_name.lower()
+        self.index = index
+
+
+class Catalog:
+    """All schema objects owned by one database."""
+
+    def __init__(self) -> None:
+        self._tables: Dict[str, Table] = {}
+        self._indexes: Dict[str, IndexEntry] = {}
+
+    # -- tables ----------------------------------------------------------
+
+    def create_table(self, name: str, columns: List[Column]) -> Table:
+        key = name.lower()
+        if key in self._tables:
+            raise SqlPlanError(f"table {name!r} already exists")
+        table = Table(name, columns)
+        self._tables[key] = table
+        return table
+
+    def drop_table(self, name: str, if_exists: bool = False) -> None:
+        key = name.lower()
+        if key not in self._tables:
+            if if_exists:
+                return
+            raise SqlPlanError(f"no table {name!r}")
+        del self._tables[key]
+        for idx_name in [
+            n for n, e in self._indexes.items() if e.table_name == key
+        ]:
+            del self._indexes[idx_name]
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            raise SqlPlanError(f"no table {name!r}")
+
+    def has_table(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def tables(self) -> List[Table]:
+        return list(self._tables.values())
+
+    # -- indexes ----------------------------------------------------------
+
+    def register_index(self, entry: IndexEntry) -> None:
+        if entry.name in self._indexes:
+            raise SqlPlanError(f"index {entry.name!r} already exists")
+        self._indexes[entry.name] = entry
+
+    def drop_index(self, name: str, if_exists: bool = False) -> None:
+        key = name.lower()
+        if key not in self._indexes:
+            if if_exists:
+                return
+            raise SqlPlanError(f"no index {name!r}")
+        del self._indexes[key]
+
+    def index_for(
+        self, table_name: str, column_name: str
+    ) -> Optional[IndexEntry]:
+        for entry in self._indexes.values():
+            if (
+                entry.table_name == table_name.lower()
+                and entry.column_name == column_name.lower()
+            ):
+                return entry
+        return None
+
+    def indexes(self) -> List[IndexEntry]:
+        return list(self._indexes.values())

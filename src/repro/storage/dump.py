@@ -1,0 +1,159 @@
+"""Database dump and restore.
+
+A dump is a JSON-lines file: a header record, one schema record per
+table, row batches with geometries as hex-encoded WKB, and one record per
+spatial index (structure is rebuilt on restore, matching how logical
+backups work in the DBMSes the paper benchmarks — pg_dump stores index
+*definitions*, not pages).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Any, Iterator, List
+
+from repro.errors import EngineError
+from repro.geometry import Geometry, wkb_dumps, wkb_loads
+
+FORMAT_NAME = "jackpine-dump"
+FORMAT_VERSION = 1
+
+_ROW_BATCH = 512
+
+
+def _encode_value(value: Any) -> Any:
+    if isinstance(value, Geometry):
+        return {"__wkb__": wkb_dumps(value).hex()}
+    return value
+
+
+def _decode_value(value: Any) -> Any:
+    if isinstance(value, dict) and "__wkb__" in value:
+        return wkb_loads(bytes.fromhex(value["__wkb__"]))
+    return value
+
+
+def dump_database(db, stream: IO[str]) -> None:
+    """Write a logical dump of ``db`` to a text stream."""
+    header = {
+        "type": "header",
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        "profile": db.profile.name,
+    }
+    stream.write(json.dumps(header) + "\n")
+    for table in db.catalog.tables():
+        stream.write(
+            json.dumps(
+                {
+                    "type": "table",
+                    "name": table.name,
+                    "columns": [[c.name, c.type.value] for c in table.columns],
+                }
+            )
+            + "\n"
+        )
+        batch: List[list] = []
+        for _row_id, row in table.scan():
+            batch.append([_encode_value(v) for v in row])
+            if len(batch) >= _ROW_BATCH:
+                stream.write(
+                    json.dumps(
+                        {"type": "rows", "table": table.name, "rows": batch}
+                    )
+                    + "\n"
+                )
+                batch = []
+        if batch:
+            stream.write(
+                json.dumps(
+                    {"type": "rows", "table": table.name, "rows": batch}
+                )
+                + "\n"
+            )
+    for entry in db.catalog.indexes():
+        stream.write(
+            json.dumps(
+                {
+                    "type": "index",
+                    "name": entry.name,
+                    "table": entry.table_name,
+                    "column": entry.column_name,
+                    "kind": entry.index.kind,
+                }
+            )
+            + "\n"
+        )
+
+
+def save_database(db, path: str) -> None:
+    """Dump ``db`` to a file."""
+    with open(path, "w", encoding="utf-8") as stream:
+        dump_database(db, stream)
+
+
+def _records(stream: IO[str]) -> Iterator[dict]:
+    for line_no, line in enumerate(stream, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise EngineError(f"dump line {line_no}: invalid JSON ({exc})")
+        if not isinstance(record, dict) or "type" not in record:
+            raise EngineError(f"dump line {line_no}: not a dump record")
+        yield record
+
+
+def restore_database(stream: IO[str], profile: str = None):  # type: ignore[assignment]
+    """Rebuild a Database from a dump stream.
+
+    ``profile`` overrides the dumped engine profile, which lets the same
+    dump be restored into all three engines — the benchmark's
+    load-once-run-everywhere pattern.
+    """
+    from repro.engines.database import Database
+
+    records = _records(stream)
+    try:
+        header = next(records)
+    except StopIteration:
+        raise EngineError("empty dump")
+    if header.get("type") != "header" or header.get("format") != FORMAT_NAME:
+        raise EngineError("not a jackpine dump")
+    if header.get("version") != FORMAT_VERSION:
+        raise EngineError(
+            f"unsupported dump version {header.get('version')!r}"
+        )
+    db = Database(profile or header.get("profile", "greenwood"))
+    pending_indexes = []
+    for record in records:
+        kind = record["type"]
+        if kind == "table":
+            columns = ", ".join(
+                f"{name} {type_name}" for name, type_name in record["columns"]
+            )
+            db.execute(f"CREATE TABLE {record['name']} ({columns})")
+        elif kind == "rows":
+            rows = [
+                tuple(_decode_value(v) for v in row) for row in record["rows"]
+            ]
+            db.insert_rows(record["table"], rows)
+        elif kind == "index":
+            pending_indexes.append(record)
+        else:
+            raise EngineError(f"unknown dump record type {kind!r}")
+    for record in pending_indexes:
+        db.execute(
+            f"CREATE SPATIAL INDEX {record['name']} "
+            f"ON {record['table']} ({record['column']}) "
+            f"USING {record['kind']}"
+        )
+    return db
+
+
+def load_database(path: str, profile: str = None):  # type: ignore[assignment]
+    """Restore a Database from a dump file."""
+    with open(path, "r", encoding="utf-8") as stream:
+        return restore_database(stream, profile=profile)

@@ -1,0 +1,184 @@
+"""Heap tables and schemas.
+
+Rows are immutable tuples ordered by the table's column list; a row id is
+the row's slot in the heap. A lightweight page model (``rows_per_page``)
+lets the executor report logical page reads, mirroring the buffer-pool
+counters a real DBMS exposes — useful when explaining *why* an index
+helps in experiment J-F5 even though everything here is in memory.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import EngineError, SqlPlanError
+from repro.geometry.base import Geometry
+
+
+class ColumnType(enum.Enum):
+    INTEGER = "INTEGER"
+    REAL = "REAL"
+    TEXT = "TEXT"
+    GEOMETRY = "GEOMETRY"
+
+    @classmethod
+    def parse(cls, name: str) -> "ColumnType":
+        upper = name.upper()
+        aliases = {
+            "INT": cls.INTEGER,
+            "INTEGER": cls.INTEGER,
+            "BIGINT": cls.INTEGER,
+            "SMALLINT": cls.INTEGER,
+            "REAL": cls.REAL,
+            "FLOAT": cls.REAL,
+            "DOUBLE": cls.REAL,
+            "NUMERIC": cls.REAL,
+            "DECIMAL": cls.REAL,
+            "TEXT": cls.TEXT,
+            "VARCHAR": cls.TEXT,
+            "CHAR": cls.TEXT,
+            "STRING": cls.TEXT,
+            "GEOMETRY": cls.GEOMETRY,
+        }
+        try:
+            return aliases[upper]
+        except KeyError:
+            raise SqlPlanError(f"unknown column type {name!r}")
+
+
+class Column:
+    __slots__ = ("name", "type")
+
+    def __init__(self, name: str, col_type: ColumnType):
+        self.name = name.lower()
+        self.type = col_type
+
+    def __repr__(self) -> str:
+        return f"Column({self.name!r}, {self.type.value})"
+
+
+def _coerce(value: Any, col: Column) -> Any:
+    """Validate/coerce a Python value for storage in ``col``."""
+    if value is None:
+        return None
+    if col.type is ColumnType.INTEGER:
+        if isinstance(value, bool):
+            return int(value)
+        if isinstance(value, int):
+            return value
+        if isinstance(value, float) and value.is_integer():
+            return int(value)
+        raise EngineError(f"column {col.name}: expected INTEGER, got {value!r}")
+    if col.type is ColumnType.REAL:
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            return float(value)
+        raise EngineError(f"column {col.name}: expected REAL, got {value!r}")
+    if col.type is ColumnType.TEXT:
+        if isinstance(value, str):
+            return value
+        raise EngineError(f"column {col.name}: expected TEXT, got {value!r}")
+    if col.type is ColumnType.GEOMETRY:
+        if isinstance(value, Geometry):
+            return value
+        if isinstance(value, str):
+            from repro.geometry.wkt import loads
+
+            return loads(value)
+        if isinstance(value, (bytes, bytearray)):
+            from repro.geometry.wkb import loads as wkb_loads
+
+            return wkb_loads(bytes(value))
+        raise EngineError(f"column {col.name}: expected GEOMETRY, got {value!r}")
+    raise EngineError(f"column {col.name}: unhandled type {col.type}")
+
+
+class Table:
+    """An append-only heap of tuples with positional row ids."""
+
+    ROWS_PER_PAGE = 64
+
+    def __init__(self, name: str, columns: Sequence[Column]):
+        if not columns:
+            raise SqlPlanError(f"table {name!r} needs at least one column")
+        lowered = [c.name for c in columns]
+        if len(set(lowered)) != len(lowered):
+            raise SqlPlanError(f"table {name!r} has duplicate column names")
+        self.name = name.lower()
+        self.columns: Tuple[Column, ...] = tuple(columns)
+        self._by_name: Dict[str, int] = {
+            c.name: i for i, c in enumerate(self.columns)
+        }
+        self.rows: List[Optional[tuple]] = []
+        self.live_count = 0
+
+    # -- schema ------------------------------------------------------------
+
+    def column_index(self, name: str) -> int:
+        try:
+            return self._by_name[name.lower()]
+        except KeyError:
+            raise SqlPlanError(f"no column {name!r} in table {self.name!r}")
+
+    def has_column(self, name: str) -> bool:
+        return name.lower() in self._by_name
+
+    def column(self, name: str) -> Column:
+        return self.columns[self.column_index(name)]
+
+    def geometry_columns(self) -> List[str]:
+        return [c.name for c in self.columns if c.type is ColumnType.GEOMETRY]
+
+    # -- data --------------------------------------------------------------
+
+    def insert_row(self, values: Sequence[Any]) -> int:
+        if len(values) != len(self.columns):
+            raise EngineError(
+                f"table {self.name}: expected {len(self.columns)} values, "
+                f"got {len(values)}"
+            )
+        row = tuple(
+            _coerce(value, col) for value, col in zip(values, self.columns)
+        )
+        self.rows.append(row)
+        self.live_count += 1
+        return len(self.rows) - 1
+
+    def update_row(self, row_id: int, values: Sequence[Any]) -> None:
+        if self.rows[row_id] is None:
+            raise EngineError(f"row {row_id} is deleted")
+        if len(values) != len(self.columns):
+            raise EngineError(
+                f"table {self.name}: expected {len(self.columns)} values, "
+                f"got {len(values)}"
+            )
+        self.rows[row_id] = tuple(
+            _coerce(value, col) for value, col in zip(values, self.columns)
+        )
+
+    def delete_row(self, row_id: int) -> None:
+        if self.rows[row_id] is None:
+            raise EngineError(f"row {row_id} already deleted")
+        self.rows[row_id] = None
+        self.live_count -= 1
+
+    def get_row(self, row_id: int) -> tuple:
+        row = self.rows[row_id]
+        if row is None:
+            raise EngineError(f"row {row_id} is deleted")
+        return row
+
+    def scan(self) -> Iterator[Tuple[int, tuple]]:
+        for row_id, row in enumerate(self.rows):
+            if row is not None:
+                yield row_id, row
+
+    def page_of(self, row_id: int) -> int:
+        return row_id // self.ROWS_PER_PAGE
+
+    @property
+    def page_count(self) -> int:
+        return (len(self.rows) + self.ROWS_PER_PAGE - 1) // self.ROWS_PER_PAGE
+
+    def __len__(self) -> int:
+        return self.live_count

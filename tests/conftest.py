@@ -1,0 +1,98 @@
+"""Shared fixtures: canonical geometries, a small dataset, loaded engines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen import generate
+from repro.dbapi import connect
+from repro.engines import Database
+from repro.geometry import LineString, Point, Polygon
+
+
+@pytest.fixture
+def unit_square():
+    return Polygon([(0, 0), (10, 0), (10, 10), (0, 10)])
+
+
+@pytest.fixture
+def shifted_square():
+    return Polygon([(5, 5), (15, 5), (15, 15), (5, 15)])
+
+
+@pytest.fixture
+def far_square():
+    return Polygon([(100, 100), (110, 100), (110, 110), (100, 110)])
+
+
+@pytest.fixture
+def inner_square():
+    return Polygon([(2, 2), (4, 2), (4, 4), (2, 4)])
+
+
+@pytest.fixture
+def donut():
+    return Polygon(
+        [(0, 0), (10, 0), (10, 10), (0, 10)],
+        holes=[[(3, 3), (7, 3), (7, 7), (3, 7)]],
+    )
+
+
+@pytest.fixture
+def diagonal_line():
+    return LineString([(-5, -5), (15, 15)])
+
+
+@pytest.fixture
+def center_point():
+    return Point(5, 5)
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    return generate(seed=7, scale=0.1)
+
+
+@pytest.fixture(scope="session")
+def small_dataset():
+    return generate(seed=42, scale=0.25)
+
+
+def _loaded(engine: str, dataset):
+    db = Database(engine)
+    dataset.load_into(db, create_indexes=True)
+    return db
+
+
+@pytest.fixture(scope="session")
+def greenwood_db(small_dataset):
+    return _loaded("greenwood", small_dataset)
+
+
+@pytest.fixture(scope="session")
+def bluestem_db(small_dataset):
+    return _loaded("bluestem", small_dataset)
+
+
+@pytest.fixture(scope="session")
+def ironbark_db(small_dataset):
+    return _loaded("ironbark", small_dataset)
+
+
+@pytest.fixture
+def greenwood_conn(greenwood_db):
+    conn = connect(database=greenwood_db)
+    yield conn
+    conn.close()
+
+
+@pytest.fixture
+def empty_db():
+    return Database("greenwood")
+
+
+@pytest.fixture
+def empty_conn(empty_db):
+    conn = connect(database=empty_db)
+    yield conn
+    conn.close()

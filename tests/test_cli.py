@@ -1,0 +1,72 @@
+"""Tests for the jackpine command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.suite == "all"
+        assert set(args.engines) == {"greenwood", "bluestem", "ironbark"}
+
+    def test_run_options(self):
+        args = build_parser().parse_args(
+            ["run", "--engines", "greenwood", "--scale", "0.5",
+             "--suite", "macro", "--scenarios", "geocoding", "--no-index"]
+        )
+        assert args.engines == ["greenwood"]
+        assert args.scale == 0.5
+        assert args.scenarios == ["geocoding"]
+        assert args.no_index
+
+    def test_bad_engine_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--engines", "postgres"])
+
+    def test_explain_requires_sql(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["explain"])
+
+
+class TestMain:
+    def test_explain(self, capsys):
+        code = main([
+            "explain", "--scale", "0.1",
+            "SELECT COUNT(*) FROM edges "
+            "WHERE ST_Intersects(geom, ST_MakeEnvelope(0, 0, 1000, 1000))",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "IndexScan" in out
+
+    def test_run_loading_suite(self, capsys):
+        code = main([
+            "run", "--engines", "greenwood", "--scale", "0.1",
+            "--suite", "loading",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "J-F4" in out
+        assert "edges" in out
+
+    def test_run_macro_suite(self, capsys):
+        code = main([
+            "run", "--engines", "greenwood", "--scale", "0.1",
+            "--suite", "macro", "--scenarios", "geocoding",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "geocoding" in out
+        assert "q/min" in out
+
+    def test_run_micro_suite(self, capsys):
+        code = main([
+            "run", "--engines", "greenwood", "--scale", "0.1",
+            "--suite", "micro", "--repeats", "1", "--warmups", "0",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Polygon Touches Polygon" in out
+        assert "ConvexHull" in out

@@ -1,0 +1,77 @@
+"""Tests for closest-point / shortest-line operations."""
+
+import math
+
+import pytest
+
+from repro.algorithms.distance import (
+    closest_point,
+    closest_points,
+    distance,
+    shortest_line,
+)
+from repro.engines import Database
+from repro.geometry import LineString, Point, Polygon
+
+
+class TestClosestPoints:
+    def test_point_to_point(self):
+        pa, pb = closest_points(Point(0, 0), Point(3, 4))
+        assert pa == (0.0, 0.0)
+        assert pb == (3.0, 4.0)
+
+    def test_point_to_segment_projection(self):
+        line = LineString([(0, 0), (10, 0)])
+        pa, pb = closest_points(Point(4, 3), line)
+        assert pa == (4.0, 3.0)
+        assert pb == (4.0, 0.0)
+
+    def test_polygon_to_polygon_edges(self, unit_square, far_square):
+        pa, pb = closest_points(unit_square, far_square)
+        assert pa == (10.0, 10.0)
+        assert pb == (100.0, 100.0)
+
+    def test_pair_distance_matches_distance(self, unit_square, far_square):
+        pa, pb = closest_points(unit_square, far_square)
+        d = math.hypot(pa[0] - pb[0], pa[1] - pb[1])
+        assert d == pytest.approx(distance(unit_square, far_square))
+
+    def test_intersecting_share_a_point(self, unit_square, shifted_square):
+        pa, pb = closest_points(unit_square, shifted_square)
+        assert pa == pb
+
+    def test_containment_shares_a_point(self, unit_square, inner_square):
+        pa, pb = closest_points(inner_square, unit_square)
+        assert pa == pb
+
+
+class TestWrappers:
+    def test_closest_point_returns_point_on_first(self, unit_square):
+        target = Point(15, 5)
+        got = closest_point(unit_square, target)
+        assert got == Point(10, 5)
+
+    def test_shortest_line(self, unit_square):
+        got = shortest_line(unit_square, Point(15, 5))
+        assert isinstance(got, LineString)
+        assert got.length() == pytest.approx(5.0)
+
+    def test_shortest_line_none_when_intersecting(self, unit_square,
+                                                  center_point):
+        assert shortest_line(unit_square, center_point) is None
+
+
+class TestSqlIntegration:
+    def test_functions_available(self):
+        db = Database("greenwood")
+        got = db.execute(
+            "SELECT ST_AsText(ST_ClosestPoint("
+            "ST_GeomFromText('LINESTRING(0 0, 10 0)'), ST_Point(4, 3)))"
+        ).scalar()
+        assert got == "POINT (4 0)"
+        length = db.execute(
+            "SELECT ST_Length(ST_ShortestLine("
+            "ST_GeomFromText('POLYGON((0 0, 1 0, 1 1, 0 1, 0 0))'), "
+            "ST_Point(4, 0)))"
+        ).scalar()
+        assert length == pytest.approx(3.0)

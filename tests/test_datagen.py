@@ -1,0 +1,185 @@
+"""Tests for the synthetic TIGER-like dataset generator."""
+
+import pytest
+
+from repro.algorithms import area, intersects, touches, union_all
+from repro.algorithms.validation import is_valid
+from repro.datagen import WORLD_SIZE, generate
+from repro.datagen.tiger import TigerDataset
+from repro.geometry import LineString, Point, Polygon
+
+EXPECTED_LAYERS = {
+    "counties", "edges", "pointlm", "arealm", "areawater", "rivers", "parcels",
+}
+
+
+class TestDeterminism:
+    def test_same_seed_same_data(self):
+        a = generate(seed=5, scale=0.1)
+        b = generate(seed=5, scale=0.1)
+        for name in EXPECTED_LAYERS:
+            assert a.layer(name).rows == b.layer(name).rows
+
+    def test_different_seed_different_data(self):
+        a = generate(seed=5, scale=0.1)
+        b = generate(seed=6, scale=0.1)
+        assert a.layer("pointlm").rows != b.layer("pointlm").rows
+
+    def test_scale_scales_cardinality(self):
+        small = generate(seed=5, scale=0.25)
+        large = generate(seed=5, scale=1.0)
+        assert large.total_rows() > small.total_rows()
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            generate(scale=0.0)
+
+    def test_invalid_distribution_rejected(self):
+        with pytest.raises(ValueError):
+            generate(scale=0.1, distribution="fractal")
+
+
+class TestClusteredDistribution:
+    def test_deterministic(self):
+        a = generate(seed=9, scale=0.1, distribution="clustered")
+        b = generate(seed=9, scale=0.1, distribution="clustered")
+        assert a.layer("pointlm").rows == b.layer("pointlm").rows
+
+    def test_same_cardinality_as_uniform(self):
+        uniform = generate(seed=9, scale=0.1)
+        clustered = generate(seed=9, scale=0.1, distribution="clustered")
+        for name in ("pointlm", "arealm"):
+            assert len(uniform.layer(name).rows) == len(
+                clustered.layer(name).rows
+            )
+
+    def test_spread_is_tighter(self):
+        import statistics
+
+        def spread(ds):
+            xs = [g.x for g in ds.layer("pointlm").geometries()]
+            return statistics.pstdev(xs)
+
+        uniform = generate(seed=9, scale=0.2)
+        clustered = generate(seed=9, scale=0.2, distribution="clustered")
+        assert spread(clustered) < spread(uniform) * 0.75
+
+    def test_fips_matches_containing_county(self):
+        from repro.algorithms import intersects
+
+        ds = generate(seed=9, scale=0.1, distribution="clustered")
+        counties = {row[2]: row[3] for row in ds.layer("counties").rows}
+        pointlm = ds.layer("pointlm")
+        fips_idx = pointlm.columns.index("county_fips")
+        geom_idx = pointlm.columns.index("geom")
+        for row in pointlm.rows[:30]:
+            assert intersects(row[geom_idx], counties[row[fips_idx]])
+
+    def test_loads_and_queries(self):
+        from repro.engines import Database
+
+        ds = generate(seed=9, scale=0.1, distribution="clustered")
+        db = Database("greenwood")
+        ds.load_into(db)
+        got = db.execute(
+            "SELECT COUNT(*) FROM counties c JOIN pointlm p "
+            "ON ST_Contains(c.geom, p.geom)"
+        ).scalar()
+        assert got == len(ds.layer("pointlm").rows)
+
+
+class TestLayerShape:
+    @pytest.fixture(scope="class")
+    def ds(self):
+        return generate(seed=11, scale=0.2)
+
+    def test_all_layers_present(self, ds):
+        assert set(ds.layers) == EXPECTED_LAYERS
+
+    def test_geometry_types(self, ds):
+        assert all(isinstance(g, Polygon) for g in ds.layer("counties").geometries())
+        assert all(isinstance(g, LineString) for g in ds.layer("edges").geometries())
+        assert all(isinstance(g, Point) for g in ds.layer("pointlm").geometries())
+        assert all(isinstance(g, Polygon) for g in ds.layer("arealm").geometries())
+        assert all(isinstance(g, Polygon) for g in ds.layer("areawater").geometries())
+        assert all(isinstance(g, LineString) for g in ds.layer("rivers").geometries())
+        assert all(isinstance(g, Polygon) for g in ds.layer("parcels").geometries())
+
+    def test_all_geometries_valid(self, ds):
+        for name in EXPECTED_LAYERS:
+            for geom in ds.layer(name).geometries():
+                assert is_valid(geom), f"invalid geometry in {name}"
+
+    def test_counties_tile_the_state(self, ds):
+        counties = ds.layer("counties").geometries()
+        total = sum(area(c) for c in counties)
+        assert total == pytest.approx(WORLD_SIZE * WORLD_SIZE, rel=1e-6)
+
+    def test_counties_share_borders(self, ds):
+        counties = ds.layer("counties").geometries()
+        touching = sum(
+            1
+            for i in range(len(counties))
+            for j in range(i + 1, len(counties))
+            if touches(counties[i], counties[j])
+        )
+        # a 5x5 lattice has 40 edge-adjacent pairs plus corner contacts
+        assert touching >= 40
+
+    def test_points_inside_their_county(self, ds):
+        counties = {
+            row[2]: row[3] for row in ds.layer("counties").rows
+        }  # fips -> polygon
+        pointlm = ds.layer("pointlm")
+        fips_idx = pointlm.columns.index("county_fips")
+        geom_idx = pointlm.columns.index("geom")
+        for row in pointlm.rows[:50]:
+            assert intersects(row[geom_idx], counties[row[fips_idx]])
+
+    def test_edges_have_address_ranges(self, ds):
+        edges = ds.layer("edges")
+        lf = edges.columns.index("lfromadd")
+        lt = edges.columns.index("ltoadd")
+        for row in edges.rows:
+            assert row[lf] < row[lt]
+
+    def test_parcels_in_block_share_borders(self, ds):
+        parcels = ds.layer("parcels").geometries()[:16]
+        touching = sum(
+            1
+            for i in range(len(parcels))
+            for j in range(i + 1, len(parcels))
+            if touches(parcels[i], parcels[j])
+        )
+        assert touching > 0
+
+    def test_rivers_span_the_state(self, ds):
+        for river in ds.layer("rivers").geometries():
+            env = river.envelope
+            assert max(env.width, env.height) > WORLD_SIZE * 0.9
+
+
+class TestLoadInto:
+    def test_load_and_query(self, tiny_dataset):
+        from repro.engines import Database
+
+        db = Database("greenwood")
+        tiny_dataset.load_into(db)
+        for name in EXPECTED_LAYERS:
+            count = db.execute(f"SELECT COUNT(*) FROM {name}").scalar()
+            assert count == len(tiny_dataset.layer(name).rows)
+            assert db.catalog.index_for(name, "geom") is not None
+
+    def test_load_without_indexes(self, tiny_dataset):
+        from repro.engines import Database
+
+        db = Database("greenwood")
+        tiny_dataset.load_into(db, create_indexes=False)
+        assert db.catalog.index_for("edges", "geom") is None
+
+    def test_load_with_index_kind_override(self, tiny_dataset):
+        from repro.engines import Database
+
+        db = Database("greenwood")
+        tiny_dataset.load_into(db, index_kind="grid")
+        assert db.catalog.index_for("edges", "geom").index.kind == "grid"

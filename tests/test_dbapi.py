@@ -1,0 +1,141 @@
+"""Unit tests for the PEP 249 driver surface."""
+
+import pytest
+
+import repro.dbapi as dbapi
+from repro.dbapi import connect
+from repro.errors import SqlError
+
+
+class TestModuleGlobals:
+    def test_pep249_attributes(self):
+        assert dbapi.apilevel == "2.0"
+        assert dbapi.paramstyle == "qmark"
+        assert dbapi.threadsafety in (0, 1, 2, 3)
+
+    def test_exception_hierarchy(self):
+        assert issubclass(dbapi.DatabaseError, dbapi.Error)
+        assert issubclass(dbapi.ProgrammingError, dbapi.Error)
+        assert issubclass(dbapi.NotSupportedError, dbapi.Error)
+
+
+@pytest.fixture
+def conn():
+    connection = connect("greenwood")
+    cur = connection.cursor()
+    cur.execute("CREATE TABLE t (id INTEGER, name TEXT)")
+    cur.executemany(
+        "INSERT INTO t VALUES (?, ?)",
+        [(1, "a"), (2, "b"), (3, "c")],
+    )
+    yield connection
+    connection.close()
+
+
+class TestCursor:
+    def test_description_after_select(self, conn):
+        cur = conn.cursor()
+        cur.execute("SELECT id, name FROM t")
+        assert [d[0] for d in cur.description] == ["id", "name"]
+
+    def test_description_none_for_ddl(self, conn):
+        cur = conn.cursor()
+        cur.execute("CREATE TABLE other (x INTEGER)")
+        assert cur.description is None
+
+    def test_rowcount_insert(self, conn):
+        cur = conn.cursor()
+        cur.execute("INSERT INTO t VALUES (4, 'd'), (5, 'e')")
+        assert cur.rowcount == 2
+
+    def test_rowcount_before_execute(self, conn):
+        assert conn.cursor().rowcount == -1
+
+    def test_fetchone_sequencing(self, conn):
+        cur = conn.cursor()
+        cur.execute("SELECT id FROM t ORDER BY id")
+        assert cur.fetchone() == (1,)
+        assert cur.fetchone() == (2,)
+        assert cur.fetchone() == (3,)
+        assert cur.fetchone() is None
+
+    def test_fetchmany_default_arraysize(self, conn):
+        cur = conn.cursor()
+        cur.execute("SELECT id FROM t ORDER BY id")
+        assert cur.fetchmany() == [(1,)]
+        cur.arraysize = 2
+        assert cur.fetchmany() == [(2,), (3,)]
+
+    def test_fetchall_after_partial(self, conn):
+        cur = conn.cursor()
+        cur.execute("SELECT id FROM t ORDER BY id")
+        cur.fetchone()
+        assert cur.fetchall() == [(2,), (3,)]
+
+    def test_iteration(self, conn):
+        cur = conn.cursor()
+        cur.execute("SELECT id FROM t ORDER BY id")
+        assert [row for row in cur] == [(1,), (2,), (3,)]
+
+    def test_fetch_before_execute_raises(self, conn):
+        with pytest.raises(SqlError):
+            conn.cursor().fetchone()
+
+    def test_executemany_total_rowcount(self, conn):
+        cur = conn.cursor()
+        cur.executemany("INSERT INTO t VALUES (?, ?)", [(7, "x"), (8, "y")])
+        assert cur.rowcount == 2
+
+    def test_closed_cursor_rejects_use(self, conn):
+        cur = conn.cursor()
+        cur.close()
+        with pytest.raises(SqlError):
+            cur.execute("SELECT 1")
+
+    def test_context_manager(self, conn):
+        with conn.cursor() as cur:
+            cur.execute("SELECT 1")
+            assert cur.fetchone() == (1,)
+
+    def test_execute_returns_cursor_for_chaining(self, conn):
+        got = conn.cursor().execute("SELECT id FROM t ORDER BY id").fetchone()
+        assert got == (1,)
+
+
+class TestConnection:
+    def test_closed_connection_rejects_cursor(self):
+        conn = connect("greenwood")
+        conn.close()
+        with pytest.raises(SqlError):
+            conn.cursor()
+
+    def test_commit_rollback_are_noops(self, conn):
+        conn.commit()
+        conn.rollback()
+
+    def test_shared_database(self):
+        from repro.engines import Database
+
+        db = Database("greenwood")
+        first = connect(database=db)
+        first.cursor().execute("CREATE TABLE shared (x INTEGER)")
+        second = connect(database=db)
+        second.cursor().execute("INSERT INTO shared VALUES (1)")
+        cur = first.cursor()
+        cur.execute("SELECT COUNT(*) FROM shared")
+        assert cur.fetchone() == (1,)
+
+    def test_stats_exposed(self, conn):
+        conn.stats.reset()
+        cur = conn.cursor()
+        cur.execute("SELECT COUNT(*) FROM t")
+        cur.fetchall()
+        assert conn.stats.rows_scanned >= 3
+
+    def test_not_supported_error_raised(self):
+        conn = connect("bluestem")
+        cur = conn.cursor()
+        cur.execute("CREATE TABLE g (geom GEOMETRY)")
+        cur.execute("INSERT INTO g VALUES (ST_Point(0, 0))")
+        with pytest.raises(dbapi.NotSupportedError):
+            cur.execute("SELECT ST_ConvexHull(geom) FROM g")

@@ -1,0 +1,127 @@
+"""DE-9IM over multi-part geometries and collections."""
+
+import pytest
+
+from repro.algorithms.de9im import (
+    contains,
+    crosses,
+    disjoint,
+    intersects,
+    overlaps,
+    relate,
+    touches,
+    within,
+)
+from repro.geometry import (
+    GeometryCollection,
+    LineString,
+    MultiLineString,
+    MultiPoint,
+    MultiPolygon,
+    Point,
+    Polygon,
+)
+
+
+@pytest.fixture
+def two_squares():
+    return MultiPolygon([
+        Polygon([(0, 0), (10, 0), (10, 10), (0, 10)]),
+        Polygon([(20, 0), (30, 0), (30, 10), (20, 10)]),
+    ])
+
+
+class TestMultiPolygon:
+    def test_point_in_second_member(self, two_squares):
+        assert contains(two_squares, Point(25, 5))
+        assert within(Point(25, 5), two_squares)
+
+    def test_point_between_members(self, two_squares):
+        assert disjoint(two_squares, Point(15, 5))
+
+    def test_line_crossing_both_members(self, two_squares):
+        line = LineString([(-5, 5), (35, 5)])
+        assert crosses(line, two_squares)
+        matrix = relate(line, two_squares)
+        assert matrix.cell(0, 0) == 1  # 1-D interior overlap
+        assert matrix.cell(0, 2) == 1  # line escapes between the squares
+
+    def test_polygon_overlapping_one_member(self, two_squares):
+        probe = Polygon([(5, 5), (15, 5), (15, 15), (5, 15)])
+        assert overlaps(two_squares, probe)
+
+    def test_multipolygon_within_bigger_polygon(self, two_squares):
+        world = Polygon([(-5, -5), (40, -5), (40, 20), (-5, 20)])
+        assert within(two_squares, world)
+        assert contains(world, two_squares)
+
+    def test_member_touching_other_geometry(self, two_squares):
+        neighbour = Polygon([(10, 0), (20, 0), (20, 10), (10, 10)])
+        # the neighbour bridges the gap: shares an edge with EACH member
+        assert touches(two_squares, neighbour)
+
+
+class TestMultiLineString:
+    def test_chain_acts_as_one_curve(self):
+        chain = MultiLineString([
+            [(0, 0), (10, 0)],
+            [(10, 0), (20, 0)],
+        ])
+        # the shared node is interior under the mod-2 rule
+        assert str(relate(Point(10, 0), chain)) == "0FFFFF102"
+
+    def test_crossing_multiline(self):
+        cross = MultiLineString([
+            [(0, -5), (0, 5)],
+            [(10, -5), (10, 5)],
+        ])
+        horizontal = LineString([(-5, 0), (15, 0)])
+        assert crosses(horizontal, cross)
+
+    def test_multiline_within_polygon(self, unit_square):
+        inside = MultiLineString([
+            [(1, 1), (4, 4)],
+            [(5, 5), (8, 8)],
+        ])
+        assert within(inside, unit_square)
+
+
+class TestMultiPoint:
+    def test_all_inside(self, unit_square):
+        mp = MultiPoint([(1, 1), (5, 5), (9, 9)])
+        assert within(mp, unit_square)
+
+    def test_some_outside(self, unit_square):
+        mp = MultiPoint([(1, 1), (50, 50)])
+        assert not within(mp, unit_square)
+        assert intersects(mp, unit_square)
+
+    def test_all_on_boundary_not_within(self, unit_square):
+        mp = MultiPoint([(0, 5), (5, 0)])
+        assert not within(mp, unit_square)
+        assert touches(mp, unit_square)
+
+    def test_multipoint_vs_multipoint(self):
+        a = MultiPoint([(0, 0), (1, 1)])
+        b = MultiPoint([(1, 1), (2, 2)])
+        assert intersects(a, b)
+        assert str(relate(a, b)) == "0F0FFF0F2"
+
+
+class TestCollections:
+    def test_mixed_collection_vs_polygon(self, unit_square):
+        gc = GeometryCollection([
+            Point(5, 5),
+            LineString([(20, 20), (30, 30)]),
+        ])
+        assert intersects(gc, unit_square)
+        matrix = relate(gc, unit_square)
+        assert matrix.cell(0, 0) == 0  # the point hits the interior
+        assert matrix.cell(0, 2) == 1  # the line lies fully outside
+
+    def test_collection_transpose_symmetry(self, unit_square):
+        gc = GeometryCollection([
+            Point(5, 5),
+            Polygon([(100, 100), (110, 100), (110, 110), (100, 110)]),
+        ])
+        assert relate(gc, unit_square).transpose() == relate(unit_square, gc)

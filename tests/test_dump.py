@@ -1,0 +1,129 @@
+"""Tests for database dump/restore."""
+
+import io
+
+import pytest
+
+from repro.engines import Database
+from repro.errors import EngineError
+from repro.storage.dump import (
+    dump_database,
+    load_database,
+    restore_database,
+    save_database,
+)
+
+
+@pytest.fixture
+def db():
+    database = Database("greenwood")
+    database.execute(
+        "CREATE TABLE features (id INTEGER, name TEXT, score REAL, "
+        "geom GEOMETRY)"
+    )
+    database.execute(
+        "INSERT INTO features VALUES "
+        "(1, 'alpha', 0.5, ST_Point(1, 2)), "
+        "(2, NULL, NULL, ST_GeomFromText("
+        "'POLYGON((0 0, 4 0, 4 4, 0 4, 0 0))')), "
+        "(3, 'gamma', -1.25, NULL)"
+    )
+    database.execute("CREATE SPATIAL INDEX fidx ON features (geom)")
+    return database
+
+
+def _roundtrip(db, profile=None):
+    buffer = io.StringIO()
+    dump_database(db, buffer)
+    buffer.seek(0)
+    return restore_database(buffer, profile=profile)
+
+
+class TestRoundTrip:
+    def test_rows_survive(self, db):
+        restored = _roundtrip(db)
+        got = restored.execute(
+            "SELECT id, name, score FROM features ORDER BY id"
+        )
+        assert got.rows == [(1, "alpha", 0.5), (2, None, None),
+                            (3, "gamma", -1.25)]
+
+    def test_geometries_survive_exactly(self, db):
+        restored = _roundtrip(db)
+        original = db.execute(
+            "SELECT ST_AsText(geom) FROM features WHERE id = 2"
+        ).scalar()
+        copied = restored.execute(
+            "SELECT ST_AsText(geom) FROM features WHERE id = 2"
+        ).scalar()
+        assert original == copied
+
+    def test_indexes_rebuilt(self, db):
+        restored = _roundtrip(db)
+        entry = restored.catalog.index_for("features", "geom")
+        assert entry is not None
+        assert entry.index.kind == "rtree"
+        got = restored.execute(
+            "SELECT id FROM features "
+            "WHERE ST_Intersects(geom, ST_MakeEnvelope(0.5, 1.5, 1.5, 2.5)) "
+            "ORDER BY id"
+        )
+        assert got.rows == [(1,), (2,)]  # the point and the 4x4 polygon
+
+    def test_profile_preserved_and_overridable(self, db):
+        assert _roundtrip(db).profile.name == "greenwood"
+        assert _roundtrip(db, profile="ironbark").profile.name == "ironbark"
+
+    def test_deleted_rows_not_dumped(self, db):
+        db.execute("DELETE FROM features WHERE id = 1")
+        restored = _roundtrip(db)
+        assert restored.execute("SELECT COUNT(*) FROM features").scalar() == 2
+
+    def test_file_roundtrip(self, db, tmp_path):
+        path = str(tmp_path / "state.jpdump")
+        save_database(db, path)
+        restored = load_database(path)
+        assert restored.execute("SELECT COUNT(*) FROM features").scalar() == 3
+
+    def test_dataset_roundtrip(self, tiny_dataset):
+        db = Database("greenwood")
+        tiny_dataset.load_into(db)
+        restored = _roundtrip(db)
+        for name in tiny_dataset.layers:
+            original = db.execute(f"SELECT COUNT(*) FROM {name}").scalar()
+            copied = restored.execute(f"SELECT COUNT(*) FROM {name}").scalar()
+            assert original == copied
+
+
+class TestMalformedDumps:
+    def test_empty(self):
+        with pytest.raises(EngineError):
+            restore_database(io.StringIO(""))
+
+    def test_wrong_format(self):
+        stream = io.StringIO('{"type": "header", "format": "pg_dump"}\n')
+        with pytest.raises(EngineError):
+            restore_database(stream)
+
+    def test_wrong_version(self):
+        stream = io.StringIO(
+            '{"type": "header", "format": "jackpine-dump", "version": 99}\n'
+        )
+        with pytest.raises(EngineError):
+            restore_database(stream)
+
+    def test_garbage_line(self):
+        stream = io.StringIO(
+            '{"type": "header", "format": "jackpine-dump", "version": 1}\n'
+            "not json\n"
+        )
+        with pytest.raises(EngineError):
+            restore_database(stream)
+
+    def test_unknown_record(self):
+        stream = io.StringIO(
+            '{"type": "header", "format": "jackpine-dump", "version": 1}\n'
+            '{"type": "mystery"}\n'
+        )
+        with pytest.raises(EngineError):
+            restore_database(stream)

@@ -1,0 +1,88 @@
+"""Smoke tests: every example script runs to completion.
+
+The slower examples are exercised at a reduced scale via their CLI flags;
+quickstart has no knobs and runs as-is.
+"""
+
+import runpy
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(script: str, *args: str) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+def test_quickstart():
+    out = _run("quickstart.py")
+    assert "overlapping parks" in out
+    assert "Riverside" in out
+    assert "exact geometry says: False" in out
+
+
+def test_geocoding_service_class_direct():
+    """Exercise the GeocodingService class at tiny scale, not via CLI."""
+    sys.path.insert(0, str(EXAMPLES))
+    try:
+        from geocoding_service import GeocodingService
+    finally:
+        sys.path.remove(str(EXAMPLES))
+    from repro.datagen import generate
+    from repro.dbapi import connect
+    from repro.engines import Database
+
+    dataset = generate(seed=3, scale=0.1)
+    db = Database("greenwood")
+    dataset.load_into(db)
+    service = GeocodingService(connect(database=db))
+
+    edges = dataset.layer("edges")
+    row = next(
+        r for r in edges.rows
+        if r[edges.columns.index("road_class")] == "local"
+    )
+    name = row[edges.columns.index("fullname")]
+    fips = row[edges.columns.index("county_fips")]
+    house = row[edges.columns.index("lfromadd")] + 2
+    location = service.geocode(name, house, fips)
+    assert location is not None
+    # reverse geocoding near that point should find a road
+    result = service.reverse_geocode(location[0], location[1])
+    assert result is not None
+    address, dist = result
+    assert dist < 100.0
+
+
+@pytest.fixture(scope="module")
+def geocoding_out():
+    return _run("geocoding_service.py")
+
+
+def test_geocoding_service_script(geocoding_out):
+    assert "forward geocoding:" in geocoding_out
+    assert "reverse geocoding:" in geocoding_out
+    assert "->" in geocoding_out
+
+
+def test_flood_risk_script():
+    out = _run("flood_risk_analysis.py", "--scale", "0.15")
+    assert "parcels at risk" in out
+    assert "flooded" in out
+
+
+def test_compare_engines_script():
+    out = _run("compare_engines.py", "--scale", "0.1")
+    assert "greenwood" in out
+    assert "not supported" in out  # bluestem's convex hull gap

@@ -1,0 +1,151 @@
+"""Tests for the standalone experiment drivers (J-F5/J-F6/J-A1/J-A2)."""
+
+import pytest
+
+from repro.core import experiments as exp
+
+
+class TestIndexEffect:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return exp.run_index_effect(seed=42, scale=0.1)
+
+    def test_answers_identical_across_modes(self, result):
+        # asserted inside run_index_effect; re-check rows came back
+        assert len(result.rows) == len(exp.INDEX_EFFECT_QUERIES)
+
+    def test_selective_queries_benefit_from_index(self, result):
+        by_name = {name: (w, wo) for name, w, wo, _a in result.rows}
+        with_idx, without = by_name["window_small"]
+        assert with_idx < without
+
+    def test_render(self, result):
+        text = exp.render_index_effect(result)
+        assert "J-F5" in text
+        assert "speedup" in text
+
+
+class TestScalability:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return exp.run_scalability(seed=42, scales=(0.1, 0.3))
+
+    def test_series_cover_all_queries(self, result):
+        assert set(result.series) == set(exp.SCALABILITY_QUERIES)
+        for points in result.series.values():
+            assert [s for s, _t, _a in points] == [0.1, 0.3]
+
+    def test_answers_grow_with_scale(self, result):
+        for name, points in result.series.items():
+            answers = [a for _s, _t, a in points]
+            assert answers[-1] >= answers[0], name
+
+    def test_render(self, result):
+        text = exp.render_scalability(result)
+        assert "J-F6" in text
+
+
+class TestRefinementAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return exp.run_refinement_ablation(seed=42, scale=0.1)
+
+    def test_mbr_overcounts_touches(self, result):
+        row = dict(result.rows)["touches_counties"]
+        _t, exact = row["greenwood"]
+        _t2, approx = row["bluestem"]
+        # jittered county MBRs overlap: the MBR 'touches' answer differs
+        assert approx != exact
+
+    def test_exact_engines_agree(self, result):
+        for name, per_engine in result.rows:
+            assert per_engine["greenwood"][1] == per_engine["ironbark"][1], name
+
+    def test_render(self, result):
+        text = exp.render_refinement(result)
+        assert "J-A1" in text
+        assert "bluestem" in text
+
+
+class TestIndexAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return exp.run_index_ablation(seed=42, scale=0.1,
+                                      kinds=("rtree", "grid", "scan"))
+
+    def test_all_kinds_reported(self, result):
+        assert result.kinds == ("rtree", "grid", "scan")
+        assert len(result.rows) == len(exp.INDEX_ABLATION_QUERIES)
+
+    def test_render(self, result):
+        text = exp.render_index_ablation(result)
+        assert "J-A2" in text
+        assert "rtree" in text
+
+
+class TestSelectivitySweep:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return exp.run_selectivity_sweep(
+            seed=42, scale=0.1, fractions=(0.05, 0.25, 1.0)
+        )
+
+    def test_exact_engines_agree_and_mbr_never_undercounts(self, result):
+        # the probe is its own envelope, but the *edges* are not: the MBR
+        # engine keeps every edge whose box clips the window, so it may
+        # over-count (never under-count) relative to the exact engines
+        for i in range(3):
+            exact = result.series["greenwood"][i][2]
+            assert result.series["ironbark"][i][2] == exact
+            assert result.series["bluestem"][i][2] >= exact
+
+    def test_answers_monotone_in_window_size(self, result):
+        for engine in result.engines:
+            counts = [p[2] for p in result.series[engine]]
+            assert counts == sorted(counts)
+
+    def test_full_window_returns_everything(self, result):
+        from repro.datagen import generate
+
+        edges = len(generate(seed=42, scale=0.1).layer("edges").rows)
+        for engine in result.engines:
+            assert result.series[engine][-1][2] == edges
+
+    def test_render(self, result):
+        text = exp.render_selectivity(result)
+        assert "J-X1" in text
+
+
+class TestConcurrency:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return exp.run_concurrency(
+            scenario_name="geocoding", clients_series=(1, 3),
+            seed=42, scale=0.1,
+        )
+
+    def test_queries_scale_with_clients(self, result):
+        (c1, _w1, q1, _t1), (c3, _w3, q3, _t3) = result.points
+        assert c1 == 1 and c3 == 3
+        assert q3 == 3 * q1
+
+    def test_render(self, result):
+        text = exp.render_concurrency(result)
+        assert "J-X2" in text
+        assert "geocoding" in text
+
+
+class TestCliIntegration:
+    def test_experiment_subcommand(self, capsys):
+        from repro.cli import main
+
+        code = main(["experiment", "ja2", "--scale", "0.1"])
+        assert code == 0
+        assert "J-A2" in capsys.readouterr().out
+
+    def test_selectivity_subcommand(self, capsys):
+        from repro.cli import main
+
+        code = main(["experiment", "jx1", "--scale", "0.1"])
+        assert code == 0
+        assert "J-X1" in capsys.readouterr().out

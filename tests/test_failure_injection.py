@@ -1,0 +1,118 @@
+"""Failure-injection tests: malformed input, mid-statement errors, and
+parser fuzzing must never corrupt state or escape the error hierarchy."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engines import Database
+from repro.errors import ReproError, WkbParseError, WktParseError
+from repro.geometry import Point, wkb_dumps, wkb_loads, wkt_loads
+
+
+@pytest.fixture
+def db():
+    database = Database("greenwood")
+    database.execute("CREATE TABLE t (id INTEGER, geom GEOMETRY)")
+    database.execute("CREATE SPATIAL INDEX tix ON t (geom)")
+    database.execute("INSERT INTO t VALUES (1, ST_Point(0, 0))")
+    return database
+
+
+class TestStatementAtomicity:
+    def test_multirow_insert_failure_leaves_table_unchanged(self, db):
+        before = db.execute("SELECT COUNT(*) FROM t").scalar()
+        with pytest.raises(ReproError):
+            db.execute(
+                "INSERT INTO t VALUES "
+                "(2, ST_Point(1, 1)), "
+                "(3, ST_GeomFromText('GARBAGE')), "
+                "(4, ST_Point(2, 2))"
+            )
+        assert db.execute("SELECT COUNT(*) FROM t").scalar() == before
+
+    def test_failed_insert_leaves_index_consistent(self, db):
+        with pytest.raises(ReproError):
+            db.execute(
+                "INSERT INTO t VALUES (2, ST_Point(5, 5)), (3, 'GARBAGE')"
+            )
+        got = db.execute(
+            "SELECT COUNT(*) FROM t "
+            "WHERE ST_Intersects(geom, ST_MakeEnvelope(4, 4, 6, 6))"
+        ).scalar()
+        assert got == 0
+
+    def test_type_error_in_multirow_insert_is_atomic(self, db):
+        before = db.execute("SELECT COUNT(*) FROM t").scalar()
+        with pytest.raises(ReproError):
+            db.execute("INSERT INTO t VALUES (9, ST_Point(1, 1)), ('x', NULL)")
+        assert db.execute("SELECT COUNT(*) FROM t").scalar() == before
+
+
+class TestErrorHierarchy:
+    BAD_STATEMENTS = [
+        "SELECT",                              # truncated
+        "SELECT * FROM",                       # missing table
+        "SELECT * FROM nosuch",                # unknown table
+        "SELECT nocol FROM t",                 # unknown column
+        "SELECT ST_Nope(geom) FROM t",         # unknown function
+        "FLY ME TO THE MOON",                  # not SQL
+        "INSERT INTO t VALUES ()",             # empty row
+        "CREATE TABLE t (id INTEGER)",         # duplicate table
+        "SELECT id FROM t WHERE ST_Intersects(geom)",  # arity
+        "SELECT * FROM t ORDER BY 99",         # position out of range
+    ]
+
+    @pytest.mark.parametrize("sql", BAD_STATEMENTS)
+    def test_bad_statements_raise_repro_errors(self, db, sql):
+        with pytest.raises(ReproError):
+            db.execute(sql)
+
+    def test_queries_still_work_after_errors(self, db):
+        for sql in self.BAD_STATEMENTS:
+            try:
+                db.execute(sql)
+            except ReproError:
+                pass
+        assert db.execute("SELECT COUNT(*) FROM t").scalar() == 1
+
+
+class TestParserFuzz:
+    @given(st.binary(max_size=200))
+    @settings(max_examples=200, deadline=None)
+    def test_wkb_loads_never_crashes_unexpectedly(self, blob):
+        try:
+            wkb_loads(blob)
+        except ReproError:
+            pass  # WkbParseError or GeometryError are the contract
+
+    @given(st.binary(min_size=1, max_size=20))
+    @settings(max_examples=100, deadline=None)
+    def test_wkb_bitflips_detected_or_parse(self, noise):
+        blob = bytearray(wkb_dumps(Point(1.5, -2.5)))
+        for i, b in enumerate(noise):
+            blob[b % len(blob)] ^= (i + 1) % 256
+        try:
+            geom = wkb_loads(bytes(blob))
+        except ReproError:
+            return
+        # if it still parses, it must be a structurally sound geometry
+        assert geom.num_points >= 1
+
+    @given(st.text(max_size=80))
+    @settings(max_examples=200, deadline=None)
+    def test_wkt_loads_never_crashes_unexpectedly(self, text):
+        try:
+            wkt_loads(text)
+        except ReproError:
+            pass
+
+    @given(st.text(alphabet="SELECT FROM WHERE()*,'0123456789abc=<>?;", max_size=60))
+    @settings(max_examples=200, deadline=None)
+    def test_sql_parser_never_crashes_unexpectedly(self, sql):
+        from repro.sql.parser import parse
+
+        try:
+            parse(sql)
+        except ReproError:
+            pass

@@ -1,0 +1,160 @@
+"""Unit tests for geodetic (spherical) measurements."""
+
+import math
+
+import pytest
+
+from repro.algorithms.geodesy import (
+    EARTH_RADIUS_M,
+    destination,
+    haversine_m,
+    sphere_area_m2,
+    sphere_distance_m,
+    sphere_length_m,
+)
+from repro.engines import Database
+from repro.errors import GeometryError, UnsupportedFeatureError
+from repro.geometry import LineString, Point, Polygon
+
+
+class TestHaversine:
+    def test_zero_distance(self):
+        assert haversine_m((10, 20), (10, 20)) == 0.0
+
+    def test_one_degree_longitude_at_equator(self):
+        got = haversine_m((0, 0), (1, 0))
+        expected = math.radians(1) * EARTH_RADIUS_M
+        assert got == pytest.approx(expected, rel=1e-9)
+
+    def test_one_degree_longitude_at_60_north_is_half(self):
+        at_equator = haversine_m((0, 0), (1, 0))
+        at_60 = haversine_m((0, 60), (1, 60))
+        assert at_60 == pytest.approx(at_equator / 2.0, rel=1e-3)
+
+    def test_pole_to_pole(self):
+        got = haversine_m((0, -90), (0, 90))
+        assert got == pytest.approx(math.pi * EARTH_RADIUS_M, rel=1e-9)
+
+    def test_known_city_pair(self):
+        # London (-0.1276, 51.5072) to Paris (2.3522, 48.8566) ~ 343-344 km
+        got = haversine_m((-0.1276, 51.5072), (2.3522, 48.8566))
+        assert got == pytest.approx(343_500, rel=0.01)
+
+    def test_symmetry(self):
+        a, b = (-97.7, 30.3), (-95.4, 29.8)
+        assert haversine_m(a, b) == pytest.approx(haversine_m(b, a))
+
+    def test_rejects_non_lonlat(self):
+        with pytest.raises(GeometryError):
+            haversine_m((200, 0), (0, 0))
+        with pytest.raises(GeometryError):
+            haversine_m((0, 0), (0, 91))
+
+
+class TestDestination:
+    def test_east_at_equator(self):
+        lon, lat = destination((0, 0), 90.0, 111_195.0)
+        assert lat == pytest.approx(0.0, abs=1e-9)
+        assert lon == pytest.approx(1.0, rel=1e-3)
+
+    def test_north(self):
+        lon, lat = destination((10, 0), 0.0, 111_195.0)
+        assert lon == pytest.approx(10.0, abs=1e-9)
+        assert lat == pytest.approx(1.0, rel=1e-3)
+
+    def test_roundtrip_with_haversine(self):
+        start = (-97.7, 30.3)
+        end = destination(start, 37.0, 25_000.0)
+        assert haversine_m(start, end) == pytest.approx(25_000.0, rel=1e-6)
+
+
+class TestSphereLengthArea:
+    def test_line_length(self):
+        line = LineString([(0, 0), (1, 0), (2, 0)])
+        expected = 2 * haversine_m((0, 0), (1, 0))
+        assert sphere_length_m(line) == pytest.approx(expected)
+
+    def test_point_has_no_length(self):
+        assert sphere_length_m(Point(5, 5)) == 0.0
+
+    def test_small_square_area_close_to_planar(self):
+        # a 0.1 x 0.1 degree square at the equator
+        side = haversine_m((0, 0), (0.1, 0))
+        square = Polygon([(0, 0), (0.1, 0), (0.1, 0.1), (0, 0.1)])
+        got = sphere_area_m2(square)
+        assert got == pytest.approx(side * side, rel=1e-3)
+
+    def test_area_shrinks_with_latitude(self):
+        at_equator = sphere_area_m2(
+            Polygon([(0, 0), (1, 0), (1, 1), (0, 1)])
+        )
+        at_60 = sphere_area_m2(
+            Polygon([(0, 60), (1, 60), (1, 61), (0, 61)])
+        )
+        assert at_60 < at_equator * 0.6
+
+    def test_hole_subtracts(self):
+        outer = Polygon(
+            [(0, 0), (2, 0), (2, 2), (0, 2)],
+            holes=[[(0.5, 0.5), (1.5, 0.5), (1.5, 1.5), (0.5, 1.5)]],
+        )
+        full = sphere_area_m2(Polygon([(0, 0), (2, 0), (2, 2), (0, 2)]))
+        hole = sphere_area_m2(
+            Polygon([(0.5, 0.5), (1.5, 0.5), (1.5, 1.5), (0.5, 1.5)])
+        )
+        assert sphere_area_m2(outer) == pytest.approx(full - hole, rel=1e-9)
+
+    def test_lineal_geometry_has_no_area(self):
+        assert sphere_area_m2(LineString([(0, 0), (1, 1)])) == 0.0
+
+
+class TestSphereDistance:
+    def test_point_geometries(self):
+        a, b = Point(-0.1276, 51.5072), Point(2.3522, 48.8566)
+        assert sphere_distance_m(a, b) == pytest.approx(
+            haversine_m(a.coord, b.coord)
+        )
+
+    def test_vertex_sampled_minimum(self):
+        line = LineString([(0, 0), (0, 10)])
+        point = Point(1, 5)
+        got = sphere_distance_m(point, line)
+        assert got <= haversine_m((1, 5), (0, 0))
+
+
+class TestSqlIntegration:
+    def test_geodetic_functions_on_exact_engines(self):
+        for engine in ("greenwood", "ironbark"):
+            db = Database(engine)
+            got = db.execute(
+                "SELECT ST_DistanceSphere(ST_Point(0, 0), ST_Point(1, 0))"
+            ).scalar()
+            assert got == pytest.approx(
+                math.radians(1) * EARTH_RADIUS_M, rel=1e-9
+            )
+
+    def test_bluestem_lacks_geodetic_support(self):
+        db = Database("bluestem")
+        with pytest.raises(UnsupportedFeatureError):
+            db.execute(
+                "SELECT ST_DistanceSphere(ST_Point(0, 0), ST_Point(1, 0))"
+            )
+
+    def test_planar_vs_geodetic_divergence(self):
+        # the motivating example: planar 'distance' of one degree of
+        # longitude is the same at every latitude; geodetic is not
+        db = Database("greenwood")
+        planar_eq = db.execute(
+            "SELECT ST_Distance(ST_Point(0, 0), ST_Point(1, 0))"
+        ).scalar()
+        planar_60 = db.execute(
+            "SELECT ST_Distance(ST_Point(0, 60), ST_Point(1, 60))"
+        ).scalar()
+        assert planar_eq == planar_60 == 1.0
+        sphere_eq = db.execute(
+            "SELECT ST_DistanceSphere(ST_Point(0, 0), ST_Point(1, 0))"
+        ).scalar()
+        sphere_60 = db.execute(
+            "SELECT ST_DistanceSphere(ST_Point(0, 60), ST_Point(1, 60))"
+        ).scalar()
+        assert sphere_60 < sphere_eq * 0.6

@@ -1,0 +1,249 @@
+"""Unit tests for the geometry model: construction, structure, invariants."""
+
+import math
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry import (
+    EMPTY,
+    GeometryCollection,
+    GeometryType,
+    LineString,
+    MultiLineString,
+    MultiPoint,
+    MultiPolygon,
+    Point,
+    Polygon,
+    signed_ring_area,
+)
+
+
+class TestPoint:
+    def test_basic(self):
+        p = Point(3, 4)
+        assert p.coord == (3.0, 4.0)
+        assert p.dimension == 0
+        assert p.num_points == 1
+        assert not p.is_empty
+        assert p.geom_type is GeometryType.POINT
+
+    def test_envelope_degenerate(self):
+        env = Point(2, 5).envelope
+        assert env.as_tuple() == (2.0, 5.0, 2.0, 5.0)
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(GeometryError):
+            Point(float("nan"), 0)
+        with pytest.raises(GeometryError):
+            Point(0, float("inf"))
+
+    def test_structural_equality(self):
+        assert Point(1, 2) == Point(1, 2)
+        assert Point(1, 2) != Point(2, 1)
+        assert hash(Point(1, 2)) == hash(Point(1, 2))
+
+    def test_point_not_equal_to_multipoint_structurally(self):
+        assert Point(1, 2) != MultiPoint([(1, 2)])
+
+
+class TestMultiPoint:
+    def test_from_tuples_and_points(self):
+        mp = MultiPoint([(0, 0), Point(1, 1)])
+        assert len(mp) == 2
+        assert mp[1] == Point(1, 1)
+        assert [p.coord for p in mp] == [(0.0, 0.0), (1.0, 1.0)]
+
+    def test_empty_rejected(self):
+        with pytest.raises(GeometryError):
+            MultiPoint([])
+
+    def test_dimension(self):
+        assert MultiPoint([(0, 0)]).dimension == 0
+
+
+class TestLineString:
+    def test_basic(self):
+        line = LineString([(0, 0), (3, 4)])
+        assert line.dimension == 1
+        assert line.length() == 5.0
+        assert not line.is_closed
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(GeometryError):
+            LineString([(0, 0)])
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(GeometryError):
+            LineString([(1, 1), (1, 1), (1, 1)])
+
+    def test_closed_ring(self):
+        ring = LineString([(0, 0), (1, 0), (1, 1), (0, 0)])
+        assert ring.is_closed
+        assert ring.boundary_points() == ()
+
+    def test_open_boundary(self):
+        line = LineString([(0, 0), (5, 0)])
+        boundary = line.boundary_points()
+        assert {p.coord for p in boundary} == {(0.0, 0.0), (5.0, 0.0)}
+
+    def test_segments_skip_repeats(self):
+        line = LineString([(0, 0), (1, 0), (1, 0), (2, 0)])
+        assert list(line.segments()) == [
+            ((0.0, 0.0), (1.0, 0.0)),
+            ((1.0, 0.0), (2.0, 0.0)),
+        ]
+
+    def test_interpolate_midpoint(self):
+        line = LineString([(0, 0), (10, 0)])
+        assert line.interpolate(0.5) == Point(5, 0)
+
+    def test_interpolate_endpoints(self):
+        line = LineString([(0, 0), (10, 0)])
+        assert line.interpolate(0.0) == Point(0, 0)
+        assert line.interpolate(1.0) == Point(10, 0)
+
+    def test_interpolate_multi_segment(self):
+        line = LineString([(0, 0), (10, 0), (10, 10)])
+        assert line.interpolate(0.75) == Point(10, 5)
+
+    def test_interpolate_out_of_range(self):
+        with pytest.raises(GeometryError):
+            LineString([(0, 0), (1, 0)]).interpolate(1.5)
+
+    def test_project_inverse_of_interpolate(self):
+        line = LineString([(0, 0), (10, 0), (10, 10)])
+        for fraction in (0.1, 0.4, 0.8):
+            point = line.interpolate(fraction)
+            assert line.project(point) == pytest.approx(fraction, abs=1e-9)
+
+    def test_project_clamps_to_segment(self):
+        line = LineString([(0, 0), (10, 0)])
+        assert line.project(Point(-5, 3)) == 0.0
+        assert line.project(Point(99, -1)) == 1.0
+
+    def test_reversed(self):
+        line = LineString([(0, 0), (1, 1), (2, 0)])
+        assert line.reversed().coords == ((2.0, 0.0), (1.0, 1.0), (0.0, 0.0))
+
+
+class TestMultiLineString:
+    def test_mod2_boundary(self):
+        # two segments sharing an endpoint: the shared node vanishes
+        ml = MultiLineString([
+            [(0, 0), (1, 0)],
+            [(1, 0), (2, 0)],
+        ])
+        assert {p.coord for p in ml.boundary_points()} == {
+            (0.0, 0.0), (2.0, 0.0)
+        }
+
+    def test_mod2_boundary_three_way(self):
+        # a node where three lines end stays in the boundary (odd count)
+        ml = MultiLineString([
+            [(0, 0), (1, 1)],
+            [(2, 0), (1, 1)],
+            [(1, 2), (1, 1)],
+        ])
+        boundary = {p.coord for p in ml.boundary_points()}
+        assert (1.0, 1.0) in boundary
+
+    def test_length_sums(self):
+        ml = MultiLineString([[(0, 0), (3, 4)], [(0, 0), (0, 2)]])
+        assert ml.length() == 7.0
+
+
+class TestPolygon:
+    def test_shell_closed_automatically(self):
+        poly = Polygon([(0, 0), (4, 0), (4, 4), (0, 4)])
+        assert poly.shell[0] == poly.shell[-1]
+
+    def test_shell_normalised_ccw(self):
+        cw = Polygon([(0, 0), (0, 4), (4, 4), (4, 0)])  # given clockwise
+        assert signed_ring_area(cw.shell) > 0
+
+    def test_holes_normalised_cw(self):
+        poly = Polygon(
+            [(0, 0), (10, 0), (10, 10), (0, 10)],
+            holes=[[(2, 2), (4, 2), (4, 4), (2, 4)]],  # given ccw
+        )
+        assert signed_ring_area(poly.holes[0]) < 0
+
+    def test_area_subtracts_holes(self, donut):
+        assert donut.area() == 100.0 - 16.0
+
+    def test_zero_area_ring_rejected(self):
+        with pytest.raises(GeometryError):
+            Polygon([(0, 0), (1, 1), (2, 2)])
+
+    def test_too_few_coords_rejected(self):
+        with pytest.raises(GeometryError):
+            Polygon([(0, 0), (1, 0)])
+
+    def test_boundary_simple(self, unit_square):
+        boundary = unit_square.boundary()
+        assert isinstance(boundary, LineString)
+        assert boundary.is_closed
+
+    def test_boundary_with_holes(self, donut):
+        boundary = donut.boundary()
+        assert isinstance(boundary, MultiLineString)
+        assert len(boundary) == 2
+
+    def test_dimension(self, unit_square):
+        assert unit_square.dimension == 2
+
+
+class TestMultiPolygon:
+    def test_from_polygons(self, unit_square, far_square):
+        mp = MultiPolygon([unit_square, far_square])
+        assert len(mp) == 2
+        assert mp.area() == 200.0
+
+    def test_from_bare_shells(self):
+        mp = MultiPolygon([
+            [(0, 0), (1, 0), (1, 1), (0, 1)],
+            [(5, 5), (6, 5), (6, 6), (5, 6)],
+        ])
+        assert len(mp) == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(GeometryError):
+            MultiPolygon([])
+
+
+class TestGeometryCollection:
+    def test_empty_collection(self):
+        assert EMPTY.is_empty
+        assert EMPTY.dimension == -1
+        assert len(EMPTY) == 0
+
+    def test_flattens_nested_collections(self, unit_square, center_point):
+        inner = GeometryCollection([center_point])
+        outer = GeometryCollection([unit_square, inner])
+        assert len(outer) == 2
+
+    def test_dimension_is_max(self, unit_square, center_point):
+        gc = GeometryCollection([center_point, unit_square])
+        assert gc.dimension == 2
+
+
+class TestEnvelopeGeometry:
+    def test_polygon_envelope_geometry(self, unit_square):
+        env_geom = unit_square.envelope_geometry()
+        assert isinstance(env_geom, Polygon)
+        assert env_geom.area() == 100.0
+
+    def test_point_envelope_geometry_is_point(self, center_point):
+        assert isinstance(center_point.envelope_geometry(), Point)
+
+    def test_vertical_line_envelope_geometry_is_line(self):
+        line = LineString([(3, 0), (3, 9)])
+        env_geom = line.envelope_geometry()
+        assert isinstance(env_geom, LineString)
+
+
+class TestRepr:
+    def test_repr_truncates(self):
+        poly = Polygon([(i, math.sin(i)) for i in range(50)] + [(49, 10)])
+        assert len(repr(poly)) < 120

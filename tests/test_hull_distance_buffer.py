@@ -1,0 +1,170 @@
+"""Unit tests for convex hull, distance/dwithin, and buffer."""
+
+import math
+
+import pytest
+
+from repro.algorithms import (
+    area,
+    buffer,
+    contains,
+    convex_hull,
+    covers,
+    distance,
+    dwithin,
+)
+from repro.algorithms.buffer import circle, segment_capsule
+from repro.algorithms.convexhull import convex_hull_coords
+from repro.geometry import (
+    LineString,
+    MultiPoint,
+    MultiPolygon,
+    Point,
+    Polygon,
+)
+
+
+class TestConvexHull:
+    def test_square_plus_interior_point(self):
+        hull = convex_hull_coords([(0, 0), (4, 0), (4, 4), (0, 4), (2, 2)])
+        assert set(hull) == {(0, 0), (4, 0), (4, 4), (0, 4)}
+
+    def test_hull_is_ccw(self):
+        hull = convex_hull_coords([(0, 0), (4, 0), (4, 4), (0, 4)])
+        from repro.geometry import signed_ring_area
+
+        assert signed_ring_area(tuple(hull) + (hull[0],)) > 0
+
+    def test_collinear_degenerates_to_line(self):
+        geom = convex_hull(LineString([(0, 0), (5, 5), (10, 10)]))
+        assert isinstance(geom, LineString)
+
+    def test_single_point(self):
+        assert isinstance(convex_hull(Point(3, 3)), Point)
+
+    def test_hull_covers_input(self, donut):
+        hull = convex_hull(donut)
+        assert covers(hull, donut.envelope_geometry()) or contains(
+            hull, Point(5, 5)
+        )
+        assert area(hull) >= area(donut)
+
+    def test_concave_polygon_hull(self):
+        concave = Polygon([(0, 0), (10, 0), (10, 10), (5, 2), (0, 10)])
+        hull = convex_hull(concave)
+        assert area(hull) == 100.0
+
+
+class TestDistance:
+    def test_point_point(self):
+        assert distance(Point(0, 0), Point(3, 4)) == 5.0
+
+    def test_point_polygon_outside(self, unit_square):
+        assert distance(Point(13, 14), unit_square) == 5.0
+
+    def test_point_inside_polygon_zero(self, unit_square, center_point):
+        assert distance(center_point, unit_square) == 0.0
+
+    def test_point_in_hole_positive(self, donut):
+        assert distance(Point(5, 5), donut) == 2.0
+
+    def test_polygon_polygon(self, unit_square, far_square):
+        assert distance(unit_square, far_square) == pytest.approx(
+            math.hypot(90, 90)
+        )
+
+    def test_overlapping_zero(self, unit_square, shifted_square):
+        assert distance(unit_square, shifted_square) == 0.0
+
+    def test_polygon_containing_polygon_zero(self, unit_square, inner_square):
+        assert distance(unit_square, inner_square) == 0.0
+
+    def test_line_line(self):
+        a = LineString([(0, 0), (10, 0)])
+        b = LineString([(0, 3), (10, 3)])
+        assert distance(a, b) == 3.0
+
+    def test_symmetry(self, unit_square, far_square, diagonal_line):
+        for g1, g2 in [(unit_square, far_square), (unit_square, diagonal_line)]:
+            assert distance(g1, g2) == pytest.approx(distance(g2, g1))
+
+    def test_dwithin(self, unit_square):
+        probe = Point(13, 10)
+        assert dwithin(probe, unit_square, 3.0)
+        assert not dwithin(probe, unit_square, 2.9)
+
+
+class TestBufferPrimitives:
+    def test_circle_area_converges(self):
+        coarse = area(circle((0, 0), 10, quad_segs=4))
+        fine = area(circle((0, 0), 10, quad_segs=32))
+        exact = math.pi * 100
+        assert coarse < fine < exact
+        assert fine == pytest.approx(exact, rel=1e-3)
+
+    def test_circle_rejects_nonpositive_radius(self):
+        from repro.errors import GeometryError
+
+        with pytest.raises(GeometryError):
+            circle((0, 0), 0.0)
+
+    def test_capsule_area(self):
+        got = area(segment_capsule((0, 0), (10, 0), 2, quad_segs=16))
+        exact = 10 * 4 + math.pi * 4
+        assert got == pytest.approx(exact, rel=1e-2)
+
+    def test_capsule_degenerate_is_circle(self):
+        got = segment_capsule((3, 3), (3, 3), 1.0)
+        assert area(got) == pytest.approx(math.pi, rel=1e-2)
+
+
+class TestBuffer:
+    def test_point_buffer(self):
+        got = buffer(Point(0, 0), 5)
+        assert area(got) == pytest.approx(math.pi * 25, rel=1e-2)
+
+    def test_line_buffer_area(self):
+        got = buffer(LineString([(0, 0), (10, 0)]), 1, quad_segs=16)
+        assert area(got) == pytest.approx(20 + math.pi, rel=1e-2)
+
+    def test_bent_line_buffer_contains_vertices(self):
+        line = LineString([(0, 0), (10, 0), (10, 10)])
+        got = buffer(line, 2)
+        for x, y in line.coords:
+            assert contains(got, Point(x, y))
+
+    def test_polygon_buffer_grows(self, unit_square):
+        got = buffer(unit_square, 2, quad_segs=8)
+        assert area(got) > area(unit_square)
+        # rough analytic bound: area + perimeter*r + pi*r^2
+        expected = 100 + 40 * 2 + math.pi * 4
+        assert area(got) == pytest.approx(expected, rel=5e-2)
+
+    def test_buffer_covers_original(self, unit_square):
+        got = buffer(unit_square, 1)
+        assert covers(got, unit_square)
+
+    def test_zero_radius_identity(self, unit_square):
+        assert buffer(unit_square, 0.0) == unit_square
+
+    def test_negative_buffer_erodes(self, unit_square):
+        got = buffer(unit_square, -1, quad_segs=8)
+        assert 0.0 < area(got) < area(unit_square)
+        assert area(got) == pytest.approx(64.0, rel=5e-2)
+
+    def test_negative_buffer_eliminates_small(self):
+        tiny = Polygon([(0, 0), (1, 0), (1, 1), (0, 1)])
+        got = buffer(tiny, -2)
+        assert got.is_empty or area(got) < 1e-9
+
+    def test_negative_buffer_of_line_is_empty(self, diagonal_line):
+        assert buffer(diagonal_line, -1).is_empty
+
+    def test_multipoint_buffer_merges_close_points(self):
+        mp = MultiPoint([(0, 0), (1, 0)])
+        got = buffer(mp, 2)
+        assert isinstance(got, Polygon)  # discs overlap into one blob
+
+    def test_multipolygon_buffer(self, unit_square, far_square):
+        got = buffer(MultiPolygon([unit_square, far_square]), 1)
+        assert area(got) > 200.0

@@ -1,0 +1,74 @@
+"""Property-based tests: every index implementation must agree with the
+linear-scan oracle on arbitrary envelope sets and query rectangles."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Envelope
+from repro.index import INDEX_KINDS, LinearScanIndex
+
+ordinate = st.integers(min_value=-100, max_value=100).map(float)
+
+
+@st.composite
+def envelopes(draw):
+    x1, x2 = sorted((draw(ordinate), draw(ordinate)))
+    y1, y2 = sorted((draw(ordinate), draw(ordinate)))
+    return Envelope(x1, y1, x2, y2)
+
+
+envelope_sets = st.lists(envelopes(), min_size=0, max_size=60)
+
+
+@pytest.mark.parametrize("kind", sorted(set(INDEX_KINDS) - {"scan"}))
+class TestAgainstOracle:
+    @given(items=envelope_sets, query=envelopes())
+    @settings(max_examples=50, deadline=None)
+    def test_search_matches_oracle(self, kind, items, query):
+        oracle = LinearScanIndex()
+        index = INDEX_KINDS[kind]()
+        for i, env in enumerate(items):
+            oracle.insert(i, env)
+            index.insert(i, env)
+        assert sorted(index.search(query)) == sorted(oracle.search(query))
+
+    @given(items=envelope_sets, query=envelopes())
+    @settings(max_examples=30, deadline=None)
+    def test_bulk_load_matches_oracle(self, kind, items, query):
+        enumerated = list(enumerate(items))
+        oracle = LinearScanIndex()
+        for i, env in enumerated:
+            oracle.insert(i, env)
+        index = INDEX_KINDS[kind].bulk_load(enumerated)
+        assert sorted(index.search(query)) == sorted(oracle.search(query))
+
+    @given(items=st.lists(envelopes(), min_size=1, max_size=40),
+           point=st.tuples(ordinate, ordinate))
+    @settings(max_examples=30, deadline=None)
+    def test_nearest_distance_matches_oracle(self, kind, items, point):
+        enumerated = list(enumerate(items))
+        oracle = LinearScanIndex()
+        for i, env in enumerated:
+            oracle.insert(i, env)
+        index = INDEX_KINDS[kind].bulk_load(enumerated)
+        x, y = point
+        got = index.nearest(x, y, 3)
+        want = oracle.nearest(x, y, 3)
+        dist = {i: env.distance_to_point(x, y) for i, env in enumerated}
+        assert [round(dist[i], 9) for i in got] == [
+            round(dist[i], 9) for i in want
+        ]
+
+    @given(items=st.lists(envelopes(), min_size=2, max_size=40),
+           data=st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_remove_then_search(self, kind, items, data):
+        enumerated = list(enumerate(items))
+        index = INDEX_KINDS[kind].bulk_load(enumerated)
+        victim = data.draw(st.integers(min_value=0, max_value=len(items) - 1))
+        assert index.remove(victim, items[victim])
+        survivors = [(i, e) for i, e in enumerated if i != victim]
+        query = data.draw(envelopes())
+        expected = sorted(i for i, e in survivors if e.intersects(query))
+        assert sorted(index.search(query)) == expected

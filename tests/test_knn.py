@@ -1,0 +1,165 @@
+"""Tests for the KNN operator (<->) and the best-first KNN scan rewrite."""
+
+import random
+
+import pytest
+
+from repro.engines import Database
+
+
+@pytest.fixture
+def db():
+    database = Database("greenwood")
+    database.execute("CREATE TABLE sites (id INTEGER, geom GEOMETRY)")
+    rng = random.Random(4)
+    rows = ", ".join(
+        f"({i}, ST_Point({rng.uniform(0, 1000):.3f}, {rng.uniform(0, 1000):.3f}))"
+        for i in range(300)
+    )
+    database.execute(f"INSERT INTO sites VALUES {rows}")
+    database.execute("CREATE SPATIAL INDEX six ON sites (geom)")
+    return database
+
+
+KNN_SQL = (
+    "SELECT id FROM sites ORDER BY geom <-> ST_Point(500, 500) LIMIT 5"
+)
+BRUTE_SQL = (
+    "SELECT id FROM sites "
+    "ORDER BY ST_Distance(geom, ST_Point(500, 500)) LIMIT 5"
+)
+
+
+class TestOperator:
+    def test_distance_value(self, db):
+        got = db.execute(
+            "SELECT ST_Point(0, 0) <-> ST_Point(3, 4)"
+        ).scalar()
+        assert got == 5.0
+
+    def test_null_propagates(self, db):
+        got = db.execute("SELECT NULL <-> ST_Point(0, 0)").scalar()
+        assert got is None
+
+    def test_non_geometry_rejected(self, db):
+        from repro.errors import SqlPlanError
+
+        with pytest.raises(SqlPlanError):
+            db.execute("SELECT 1 <-> 2")
+
+
+class TestKnnRewrite:
+    def test_plan_uses_knn_scan(self, db):
+        assert "KNNScan" in db.explain(KNN_SQL)
+
+    def test_results_match_brute_force(self, db):
+        knn = [r[0] for r in db.execute(KNN_SQL).rows]
+        brute = [r[0] for r in db.execute(BRUTE_SQL).rows]
+        assert knn == brute
+
+    def test_many_probe_points_match(self, db):
+        rng = random.Random(9)
+        for _ in range(10):
+            x, y = rng.uniform(0, 1000), rng.uniform(0, 1000)
+            knn = db.execute(
+                f"SELECT id FROM sites ORDER BY geom <-> ST_Point({x:.2f}, {y:.2f}) "
+                f"LIMIT 7"
+            ).rows
+            brute = db.execute(
+                f"SELECT id FROM sites "
+                f"ORDER BY ST_Distance(geom, ST_Point({x:.2f}, {y:.2f})) LIMIT 7"
+            ).rows
+            assert knn == brute
+
+    def test_offset_respected(self, db):
+        full = db.execute(
+            "SELECT id FROM sites ORDER BY geom <-> ST_Point(1, 1) LIMIT 6"
+        ).rows
+        tail = db.execute(
+            "SELECT id FROM sites ORDER BY geom <-> ST_Point(1, 1) "
+            "LIMIT 3 OFFSET 3"
+        ).rows
+        assert tail == full[3:]
+
+    def test_k_larger_than_table(self, db):
+        got = db.execute(
+            "SELECT id FROM sites ORDER BY geom <-> ST_Point(0, 0) LIMIT 9999"
+        )
+        assert len(got.rows) == 300
+
+    def test_no_rewrite_without_index(self, db):
+        db.execute("CREATE TABLE bare (id INTEGER, geom GEOMETRY)")
+        db.execute("INSERT INTO bare VALUES (1, ST_Point(0, 0))")
+        plan = db.explain(
+            "SELECT id FROM bare ORDER BY geom <-> ST_Point(1, 1) LIMIT 1"
+        )
+        assert "KNNScan" not in plan
+        assert "Sort" in plan
+
+    def test_no_rewrite_with_where(self, db):
+        plan = db.explain(
+            "SELECT id FROM sites WHERE id > 10 "
+            "ORDER BY geom <-> ST_Point(1, 1) LIMIT 1"
+        )
+        assert "KNNScan" not in plan
+
+    def test_unoptimized_path_still_correct(self, db):
+        with_where = db.execute(
+            "SELECT id FROM sites WHERE id < 50 "
+            "ORDER BY geom <-> ST_Point(500, 500) LIMIT 3"
+        ).rows
+        brute = db.execute(
+            "SELECT id FROM sites WHERE id < 50 "
+            "ORDER BY ST_Distance(geom, ST_Point(500, 500)) LIMIT 3"
+        ).rows
+        assert with_where == brute
+
+    def test_non_point_probe_falls_back_exactly(self, db):
+        knn = db.execute(
+            "SELECT id FROM sites ORDER BY geom <-> "
+            "ST_MakeEnvelope(400, 400, 600, 600) LIMIT 4"
+        ).rows
+        brute = db.execute(
+            "SELECT id FROM sites ORDER BY ST_Distance(geom, "
+            "ST_MakeEnvelope(400, 400, 600, 600)) LIMIT 4"
+        ).rows
+        assert knn == brute
+
+    def test_knn_scan_on_lines(self, greenwood_db):
+        """Exactness on extended geometries: envelope bound != exact."""
+        from repro.dbapi import connect
+
+        cur = connect(database=greenwood_db).cursor()
+        cur.execute(
+            "SELECT gid FROM edges ORDER BY geom <-> ST_Point(50000, 50000) "
+            "LIMIT 5"
+        )
+        knn = cur.fetchall()
+        cur.execute(
+            "SELECT gid FROM edges "
+            "ORDER BY ST_Distance(geom, ST_Point(50000, 50000)) LIMIT 5"
+        )
+        assert knn == cur.fetchall()
+
+
+class TestAllIndexKinds:
+    @pytest.mark.parametrize("kind", ["rtree", "grid", "quadtree"])
+    def test_knn_per_index_kind(self, kind):
+        db = Database("greenwood")
+        db.execute("CREATE TABLE p (id INTEGER, geom GEOMETRY)")
+        rng = random.Random(11)
+        rows = ", ".join(
+            f"({i}, ST_Point({rng.uniform(0, 100):.2f}, "
+            f"{rng.uniform(0, 100):.2f}))"
+            for i in range(80)
+        )
+        db.execute(f"INSERT INTO p VALUES {rows}")
+        db.execute(f"CREATE SPATIAL INDEX px ON p (geom) USING {kind}")
+        knn = db.execute(
+            "SELECT id FROM p ORDER BY geom <-> ST_Point(50, 50) LIMIT 5"
+        ).rows
+        brute = db.execute(
+            "SELECT id FROM p ORDER BY ST_Distance(geom, ST_Point(50, 50)) "
+            "LIMIT 5"
+        ).rows
+        assert knn == brute

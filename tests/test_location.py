@@ -1,0 +1,113 @@
+"""Unit tests for point location against all geometry types."""
+
+from repro.algorithms.location import (
+    Location,
+    locate,
+    locate_in_polygon,
+    locate_in_ring,
+    locate_on_line,
+)
+from repro.geometry import (
+    GeometryCollection,
+    LineString,
+    MultiLineString,
+    MultiPoint,
+    MultiPolygon,
+    Point,
+    Polygon,
+)
+
+INT, BND, EXT = Location.INTERIOR, Location.BOUNDARY, Location.EXTERIOR
+
+SQUARE_RING = ((0, 0), (10, 0), (10, 10), (0, 10), (0, 0))
+
+
+class TestRing:
+    def test_inside(self):
+        assert locate_in_ring((5, 5), SQUARE_RING) is INT
+
+    def test_outside(self):
+        assert locate_in_ring((15, 5), SQUARE_RING) is EXT
+
+    def test_on_edge(self):
+        assert locate_in_ring((5, 0), SQUARE_RING) is BND
+
+    def test_on_vertex(self):
+        assert locate_in_ring((10, 10), SQUARE_RING) is BND
+
+    def test_ray_through_vertex(self):
+        # point horizontally aligned with vertices must not double-count
+        ring = ((0, 0), (4, 4), (8, 0), (8, 8), (0, 8), (0, 0))
+        assert locate_in_ring((1, 4), ring) is INT
+
+    def test_concave_ring(self):
+        ring = ((0, 0), (10, 0), (10, 10), (5, 5), (0, 10), (0, 0))
+        assert locate_in_ring((5, 8), ring) is EXT  # inside the notch
+        assert locate_in_ring((2, 2), ring) is INT
+
+
+class TestPolygon:
+    def test_hole_is_exterior(self, donut):
+        assert locate_in_polygon((5, 5), donut) is EXT
+
+    def test_hole_boundary_is_boundary(self, donut):
+        assert locate_in_polygon((5, 3), donut) is BND
+
+    def test_between_shell_and_hole(self, donut):
+        assert locate_in_polygon((1, 1), donut) is INT
+
+    def test_envelope_shortcut(self, unit_square):
+        assert locate_in_polygon((99, 99), unit_square) is EXT
+
+
+class TestLine:
+    def test_interior_point(self):
+        line = LineString([(0, 0), (10, 0)])
+        assert locate_on_line((5, 0), line) is INT
+
+    def test_endpoints_are_boundary(self):
+        line = LineString([(0, 0), (10, 0)])
+        assert locate_on_line((0, 0), line) is BND
+        assert locate_on_line((10, 0), line) is BND
+
+    def test_closed_line_endpoint_is_interior(self):
+        ring = LineString([(0, 0), (5, 0), (5, 5), (0, 0)])
+        assert locate_on_line((0, 0), ring) is INT
+
+    def test_off_line(self):
+        line = LineString([(0, 0), (10, 0)])
+        assert locate_on_line((5, 1), line) is EXT
+
+    def test_vertex_of_polyline_is_interior(self):
+        line = LineString([(0, 0), (5, 5), (10, 0)])
+        assert locate_on_line((5, 5), line) is INT
+
+
+class TestDispatch:
+    def test_point_geometry(self):
+        assert locate((1, 2), Point(1, 2)) is INT
+        assert locate((1, 3), Point(1, 2)) is EXT
+
+    def test_multipoint(self):
+        mp = MultiPoint([(0, 0), (5, 5)])
+        assert locate((5, 5), mp) is INT
+        assert locate((1, 1), mp) is EXT
+
+    def test_multiline_shared_node_interior(self):
+        ml = MultiLineString([[(0, 0), (1, 0)], [(1, 0), (2, 0)]])
+        # the shared endpoint cancels under the mod-2 rule
+        assert locate((1, 0), ml) is INT
+        assert locate((0, 0), ml) is BND
+
+    def test_multipolygon(self, unit_square, far_square):
+        mp = MultiPolygon([unit_square, far_square])
+        assert locate((5, 5), mp) is INT
+        assert locate((105, 105), mp) is INT
+        assert locate((50, 50), mp) is EXT
+        assert locate((0, 5), mp) is BND
+
+    def test_collection_interior_wins(self, unit_square):
+        gc = GeometryCollection([LineString([(20, 20), (30, 30)]), unit_square])
+        assert locate((5, 5), gc) is INT
+        assert locate((25, 25), gc) is INT
+        assert locate((20, 20), gc) is BND

@@ -1,0 +1,141 @@
+"""Unit tests for measures: area, length, centroid, point-on-surface."""
+
+import math
+
+import pytest
+
+from repro.algorithms.location import Location, locate
+from repro.algorithms.measures import (
+    area,
+    centroid,
+    dimension,
+    length,
+    num_points,
+    perimeter,
+    point_on_surface,
+)
+from repro.geometry import (
+    GeometryCollection,
+    LineString,
+    MultiLineString,
+    MultiPoint,
+    MultiPolygon,
+    Point,
+    Polygon,
+)
+
+
+class TestArea:
+    def test_square(self, unit_square):
+        assert area(unit_square) == 100.0
+
+    def test_triangle(self):
+        assert area(Polygon([(0, 0), (4, 0), (0, 3)])) == 6.0
+
+    def test_orientation_independent(self):
+        ccw = Polygon([(0, 0), (4, 0), (4, 4), (0, 4)])
+        cw = Polygon([(0, 0), (0, 4), (4, 4), (4, 0)])
+        assert area(ccw) == area(cw) == 16.0
+
+    def test_holes_subtract(self, donut):
+        assert area(donut) == 84.0
+
+    def test_multipolygon_sums(self, unit_square, far_square):
+        assert area(MultiPolygon([unit_square, far_square])) == 200.0
+
+    def test_lower_dimensions_zero(self, diagonal_line, center_point):
+        assert area(diagonal_line) == 0.0
+        assert area(center_point) == 0.0
+
+
+class TestLength:
+    def test_segments_sum(self):
+        line = LineString([(0, 0), (3, 4), (3, 10)])
+        assert length(line) == 11.0
+
+    def test_multiline(self):
+        ml = MultiLineString([[(0, 0), (1, 0)], [(0, 0), (0, 2)]])
+        assert length(ml) == 3.0
+
+    def test_polygon_length_is_perimeter(self, unit_square):
+        assert length(unit_square) == 40.0
+        assert perimeter(unit_square) == 40.0
+
+    def test_donut_perimeter_includes_holes(self, donut):
+        assert perimeter(donut) == 40.0 + 16.0
+
+    def test_points_zero(self, center_point):
+        assert length(center_point) == 0.0
+        assert perimeter(center_point) == 0.0
+
+
+class TestCentroid:
+    def test_square_centroid(self, unit_square):
+        assert centroid(unit_square) == Point(5, 5)
+
+    def test_triangle_centroid(self):
+        got = centroid(Polygon([(0, 0), (3, 0), (0, 3)]))
+        assert got.x == pytest.approx(1.0)
+        assert got.y == pytest.approx(1.0)
+
+    def test_donut_centroid_accounts_for_hole(self):
+        # hole off to one side pushes the centroid the other way
+        poly = Polygon(
+            [(0, 0), (10, 0), (10, 10), (0, 10)],
+            holes=[[(6, 4), (9, 4), (9, 7), (6, 7)]],
+        )
+        got = centroid(poly)
+        assert got.x < 5.0
+
+    def test_line_centroid_weighted_by_length(self):
+        line = LineString([(0, 0), (10, 0), (10, 1)])
+        got = centroid(line)
+        # long horizontal segment dominates
+        assert got.x == pytest.approx((5 * 10 + 10 * 1) / 11)
+
+    def test_multipoint_centroid(self):
+        got = centroid(MultiPoint([(0, 0), (2, 0), (2, 2), (0, 2)]))
+        assert got == Point(1, 1)
+
+    def test_collection_uses_highest_dimension(self, unit_square):
+        gc = GeometryCollection([unit_square, Point(1000, 1000)])
+        assert centroid(gc) == Point(5, 5)
+
+
+class TestPointOnSurface:
+    def test_convex_polygon(self, unit_square):
+        p = point_on_surface(unit_square)
+        assert locate((p.x, p.y), unit_square) is Location.INTERIOR
+
+    def test_donut_avoids_hole(self, donut):
+        p = point_on_surface(donut)
+        assert locate((p.x, p.y), donut) is Location.INTERIOR
+
+    def test_u_shape_avoids_concavity(self):
+        u_shape = Polygon(
+            [(0, 0), (10, 0), (10, 10), (8, 10), (8, 2), (2, 2), (2, 10), (0, 10)]
+        )
+        p = point_on_surface(u_shape)
+        assert locate((p.x, p.y), u_shape) is Location.INTERIOR
+
+    def test_line_point_on_line(self):
+        line = LineString([(0, 0), (10, 0)])
+        p = point_on_surface(line)
+        assert locate((p.x, p.y), line) is not Location.EXTERIOR
+
+    def test_multipolygon_uses_largest(self, unit_square):
+        tiny = Polygon([(100, 100), (101, 100), (101, 101), (100, 101)])
+        mp = MultiPolygon([tiny, unit_square])
+        p = point_on_surface(mp)
+        assert locate((p.x, p.y), unit_square) is Location.INTERIOR
+
+
+class TestMisc:
+    def test_num_points(self, unit_square, donut):
+        assert num_points(unit_square) == 5
+        assert num_points(donut) == 10
+
+    def test_dimension(self, unit_square, diagonal_line, center_point):
+        assert dimension(unit_square) == 2
+        assert dimension(diagonal_line) == 1
+        assert dimension(center_point) == 0

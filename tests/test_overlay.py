@@ -1,0 +1,239 @@
+"""Unit tests for set-theoretic operations (intersection/union/difference/
+symmetric difference) across geometry type combinations."""
+
+import pytest
+
+from repro.algorithms import (
+    area,
+    difference,
+    intersection,
+    sym_difference,
+    union,
+    union_all,
+)
+from repro.geometry import (
+    EMPTY,
+    GeometryCollection,
+    LineString,
+    MultiLineString,
+    MultiPoint,
+    MultiPolygon,
+    Point,
+    Polygon,
+)
+
+
+class TestArealIntersection:
+    def test_overlapping_squares(self, unit_square, shifted_square):
+        got = intersection(unit_square, shifted_square)
+        assert got.area() == pytest.approx(25.0)
+
+    def test_disjoint_is_empty(self, unit_square, far_square):
+        assert intersection(unit_square, far_square).is_empty
+
+    def test_contained_returns_inner(self, unit_square, inner_square):
+        got = intersection(unit_square, inner_square)
+        assert got.area() == pytest.approx(4.0)
+
+    def test_identical_returns_same_area(self, unit_square):
+        twin = Polygon([(0, 0), (10, 0), (10, 10), (0, 10)])
+        assert intersection(unit_square, twin).area() == pytest.approx(100.0)
+
+    def test_shared_edge_returns_line(self, unit_square):
+        neighbour = Polygon([(10, 0), (20, 0), (20, 10), (10, 10)])
+        got = intersection(unit_square, neighbour)
+        assert got.dimension == 1
+        assert got.length() == pytest.approx(10.0)
+
+    def test_shared_corner_returns_point(self, unit_square):
+        corner = Polygon([(10, 10), (20, 10), (20, 20), (10, 20)])
+        got = intersection(unit_square, corner)
+        assert isinstance(got, Point)
+        assert got == Point(10, 10)
+
+    def test_hole_punch(self, donut):
+        # intersecting the donut with a square over the hole: only the rim
+        probe = Polygon([(3, 3), (7, 3), (7, 7), (3, 7)])
+        got = intersection(donut, probe)
+        assert got.dimension <= 1  # hole interior contributes no area
+
+    def test_concave_intersection(self):
+        concave = Polygon([(0, 0), (10, 0), (10, 10), (5, 5), (0, 10)])
+        square = Polygon([(0, 6), (10, 6), (10, 12), (0, 12)])
+        got = intersection(concave, square)
+        # two triangular prongs survive above y=6
+        assert isinstance(got, MultiPolygon)
+        assert got.area() == pytest.approx(
+            area(concave) - _area_below(concave, 6.0), rel=1e-6
+        )
+
+
+def _area_below(polygon, y):
+    clip = Polygon([(-100, -100), (100, -100), (100, y), (-100, y)])
+    return intersection(polygon, clip).area()
+
+
+class TestArealUnion:
+    def test_overlapping_squares(self, unit_square, shifted_square):
+        assert union(unit_square, shifted_square).area() == pytest.approx(175.0)
+
+    def test_disjoint_becomes_multipolygon(self, unit_square, far_square):
+        got = union(unit_square, far_square)
+        assert got.area() == pytest.approx(200.0)
+
+    def test_adjacent_squares_merge(self, unit_square):
+        neighbour = Polygon([(10, 0), (20, 0), (20, 10), (10, 10)])
+        got = union(unit_square, neighbour)
+        assert isinstance(got, Polygon)
+        assert got.area() == pytest.approx(200.0)
+
+    def test_contained_absorbed(self, unit_square, inner_square):
+        got = union(unit_square, inner_square)
+        assert got.area() == pytest.approx(100.0)
+
+    def test_union_creating_hole(self):
+        # a C-shape closed by a bar leaves an enclosed hole
+        c_shape = Polygon(
+            [(0, 0), (10, 0), (10, 2), (2, 2), (2, 8), (10, 8), (10, 10), (0, 10)]
+        )
+        bar = Polygon([(8, 2), (10, 2), (10, 8), (8, 8)])
+        got = union(c_shape, bar)
+        assert isinstance(got, Polygon)
+        assert len(got.holes) == 1
+        assert got.area() == pytest.approx(area(c_shape) + area(bar))
+
+    def test_union_all_grid(self):
+        tiles = [
+            Polygon([(i, j), (i + 1, j), (i + 1, j + 1), (i, j + 1)])
+            for i in range(3)
+            for j in range(3)
+        ]
+        got = union_all(tiles)
+        assert got.area() == pytest.approx(9.0)
+
+    def test_union_all_empty_list(self):
+        assert union_all([]).is_empty
+
+
+class TestArealDifference:
+    def test_overlap(self, unit_square, shifted_square):
+        assert difference(unit_square, shifted_square).area() == pytest.approx(75.0)
+
+    def test_disjoint_unchanged(self, unit_square, far_square):
+        assert difference(unit_square, far_square) == unit_square
+
+    def test_hole_creation(self, unit_square, inner_square):
+        got = difference(unit_square, inner_square)
+        assert isinstance(got, Polygon)
+        assert len(got.holes) == 1
+        assert got.area() == pytest.approx(96.0)
+
+    def test_total_erasure_is_empty(self, unit_square):
+        bigger = Polygon([(-1, -1), (11, -1), (11, 11), (-1, 11)])
+        assert difference(unit_square, bigger).is_empty
+
+    def test_split_into_two(self, unit_square):
+        knife = Polygon([(4, -1), (6, -1), (6, 11), (4, 11)])
+        got = difference(unit_square, knife)
+        assert isinstance(got, MultiPolygon)
+        assert len(got) == 2
+        assert got.area() == pytest.approx(80.0)
+
+    def test_subtracting_line_leaves_area(self, unit_square, diagonal_line):
+        assert difference(unit_square, diagonal_line) == unit_square
+
+
+class TestSymDifference:
+    def test_overlap(self, unit_square, shifted_square):
+        got = sym_difference(unit_square, shifted_square)
+        assert got.area() == pytest.approx(150.0)
+
+    def test_identical_is_empty(self, unit_square):
+        twin = Polygon([(0, 0), (10, 0), (10, 10), (0, 10)])
+        assert sym_difference(unit_square, twin).is_empty
+
+    def test_area_identity(self, unit_square, shifted_square):
+        # area(aΔb) == area(a) + area(b) - 2*area(a∩b)
+        a_area = area(unit_square)
+        b_area = area(shifted_square)
+        i_area = intersection(unit_square, shifted_square).area()
+        got = sym_difference(unit_square, shifted_square)
+        assert got.area() == pytest.approx(a_area + b_area - 2 * i_area)
+
+
+class TestLineOps:
+    def test_line_polygon_intersection_clips(self, unit_square):
+        line = LineString([(-5, 5), (15, 5)])
+        got = intersection(line, unit_square)
+        assert got.dimension == 1
+        assert got.length() == pytest.approx(10.0)
+
+    def test_line_polygon_intersection_multiple_pieces(self, donut):
+        line = LineString([(-5, 5), (15, 5)])
+        got = intersection(line, donut)
+        # crosses rim, hole, rim: two pieces of 3 each
+        assert got.length() == pytest.approx(6.0)
+
+    def test_line_line_intersection_point(self):
+        a = LineString([(0, 0), (10, 10)])
+        b = LineString([(0, 10), (10, 0)])
+        got = intersection(a, b)
+        assert got == Point(5, 5)
+
+    def test_line_line_collinear_overlap(self):
+        a = LineString([(0, 0), (10, 0)])
+        b = LineString([(5, 0), (15, 0)])
+        got = intersection(a, b)
+        assert got.dimension == 1
+        assert got.length() == pytest.approx(5.0)
+
+    def test_line_difference_polygon(self, unit_square):
+        line = LineString([(-5, 5), (15, 5)])
+        got = difference(line, unit_square)
+        assert got.length() == pytest.approx(10.0)  # 5 on each side
+
+    def test_line_union_merges(self):
+        a = LineString([(0, 0), (10, 0)])
+        b = LineString([(5, 0), (15, 0)])
+        got = union(a, b)
+        assert got.length() == pytest.approx(15.0)
+
+
+class TestPointOps:
+    def test_point_in_polygon_intersection(self, unit_square, center_point):
+        assert intersection(center_point, unit_square) == center_point
+
+    def test_point_outside_intersection_empty(self, unit_square):
+        assert intersection(Point(99, 99), unit_square).is_empty
+
+    def test_multipoint_clip(self, unit_square):
+        mp = MultiPoint([(5, 5), (50, 50), (1, 1)])
+        got = intersection(mp, unit_square)
+        assert isinstance(got, MultiPoint)
+        assert len(got) == 2
+
+    def test_point_difference(self, unit_square):
+        assert difference(Point(99, 99), unit_square) == Point(99, 99)
+        assert difference(Point(5, 5), unit_square).is_empty
+
+    def test_point_union_dedupes(self):
+        got = union(MultiPoint([(0, 0), (1, 1)]), Point(0, 0))
+        assert isinstance(got, MultiPoint)
+        assert len(got) == 2
+
+
+class TestMixedAndEmpty:
+    def test_union_polygon_line_keeps_overhang(self, unit_square):
+        line = LineString([(5, 5), (20, 5)])
+        got = union(unit_square, line)
+        assert isinstance(got, GeometryCollection)
+        assert got.dimension == 2
+        # only the part of the line outside the square survives separately
+        lines = [g for g in got.geoms if g.dimension == 1]
+        assert sum(l.length() for l in lines) == pytest.approx(10.0)
+
+    def test_empty_operands(self, unit_square):
+        assert intersection(EMPTY, unit_square).is_empty
+        assert union(EMPTY, unit_square) == unit_square
+        assert difference(unit_square, EMPTY) == unit_square
+        assert sym_difference(EMPTY, unit_square) == unit_square

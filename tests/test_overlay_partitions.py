@@ -1,0 +1,106 @@
+"""Partition-based overlay stress tests.
+
+A partition of a region (counties tiling the state, parcels tiling a
+block) is the hardest practical overlay input: every internal border is a
+shared edge. These tests check conservation laws over real generated
+partitions rather than synthetic pairs.
+"""
+
+import pytest
+
+from repro.algorithms import (
+    area,
+    difference,
+    intersection,
+    touches,
+    union_all,
+)
+from repro.datagen import WORLD_SIZE, generate
+from repro.geometry import Polygon
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate(seed=17, scale=0.1)
+
+
+class TestCountyPartition:
+    def test_union_of_all_counties_is_the_state(self, dataset):
+        counties = dataset.layer("counties").geometries()
+        merged = union_all(counties)
+        assert merged.area() == pytest.approx(
+            WORLD_SIZE * WORLD_SIZE, rel=1e-9
+        )
+
+    def test_union_of_all_counties_is_one_polygon(self, dataset):
+        counties = dataset.layer("counties").geometries()
+        merged = union_all(counties)
+        assert isinstance(merged, Polygon)
+        assert len(merged.holes) == 0
+
+    def test_pairwise_intersections_have_no_area(self, dataset):
+        counties = dataset.layer("counties").geometries()
+        for i in range(len(counties)):
+            for j in range(i + 1, len(counties)):
+                inter = intersection(counties[i], counties[j])
+                if not inter.is_empty:
+                    assert inter.dimension <= 1  # shared border only
+
+    def test_row_union_area_is_sum(self, dataset):
+        counties = dataset.layer("counties").geometries()[:5]  # first row
+        merged = union_all(counties)
+        assert merged.area() == pytest.approx(
+            sum(area(c) for c in counties), rel=1e-9
+        )
+
+    def test_state_minus_county_leaves_complement(self, dataset):
+        counties = dataset.layer("counties").geometries()
+        state = Polygon(
+            [(0, 0), (WORLD_SIZE, 0), (WORLD_SIZE, WORLD_SIZE),
+             (0, WORLD_SIZE)]
+        )
+        victim = counties[7]
+        rest = difference(state, victim)
+        assert rest.area() == pytest.approx(
+            state.area() - area(victim), rel=1e-9
+        )
+
+
+class TestParcelBlocks:
+    def test_block_union_is_rectangle(self, dataset):
+        parcels = dataset.layer("parcels")
+        fips_idx = parcels.columns.index("county_fips")
+        geom_idx = parcels.columns.index("geom")
+        first_fips = parcels.rows[0][fips_idx]
+        block = [
+            row[geom_idx]
+            for row in parcels.rows
+            if row[fips_idx] == first_fips
+        ]
+        merged = union_all(block)
+        assert isinstance(merged, Polygon)
+        assert merged.area() == pytest.approx(
+            sum(area(p) for p in block), rel=1e-9
+        )
+        # the merged block is an axis-aligned rectangle: area == envelope area
+        assert merged.area() == pytest.approx(merged.envelope.area, rel=1e-9)
+
+    def test_neighbours_touch_not_overlap(self, dataset):
+        parcels = dataset.layer("parcels").geometries()[:12]
+        for i in range(len(parcels)):
+            for j in range(i + 1, len(parcels)):
+                if touches(parcels[i], parcels[j]):
+                    inter = intersection(parcels[i], parcels[j])
+                    assert inter.dimension <= 1
+
+    def test_checkerboard_union(self):
+        """Union of alternating cells: corner-touching squares merge into
+        one valid multipart or connected result without losing area."""
+        cells = [
+            Polygon([(i, j), (i + 1, j), (i + 1, j + 1), (i, j + 1)])
+            for i in range(4)
+            for j in range(4)
+            if (i + j) % 2 == 0
+        ]
+        merged = union_all(cells)
+        assert area(merged) == pytest.approx(len(cells) * 1.0, rel=1e-9)

@@ -1,0 +1,69 @@
+"""Tests for the per-database statement/plan cache."""
+
+import pytest
+
+from repro.engines import Database
+
+
+@pytest.fixture
+def db():
+    database = Database("greenwood")
+    database.execute("CREATE TABLE t (id INTEGER, geom GEOMETRY)")
+    database.execute(
+        "INSERT INTO t VALUES (1, ST_Point(0, 0)), (2, ST_Point(5, 5))"
+    )
+    return database
+
+
+QUERY = (
+    "SELECT COUNT(*) FROM t "
+    "WHERE ST_Intersects(geom, ST_MakeEnvelope(-1, -1, 1, 1))"
+)
+
+
+class TestPlanCache:
+    def test_repeated_select_hits_cache(self, db):
+        db.execute(QUERY)
+        assert QUERY in db._plan_cache
+        cached = db._plan_cache[QUERY]
+        db.execute(QUERY)
+        assert db._plan_cache[QUERY] is cached
+
+    def test_results_identical_across_cache_hits(self, db):
+        first = db.execute(QUERY).scalar()
+        second = db.execute(QUERY).scalar()
+        assert first == second == 1
+
+    def test_ddl_flushes_plans(self, db):
+        db.execute(QUERY)
+        assert db._plan_cache
+        db.execute("CREATE SPATIAL INDEX tix ON t (geom)")
+        assert not db._plan_cache
+        # the fresh plan must now use the index
+        assert "IndexScan" in db.explain(QUERY)
+        assert db.execute(QUERY).scalar() == 1
+
+    def test_insert_flushes_and_results_stay_correct(self, db):
+        assert db.execute(QUERY).scalar() == 1
+        db.execute("INSERT INTO t VALUES (3, ST_Point(0.5, 0.5))")
+        assert db.execute(QUERY).scalar() == 2
+
+    def test_params_vary_on_cached_plan(self, db):
+        sql = "SELECT COUNT(*) FROM t WHERE id = ?"
+        assert db.execute(sql, (1,)).scalar() == 1
+        assert db.execute(sql, (99,)).scalar() == 0
+        assert db.execute(sql, (2,)).scalar() == 1
+
+    def test_cache_bounded(self, db):
+        db.PLAN_CACHE_SIZE = 4
+        for i in range(10):
+            db.execute(f"SELECT {i} FROM t")
+        assert len(db._plan_cache) <= 4 + 1
+
+    def test_drop_table_invalidates(self, db):
+        db.execute(QUERY)
+        db.execute("DROP TABLE t")
+        from repro.errors import SqlPlanError
+
+        with pytest.raises(SqlPlanError):
+            db.execute(QUERY)

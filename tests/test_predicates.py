@@ -1,0 +1,132 @@
+"""Unit tests for the primitive predicates: orientation, segment
+intersection, point/segment distances."""
+
+import math
+
+import pytest
+
+from repro.algorithms.predicates import (
+    collinear,
+    on_segment,
+    orientation,
+    point_segment_distance,
+    segment_intersection,
+    segment_segment_distance,
+    segments_properly_cross,
+)
+
+
+class TestOrientation:
+    def test_counterclockwise(self):
+        assert orientation((0, 0), (1, 0), (0, 1)) == 1
+
+    def test_clockwise(self):
+        assert orientation((0, 0), (0, 1), (1, 0)) == -1
+
+    def test_collinear(self):
+        assert orientation((0, 0), (1, 1), (2, 2)) == 0
+
+    def test_collinear_with_large_coordinates(self):
+        assert orientation((1e6, 1e6), (2e6, 2e6), (3e6, 3e6)) == 0
+
+    def test_near_collinear_treated_as_collinear(self):
+        # perturbation below the relative filter
+        assert orientation((0, 0), (1e6, 1e6), (2e6, 2e6 + 1e-9)) == 0
+
+    def test_collinear_helper(self):
+        assert collinear((0, 0), (5, 0), (9, 0))
+        assert not collinear((0, 0), (5, 0), (9, 1))
+
+
+class TestOnSegment:
+    def test_midpoint(self):
+        assert on_segment((1, 1), (0, 0), (2, 2))
+
+    def test_endpoints_inclusive(self):
+        assert on_segment((0, 0), (0, 0), (2, 2))
+        assert on_segment((2, 2), (0, 0), (2, 2))
+
+    def test_collinear_but_outside(self):
+        assert not on_segment((3, 3), (0, 0), (2, 2))
+
+    def test_off_line(self):
+        assert not on_segment((1, 1.5), (0, 0), (2, 2))
+
+
+class TestSegmentIntersection:
+    def test_proper_crossing(self):
+        hit = segment_intersection((0, 0), (2, 2), (0, 2), (2, 0))
+        assert hit == (1.0, 1.0)
+
+    def test_disjoint(self):
+        assert segment_intersection((0, 0), (1, 0), (0, 1), (1, 1)) is None
+
+    def test_endpoint_touch(self):
+        hit = segment_intersection((0, 0), (1, 1), (1, 1), (2, 0))
+        assert hit == (1.0, 1.0)
+
+    def test_t_junction(self):
+        hit = segment_intersection((0, 0), (2, 0), (1, 0), (1, 5))
+        assert hit == (1.0, 0.0)
+
+    def test_collinear_overlap(self):
+        hit = segment_intersection((0, 0), (3, 0), (1, 0), (5, 0))
+        assert hit == ((1.0, 0.0), (3.0, 0.0))
+
+    def test_collinear_touch_at_point(self):
+        hit = segment_intersection((0, 0), (1, 0), (1, 0), (2, 0))
+        assert hit == (1.0, 0.0)
+
+    def test_collinear_disjoint(self):
+        assert segment_intersection((0, 0), (1, 0), (2, 0), (3, 0)) is None
+
+    def test_identical_segments(self):
+        hit = segment_intersection((0, 0), (2, 2), (0, 0), (2, 2))
+        assert hit == ((0.0, 0.0), (2.0, 2.0))
+
+    def test_contained_overlap(self):
+        hit = segment_intersection((0, 0), (10, 0), (2, 0), (4, 0))
+        assert hit == ((2.0, 0.0), (4.0, 0.0))
+
+    def test_vertical_overlap(self):
+        hit = segment_intersection((0, 0), (0, 10), (0, 5), (0, 20))
+        assert hit == ((0.0, 5.0), (0.0, 10.0))
+
+
+class TestProperCrossing:
+    def test_crossing(self):
+        assert segments_properly_cross((0, 0), (2, 2), (0, 2), (2, 0))
+
+    def test_touching_not_proper(self):
+        assert not segments_properly_cross((0, 0), (1, 1), (1, 1), (2, 0))
+
+    def test_collinear_not_proper(self):
+        assert not segments_properly_cross((0, 0), (2, 0), (1, 0), (3, 0))
+
+
+class TestDistances:
+    def test_point_to_segment_perpendicular(self):
+        assert point_segment_distance((1, 1), (0, 0), (2, 0)) == 1.0
+
+    def test_point_to_segment_beyond_end(self):
+        assert point_segment_distance((5, 0), (0, 0), (2, 0)) == 3.0
+
+    def test_point_on_segment_zero(self):
+        assert point_segment_distance((1, 0), (0, 0), (2, 0)) == 0.0
+
+    def test_degenerate_segment(self):
+        assert point_segment_distance((3, 4), (0, 0), (0, 0)) == 5.0
+
+    def test_segment_segment_parallel(self):
+        assert segment_segment_distance((0, 0), (2, 0), (0, 1), (2, 1)) == 1.0
+
+    def test_segment_segment_crossing_zero(self):
+        assert segment_segment_distance((0, 0), (2, 2), (0, 2), (2, 0)) == 0.0
+
+    def test_segment_segment_endpoint_gap(self):
+        got = segment_segment_distance((0, 0), (1, 0), (2, 0), (3, 0))
+        assert got == 1.0
+
+    def test_segment_segment_diagonal_gap(self):
+        got = segment_segment_distance((0, 0), (1, 0), (2, 1), (3, 1))
+        assert got == pytest.approx(math.hypot(1, 1))

@@ -1,0 +1,151 @@
+"""Tests for engine capability profiles: MBR vs exact semantics, the
+full-matrix refinement path, unsupported feature sets, index defaults."""
+
+import pytest
+
+from repro.engines import Database, get_profile
+from repro.engines.profiles import (
+    BLUESTEM,
+    GREENWOOD,
+    IRONBARK,
+    PROFILES,
+    _matrix_predicate,
+    _mbr_predicate,
+)
+from repro.errors import UnsupportedFeatureError
+from repro.geometry import LineString, Point, Polygon, wkt_loads
+
+TRIANGLE = Polygon([(0, 0), (10, 0), (0, 10)])
+NEAR_CORNER = Point(9, 9)  # inside the MBR, outside the triangle
+
+
+class TestRegistry:
+    def test_three_profiles(self):
+        assert set(PROFILES) == {"greenwood", "bluestem", "ironbark"}
+
+    def test_get_profile_case_insensitive(self):
+        assert get_profile("GreenWood") is GREENWOOD
+
+    def test_unknown_profile(self):
+        with pytest.raises(ValueError):
+            get_profile("oracle")
+
+    def test_index_defaults(self):
+        assert GREENWOOD.index_kind == "rtree"
+        assert BLUESTEM.index_kind == "rtree"
+        assert IRONBARK.index_kind == "quadtree"
+
+
+class TestPredicateSemantics:
+    def test_mbr_contains_overapproximates(self):
+        assert _mbr_predicate("st_contains", TRIANGLE, NEAR_CORNER)
+        assert not GREENWOOD.evaluate_predicate(
+            "st_contains", TRIANGLE, NEAR_CORNER
+        )
+        assert not IRONBARK.evaluate_predicate(
+            "st_contains", TRIANGLE, NEAR_CORNER
+        )
+
+    def test_mbr_intersects(self):
+        assert BLUESTEM.evaluate_predicate(
+            "st_intersects", TRIANGLE, NEAR_CORNER
+        )
+
+    def test_matrix_mode_matches_fast_mode(self):
+        pairs = [
+            (TRIANGLE, NEAR_CORNER),
+            (TRIANGLE, Point(2, 2)),
+            (TRIANGLE, Polygon([(5, 5), (15, 5), (15, 15), (5, 15)])),
+            (TRIANGLE, LineString([(-5, 5), (15, 5)])),
+            (
+                Polygon([(0, 0), (10, 0), (10, 10), (0, 10)]),
+                Polygon([(10, 0), (20, 0), (20, 10), (10, 10)]),
+            ),
+            (LineString([(0, 0), (10, 10)]), LineString([(0, 10), (10, 0)])),
+        ]
+        predicates = [
+            "st_equals", "st_disjoint", "st_intersects", "st_touches",
+            "st_crosses", "st_within", "st_contains", "st_overlaps",
+            "st_covers", "st_coveredby",
+        ]
+        for a, b in pairs:
+            for name in predicates:
+                fast = GREENWOOD.evaluate_predicate(name, a, b)
+                matrix = IRONBARK.evaluate_predicate(name, a, b)
+                assert fast == matrix, f"{name} diverged on {a!r} vs {b!r}"
+
+    def test_mbr_touches_definition(self):
+        a = Polygon([(0, 0), (10, 0), (10, 10), (0, 10)])
+        b = Polygon([(10, 0), (20, 0), (20, 10), (10, 10)])
+        assert _mbr_predicate("st_touches", a, b)
+        overlapping = Polygon([(5, 5), (15, 5), (15, 15), (5, 15)])
+        assert not _mbr_predicate("st_touches", a, overlapping)
+
+    def test_matrix_crosses_dimension_rules(self):
+        line = LineString([(-5, 5), (15, 5)])
+        square = Polygon([(0, 0), (10, 0), (10, 10), (0, 10)])
+        assert _matrix_predicate("st_crosses", line, square)
+        assert _matrix_predicate("st_crosses", square, line)
+        assert not _matrix_predicate("st_crosses", square, square)
+
+
+class TestUnsupportedFeatures:
+    def test_bluestem_rejects_predicates_it_lacks(self):
+        with pytest.raises(UnsupportedFeatureError):
+            BLUESTEM.evaluate_predicate("st_covers", TRIANGLE, NEAR_CORNER)
+
+    def test_check_supported(self):
+        GREENWOOD.check_supported("st_buffer")
+        with pytest.raises(UnsupportedFeatureError):
+            BLUESTEM.check_supported("st_convexhull")
+
+    def test_engine_surfaces_unsupported_in_sql(self):
+        db = Database("bluestem")
+        db.execute("CREATE TABLE g (geom GEOMETRY)")
+        db.execute("INSERT INTO g VALUES (ST_Point(1, 1))")
+        with pytest.raises(UnsupportedFeatureError):
+            db.execute("SELECT ST_Simplify(geom, 1) FROM g")
+
+
+class TestAnswerDivergence:
+    """The J-A1 ablation in miniature: same SQL, different answers."""
+
+    SQL = "SELECT COUNT(*) FROM tri WHERE ST_Contains(geom, ST_Point(9, 9))"
+
+    def _load(self, engine):
+        db = Database(engine)
+        db.execute("CREATE TABLE tri (id INTEGER, geom GEOMETRY)")
+        db.execute(
+            "INSERT INTO tri VALUES "
+            "(1, ST_GeomFromText('POLYGON((0 0, 10 0, 0 10, 0 0))'))"
+        )
+        return db
+
+    def test_exact_engines_agree(self):
+        assert self._load("greenwood").execute(self.SQL).scalar() == 0
+        assert self._load("ironbark").execute(self.SQL).scalar() == 0
+
+    def test_mbr_engine_overcounts(self):
+        assert self._load("bluestem").execute(self.SQL).scalar() == 1
+
+    def test_divergence_survives_indexing(self):
+        db = self._load("bluestem")
+        db.execute("CREATE SPATIAL INDEX tidx ON tri (geom)")
+        assert db.execute(self.SQL).scalar() == 1
+
+
+class TestProfileIndexDefault:
+    def test_create_index_uses_profile_kind(self):
+        db = Database("ironbark")
+        db.execute("CREATE TABLE g (geom GEOMETRY)")
+        db.execute("INSERT INTO g VALUES (ST_Point(0, 0))")
+        db.execute("CREATE SPATIAL INDEX gidx ON g (geom)")
+        entry = db.catalog.index_for("g", "geom")
+        assert entry.index.kind == "quadtree"
+
+    def test_using_clause_overrides(self):
+        db = Database("greenwood")
+        db.execute("CREATE TABLE g (geom GEOMETRY)")
+        db.execute("CREATE SPATIAL INDEX gidx ON g (geom) USING grid")
+        entry = db.catalog.index_for("g", "geom")
+        assert entry.index.kind == "grid"

@@ -1,0 +1,105 @@
+"""Unit tests for report rendering edge cases."""
+
+import pytest
+
+from repro.core.benchmark import BenchmarkConfig, BenchmarkResult, EngineRun
+from repro.core.micro import topology_queries
+from repro.core.micro.loading import LayerLoadTiming, LoadResult
+from repro.core.macro.scenario import ScenarioResult, StepResult
+from repro.core.report import (
+    _fmt_time,
+    render_loading,
+    render_macro,
+    render_micro_topology,
+)
+from repro.core.stats import QueryTiming
+
+
+class TestFormatting:
+    def test_fmt_time_units(self):
+        assert _fmt_time(5e-7).endswith("us")
+        assert _fmt_time(5e-3).endswith("ms")
+        assert _fmt_time(2.0).endswith("s")
+
+    def test_fmt_time_nan(self):
+        assert _fmt_time(float("nan")) == "-"
+
+
+def _result_with(engines):
+    config = BenchmarkConfig(engines=engines, repeats=1)
+    result = BenchmarkResult(config=config, dataset_rows=100)
+    for engine in engines:
+        result.runs[engine] = EngineRun(engine=engine)
+    return result
+
+
+class TestMicroRendering:
+    def test_missing_timings_render_dashes(self):
+        result = _result_with(["greenwood"])
+        text = render_micro_topology(result)
+        assert "-" in text
+        assert "Polygon Touches Polygon" in text
+
+    def test_unsupported_rendered_as_ns(self):
+        result = _result_with(["bluestem"])
+        qid = topology_queries()[0].query_id
+        timing = QueryTiming(qid)
+        timing.supported = False
+        result.runs["bluestem"].micro[qid] = timing
+        assert "n/s" in render_micro_topology(result)
+
+    def test_supported_timing_rendered(self):
+        result = _result_with(["greenwood"])
+        qid = topology_queries()[0].query_id
+        timing = QueryTiming(qid)
+        timing.record(0.0123)
+        timing.result_value = 7
+        result.runs["greenwood"].micro[qid] = timing
+        text = render_micro_topology(result)
+        assert "12.3ms" in text
+        assert "7" in text
+
+
+class TestMacroRendering:
+    def test_throughput_and_skips(self):
+        result = _result_with(["greenwood", "bluestem"])
+        ok = ScenarioResult("geocoding", "greenwood")
+        ok.steps.append(StepResult("q0", 0.5, 1))
+        ok.steps.append(StepResult("q1", 0.5, 1))
+        result.runs["greenwood"].macro["geocoding"] = ok
+        gappy = ScenarioResult("geocoding", "bluestem")
+        gappy.steps.append(StepResult("q0", 0.25, 1))
+        gappy.steps.append(StepResult("q1", 0.0, 0, skipped=True, error="n/s"))
+        result.runs["bluestem"].macro["geocoding"] = gappy
+        text = render_macro(result)
+        assert "geocoding" in text
+        assert "120" in text  # 2 queries in 1s = 120/min
+        assert "bluestem:1" in text
+
+    def test_scenario_math(self):
+        scenario = ScenarioResult("s", "e")
+        scenario.steps.append(StepResult("a", 1.0, 3))
+        scenario.steps.append(StepResult("b", 0.0, 0, skipped=True))
+        assert scenario.executed == 1
+        assert scenario.skipped == 1
+        assert scenario.queries_per_minute == pytest.approx(60.0)
+
+    def test_empty_scenario_has_zero_throughput(self):
+        scenario = ScenarioResult("s", "e")
+        assert scenario.queries_per_minute == 0.0
+
+
+class TestLoadingRendering:
+    def test_layers_across_engines(self):
+        result = _result_with(["greenwood", "ironbark"])
+        for engine in ("greenwood", "ironbark"):
+            loading = LoadResult(engine=engine)
+            loading.layers.append(LayerLoadTiming("edges", 100, 0.5, 0.1))
+            result.runs[engine].loading = loading
+        text = render_loading(result)
+        assert "edges" in text
+        assert text.count("500.0ms") == 2
+
+    def test_rows_per_second(self):
+        timing = LayerLoadTiming("edges", 200, 2.0, 0.1)
+        assert timing.rows_per_second == 100.0

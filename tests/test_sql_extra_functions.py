@@ -1,0 +1,143 @@
+"""Tests for the auxiliary SQL functions: collection accessors, snapping,
+azimuth, reverse, and linear referencing (ST_LineSubstring)."""
+
+import math
+
+import pytest
+
+from repro.engines import Database
+from repro.errors import SqlPlanError
+
+
+@pytest.fixture
+def db():
+    return Database("greenwood")
+
+
+def scalar(db, expr):
+    return db.execute(f"SELECT {expr}").scalar()
+
+
+class TestCollectionAccessors:
+    def test_num_geometries(self, db):
+        assert scalar(db, "ST_NumGeometries(ST_GeomFromText("
+                          "'MULTIPOINT((0 0), (1 1), (2 2))'))") == 3
+        assert scalar(db, "ST_NumGeometries(ST_Point(0, 0))") == 1
+
+    def test_geometry_n(self, db):
+        got = scalar(db, "ST_AsText(ST_GeometryN(ST_GeomFromText("
+                         "'MULTIPOINT((0 0), (5 5))'), 2))")
+        assert got == "POINT (5 5)"
+
+    def test_geometry_n_out_of_range(self, db):
+        assert scalar(db, "ST_GeometryN(ST_Point(0, 0), 5)") is None
+        assert scalar(db, "ST_GeometryN(ST_Point(0, 0), 0)") is None
+
+
+class TestSnapToGrid:
+    def test_point(self, db):
+        got = scalar(db, "ST_AsText(ST_SnapToGrid(ST_Point(1.26, 2.74), 0.5))")
+        assert got == "POINT (1.5 2.5)"
+
+    def test_line_dedupes_collapsed_vertices(self, db):
+        got = scalar(
+            db,
+            "ST_NPoints(ST_SnapToGrid(ST_GeomFromText("
+            "'LINESTRING(0 0, 0.1 0.1, 10 10)'), 1))",
+        )
+        assert got == 2
+
+    def test_polygon(self, db):
+        got = scalar(
+            db,
+            "ST_Area(ST_SnapToGrid(ST_GeomFromText("
+            "'POLYGON((0.1 0.1, 9.9 0.1, 9.9 9.9, 0.1 9.9, 0.1 0.1))'), 1))",
+        )
+        assert got == 100.0
+
+    def test_bad_cell_size(self, db):
+        with pytest.raises(SqlPlanError):
+            scalar(db, "ST_SnapToGrid(ST_Point(0, 0), 0)")
+
+
+class TestAzimuth:
+    def test_cardinal_directions(self, db):
+        north = scalar(db, "ST_Azimuth(ST_Point(0, 0), ST_Point(0, 5))")
+        east = scalar(db, "ST_Azimuth(ST_Point(0, 0), ST_Point(5, 0))")
+        south = scalar(db, "ST_Azimuth(ST_Point(0, 0), ST_Point(0, -5))")
+        west = scalar(db, "ST_Azimuth(ST_Point(0, 0), ST_Point(-5, 0))")
+        assert north == pytest.approx(0.0)
+        assert east == pytest.approx(math.pi / 2)
+        assert south == pytest.approx(math.pi)
+        assert west == pytest.approx(3 * math.pi / 2)
+
+    def test_identical_points_null(self, db):
+        assert scalar(db, "ST_Azimuth(ST_Point(1, 1), ST_Point(1, 1))") is None
+
+
+class TestReverse:
+    def test_linestring(self, db):
+        got = scalar(
+            db,
+            "ST_AsText(ST_Reverse(ST_GeomFromText('LINESTRING(0 0, 1 1, 2 0)')))",
+        )
+        assert got == "LINESTRING (2 0, 1 1, 0 0)"
+
+    def test_point_unchanged(self, db):
+        assert scalar(db, "ST_AsText(ST_Reverse(ST_Point(3, 4)))") == "POINT (3 4)"
+
+
+class TestLineSubstring:
+    def test_middle_half(self, db):
+        got = scalar(
+            db,
+            "ST_AsText(ST_LineSubstring(ST_GeomFromText("
+            "'LINESTRING(0 0, 10 0)'), 0.25, 0.75))",
+        )
+        assert got == "LINESTRING (2.5 0, 7.5 0)"
+
+    def test_spanning_vertices(self, db):
+        got = scalar(
+            db,
+            "ST_Length(ST_LineSubstring(ST_GeomFromText("
+            "'LINESTRING(0 0, 10 0, 10 10)'), 0.25, 0.75))",
+        )
+        assert got == pytest.approx(10.0)
+
+    def test_degenerate_range_returns_point(self, db):
+        got = scalar(
+            db,
+            "ST_AsText(ST_LineSubstring(ST_GeomFromText("
+            "'LINESTRING(0 0, 10 0)'), 0.5, 0.5))",
+        )
+        assert got == "POINT (5 0)"
+
+    def test_full_range_is_whole_line(self, db):
+        got = scalar(
+            db,
+            "ST_Length(ST_LineSubstring(ST_GeomFromText("
+            "'LINESTRING(0 0, 10 0, 10 10)'), 0, 1))",
+        )
+        assert got == pytest.approx(20.0)
+
+    def test_bad_range(self, db):
+        with pytest.raises(SqlPlanError):
+            scalar(db, "ST_LineSubstring(ST_GeomFromText("
+                       "'LINESTRING(0 0, 1 0)'), 0.9, 0.1)")
+        with pytest.raises(SqlPlanError):
+            scalar(db, "ST_LineSubstring(ST_GeomFromText("
+                       "'LINESTRING(0 0, 1 0)'), -0.1, 0.5)")
+
+    def test_consistency_with_interpolate(self, db):
+        # endpoints of the substring are the interpolated points
+        sub_start = scalar(
+            db,
+            "ST_AsText(ST_StartPoint(ST_LineSubstring(ST_GeomFromText("
+            "'LINESTRING(0 0, 10 0, 10 10)'), 0.3, 0.9)))",
+        )
+        direct = scalar(
+            db,
+            "ST_AsText(ST_LineInterpolatePoint(ST_GeomFromText("
+            "'LINESTRING(0 0, 10 0, 10 10)'), 0.3))",
+        )
+        assert sub_start == direct

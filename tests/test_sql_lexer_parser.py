@@ -1,0 +1,249 @@
+"""Unit tests for the SQL lexer and parser."""
+
+import pytest
+
+from repro.errors import SqlSyntaxError
+from repro.sql import ast
+from repro.sql.lexer import TokenType, tokenize
+from repro.sql.parser import parse
+
+
+class TestLexer:
+    def test_basic_tokens(self):
+        tokens = tokenize("SELECT a, b FROM t WHERE x = 1.5")
+        kinds = [t.type for t in tokens]
+        assert kinds[-1] is TokenType.END
+        values = [t.value for t in tokens[:-1]]
+        assert values == [
+            "select", "a", ",", "b", "from", "t", "where", "x", "=", "1.5",
+        ]
+
+    def test_string_literal_with_escape(self):
+        tokens = tokenize("SELECT 'O''Hara'")
+        assert tokens[1].type is TokenType.STRING
+        assert tokens[1].value == "O'Hara"
+
+    def test_unterminated_string(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("SELECT 'oops")
+
+    def test_quoted_identifier_preserves_keyword(self):
+        tokens = tokenize('SELECT "select" FROM t')
+        assert tokens[1].type is TokenType.IDENT
+        assert tokens[1].value == "select"
+
+    def test_comments_skipped(self):
+        tokens = tokenize("SELECT 1 -- trailing\n/* block */ + 2")
+        values = [t.value for t in tokens[:-1]]
+        assert values == ["select", "1", "+", "2"]
+
+    def test_multi_char_operators(self):
+        tokens = tokenize("a <= b >= c <> d != e && f || g")
+        ops = [t.value for t in tokens if t.type is TokenType.OPERATOR]
+        assert ops == ["<=", ">=", "<>", "!=", "&&", "||"]
+
+    def test_params(self):
+        tokens = tokenize("WHERE x = ? AND y = ?")
+        assert sum(1 for t in tokens if t.type is TokenType.PARAM) == 2
+
+    def test_scientific_numbers(self):
+        tokens = tokenize("1e3 2.5E-2 .5")
+        numbers = [t.value for t in tokens if t.type is TokenType.NUMBER]
+        assert numbers == ["1e3", "2.5E-2", ".5"]
+
+    def test_unexpected_character(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("SELECT @foo")
+
+
+class TestParserStatements:
+    def test_create_table(self):
+        stmt = parse(
+            "CREATE TABLE t (id INTEGER, name VARCHAR(30), geom GEOMETRY)"
+        )
+        assert isinstance(stmt, ast.CreateTable)
+        assert [c.name for c in stmt.columns] == ["id", "name", "geom"]
+
+    def test_create_table_if_not_exists(self):
+        stmt = parse("CREATE TABLE IF NOT EXISTS t (id INTEGER)")
+        assert stmt.if_not_exists
+
+    def test_create_spatial_index(self):
+        stmt = parse("CREATE SPATIAL INDEX idx ON t (geom) USING quadtree")
+        assert isinstance(stmt, ast.CreateSpatialIndex)
+        assert stmt.using == "quadtree"
+
+    def test_drop_statements(self):
+        assert isinstance(parse("DROP TABLE t"), ast.DropTable)
+        drop = parse("DROP INDEX IF EXISTS idx")
+        assert isinstance(drop, ast.DropIndex)
+        assert drop.if_exists
+
+    def test_insert_multi_row(self):
+        stmt = parse("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')")
+        assert isinstance(stmt, ast.Insert)
+        assert stmt.columns == ["a", "b"]
+        assert len(stmt.rows) == 2
+
+    def test_delete_with_where(self):
+        stmt = parse("DELETE FROM t WHERE id = 3")
+        assert isinstance(stmt, ast.Delete)
+        assert stmt.where is not None
+
+    def test_update_statement(self):
+        stmt = parse("UPDATE t SET a = 1, b = b + 1 WHERE id = 3")
+        assert isinstance(stmt, ast.Update)
+        assert [c for c, _e in stmt.assignments] == ["a", "b"]
+        assert stmt.where is not None
+
+    def test_unsupported_statement(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("ALTER TABLE t ADD COLUMN x INTEGER")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("SELECT 1 SELECT 2")
+
+    def test_trailing_semicolon_ok(self):
+        assert isinstance(parse("SELECT 1;"), ast.Select)
+
+
+class TestParserSelect:
+    def test_star_and_items(self):
+        stmt = parse("SELECT *, a.x AS ax, COUNT(*) FROM t a")
+        assert isinstance(stmt.items[0].expr, ast.Star)
+        assert stmt.items[1].alias == "ax"
+        assert isinstance(stmt.items[2].expr, ast.FuncCall)
+
+    def test_qualified_star(self):
+        stmt = parse("SELECT a.* FROM t a")
+        assert isinstance(stmt.items[0].expr, ast.Star)
+        assert stmt.items[0].expr.table == "a"
+
+    def test_implicit_alias(self):
+        stmt = parse("SELECT x foo FROM t")
+        assert stmt.items[0].alias == "foo"
+
+    def test_join_on(self):
+        stmt = parse("SELECT 1 FROM a JOIN b ON a.id = b.id")
+        assert len(stmt.joins) == 1
+        assert stmt.joins[0].condition is not None
+
+    def test_inner_join(self):
+        stmt = parse("SELECT 1 FROM a INNER JOIN b ON a.id = b.id")
+        assert len(stmt.joins) == 1
+
+    def test_cross_join_and_comma(self):
+        stmt = parse("SELECT 1 FROM a CROSS JOIN b, c")
+        assert len(stmt.joins) == 2
+        assert all(j.condition is None for j in stmt.joins)
+
+    def test_full_clause_stack(self):
+        stmt = parse(
+            "SELECT DISTINCT kind, COUNT(*) c FROM t WHERE x > 0 "
+            "GROUP BY kind HAVING COUNT(*) > 1 "
+            "ORDER BY c DESC, kind ASC LIMIT 5 OFFSET 2"
+        )
+        assert stmt.distinct
+        assert len(stmt.group_by) == 1
+        assert stmt.having is not None
+        assert stmt.order_by[0].descending
+        assert not stmt.order_by[1].descending
+        assert isinstance(stmt.limit, ast.Literal)
+        assert isinstance(stmt.offset, ast.Literal)
+
+    def test_select_without_from(self):
+        stmt = parse("SELECT 1 + 2")
+        assert stmt.source is None
+
+
+class TestParserExpressions:
+    def _expr(self, sql_fragment):
+        return parse(f"SELECT {sql_fragment}").items[0].expr
+
+    def test_precedence_arithmetic(self):
+        expr = self._expr("1 + 2 * 3")
+        assert isinstance(expr, ast.BinaryOp)
+        assert expr.op == "+"
+        assert isinstance(expr.right, ast.BinaryOp)
+        assert expr.right.op == "*"
+
+    def test_precedence_bool(self):
+        expr = self._expr("a = 1 OR b = 2 AND c = 3")
+        assert expr.op == "or"
+        assert expr.right.op == "and"
+
+    def test_not(self):
+        expr = self._expr("NOT a = 1")
+        assert isinstance(expr, ast.UnaryOp)
+        assert expr.op == "not"
+
+    def test_parentheses_override(self):
+        expr = self._expr("(1 + 2) * 3")
+        assert expr.op == "*"
+        assert expr.left.op == "+"
+
+    def test_unary_minus(self):
+        expr = self._expr("-x")
+        assert isinstance(expr, ast.UnaryOp)
+
+    def test_between(self):
+        expr = self._expr("x BETWEEN 1 AND 5")
+        assert isinstance(expr, ast.Between)
+
+    def test_not_between(self):
+        expr = self._expr("x NOT BETWEEN 1 AND 5")
+        assert expr.negated
+
+    def test_in_list(self):
+        expr = self._expr("x IN (1, 2, 3)")
+        assert isinstance(expr, ast.InList)
+        assert len(expr.options) == 3
+
+    def test_is_null(self):
+        assert isinstance(self._expr("x IS NULL"), ast.IsNull)
+        expr = self._expr("x IS NOT NULL")
+        assert expr.negated
+
+    def test_like(self):
+        expr = self._expr("name LIKE 'a%'")
+        assert expr.op == "like"
+
+    def test_function_nested(self):
+        expr = self._expr("ST_Area(ST_Buffer(geom, 10))")
+        assert isinstance(expr, ast.FuncCall)
+        assert expr.name == "st_area"
+        assert isinstance(expr.args[0], ast.FuncCall)
+
+    def test_count_distinct(self):
+        expr = self._expr("COUNT(DISTINCT x)")
+        assert expr.distinct
+
+    def test_envelope_operator(self):
+        expr = self._expr("a.geom && b.geom")
+        assert expr.op == "&&"
+
+    def test_qualified_column(self):
+        expr = self._expr("t.col")
+        assert isinstance(expr, ast.ColumnRef)
+        assert expr.table == "t"
+
+    def test_params_numbered_in_order(self):
+        stmt = parse("SELECT ? FROM t WHERE a = ? AND b = ?")
+        params = []
+
+        def walk(e):
+            if isinstance(e, ast.Param):
+                params.append(e.index)
+            elif isinstance(e, ast.BinaryOp):
+                walk(e.left)
+                walk(e.right)
+
+        walk(stmt.items[0].expr)
+        walk(stmt.where)
+        assert params == [0, 1, 2]
+
+    def test_null_true_false_literals(self):
+        assert self._expr("NULL").value is None
+        assert self._expr("TRUE").value is True
+        assert self._expr("FALSE").value is False

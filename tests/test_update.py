@@ -1,0 +1,118 @@
+"""Tests for the UPDATE statement."""
+
+import pytest
+
+from repro.engines import Database
+from repro.errors import ReproError, SqlPlanError, SqlSyntaxError
+
+
+@pytest.fixture
+def db():
+    database = Database("greenwood")
+    database.execute(
+        "CREATE TABLE lots (id INTEGER, owner TEXT, price REAL, geom GEOMETRY)"
+    )
+    database.execute(
+        "INSERT INTO lots VALUES "
+        "(1, 'ann', 100.0, ST_Point(0, 0)), "
+        "(2, 'bob', 200.0, ST_Point(10, 10)), "
+        "(3, 'cho', 300.0, ST_Point(20, 20))"
+    )
+    database.execute("CREATE SPATIAL INDEX lix ON lots (geom)")
+    return database
+
+
+class TestBasicUpdate:
+    def test_single_column_with_where(self, db):
+        result = db.execute("UPDATE lots SET owner = 'dee' WHERE id = 2")
+        assert result.rowcount == 1
+        got = db.execute("SELECT owner FROM lots WHERE id = 2").scalar()
+        assert got == "dee"
+
+    def test_all_rows_without_where(self, db):
+        result = db.execute("UPDATE lots SET price = price * 1.1")
+        assert result.rowcount == 3
+        got = db.execute("SELECT SUM(price) FROM lots").scalar()
+        assert got == pytest.approx(600.0 * 1.1)
+
+    def test_multiple_assignments(self, db):
+        db.execute("UPDATE lots SET owner = 'x', price = 0 WHERE id = 1")
+        got = db.execute("SELECT owner, price FROM lots WHERE id = 1")
+        assert got.rows == [("x", 0.0)]
+
+    def test_expression_references_old_row(self, db):
+        db.execute("UPDATE lots SET price = price + id WHERE id IN (1, 2)")
+        got = db.execute("SELECT price FROM lots ORDER BY id")
+        assert [r[0] for r in got.rows] == [101.0, 202.0, 300.0]
+
+    def test_set_to_null(self, db):
+        db.execute("UPDATE lots SET owner = NULL WHERE id = 3")
+        got = db.execute("SELECT COUNT(*) FROM lots WHERE owner IS NULL")
+        assert got.scalar() == 1
+
+    def test_params(self, db):
+        db.execute("UPDATE lots SET owner = ? WHERE id = ?", ("eve", 1))
+        assert db.execute(
+            "SELECT owner FROM lots WHERE id = 1"
+        ).scalar() == "eve"
+
+    def test_no_matching_rows(self, db):
+        result = db.execute("UPDATE lots SET owner = 'z' WHERE id = 99")
+        assert result.rowcount == 0
+
+
+class TestGeometryUpdate:
+    def test_index_follows_moved_geometry(self, db):
+        db.execute("UPDATE lots SET geom = ST_Point(100, 100) WHERE id = 1")
+        near_old = db.execute(
+            "SELECT COUNT(*) FROM lots "
+            "WHERE ST_Intersects(geom, ST_MakeEnvelope(-1, -1, 1, 1))"
+        ).scalar()
+        near_new = db.execute(
+            "SELECT id FROM lots "
+            "WHERE ST_Intersects(geom, ST_MakeEnvelope(99, 99, 101, 101))"
+        ).rows
+        assert near_old == 0
+        assert near_new == [(1,)]
+
+    def test_spatial_predicate_in_where(self, db):
+        db.execute(
+            "UPDATE lots SET owner = 'flooded' "
+            "WHERE ST_DWithin(geom, ST_Point(0, 0), 15)"
+        )
+        got = db.execute(
+            "SELECT COUNT(*) FROM lots WHERE owner = 'flooded'"
+        ).scalar()
+        assert got == 2  # (0,0) and (10,10)
+
+    def test_geometry_from_wkt_text(self, db):
+        db.execute(
+            "UPDATE lots SET geom = ST_GeomFromText('POINT(7 7)') WHERE id = 3"
+        )
+        got = db.execute(
+            "SELECT ST_AsText(geom) FROM lots WHERE id = 3"
+        ).scalar()
+        assert got == "POINT (7 7)"
+
+
+class TestErrors:
+    def test_unknown_column(self, db):
+        with pytest.raises(SqlPlanError):
+            db.execute("UPDATE lots SET nope = 1")
+
+    def test_type_mismatch_is_atomic(self, db):
+        # the second row would fail coercion; nothing may change
+        with pytest.raises(ReproError):
+            db.execute("UPDATE lots SET price = owner")
+        got = db.execute("SELECT SUM(price) FROM lots").scalar()
+        assert got == 600.0
+
+    def test_syntax_requires_set(self, db):
+        with pytest.raises(SqlSyntaxError):
+            db.execute("UPDATE lots owner = 'x'")
+
+    def test_plan_cache_flushed(self, db):
+        query = "SELECT SUM(price) FROM lots"
+        assert db.execute(query).scalar() == 600.0
+        db.execute("UPDATE lots SET price = 0")
+        assert db.execute(query).scalar() == 0.0

@@ -1,0 +1,159 @@
+"""Unit tests for validity/simplicity checks and Douglas-Peucker simplify."""
+
+import pytest
+
+from repro.algorithms.simplify import simplify, simplify_coords
+from repro.algorithms.validation import (
+    is_simple,
+    is_valid,
+    line_is_simple,
+    polygon_validity_errors,
+    ring_is_simple,
+)
+from repro.geometry import (
+    LineString,
+    MultiLineString,
+    MultiPoint,
+    Point,
+    Polygon,
+)
+
+
+class TestRingSimple:
+    def test_square_is_simple(self):
+        assert ring_is_simple(((0, 0), (4, 0), (4, 4), (0, 4), (0, 0)))
+
+    def test_bowtie_not_simple(self):
+        assert not ring_is_simple(((0, 0), (4, 4), (4, 0), (0, 4), (0, 0)))
+
+    def test_repeated_edge_not_simple(self):
+        assert not ring_is_simple(
+            ((0, 0), (4, 0), (0, 0), (4, 0), (4, 4), (0, 0))
+        )
+
+
+class TestLineSimple:
+    def test_plain_line(self):
+        assert line_is_simple(LineString([(0, 0), (5, 0), (5, 5)]))
+
+    def test_self_crossing(self):
+        assert not line_is_simple(
+            LineString([(0, 0), (4, 4), (4, 0), (0, 4)])
+        )
+
+    def test_closed_ring_is_simple(self):
+        assert line_is_simple(LineString([(0, 0), (4, 0), (4, 4), (0, 0)]))
+
+    def test_self_touching_vertex(self):
+        # passes through (2, 2) twice without crossing
+        line = LineString([(0, 0), (2, 2), (4, 0), (4, 4), (2, 2), (0, 4)])
+        assert not line_is_simple(line)
+
+
+class TestPolygonValidity:
+    def test_valid_donut(self, donut):
+        assert is_valid(donut)
+        assert polygon_validity_errors(donut) == []
+
+    def test_hole_outside_shell(self):
+        poly = Polygon(
+            [(0, 0), (10, 0), (10, 10), (0, 10)],
+            holes=[[(20, 20), (22, 20), (22, 22), (20, 22)]],
+        )
+        errors = polygon_validity_errors(poly)
+        assert any("outside" in e for e in errors)
+        assert not is_valid(poly)
+
+    def test_hole_crossing_shell(self):
+        poly = Polygon(
+            [(0, 0), (10, 0), (10, 10), (0, 10)],
+            holes=[[(5, 5), (15, 5), (15, 8), (5, 8)]],
+        )
+        assert not is_valid(poly)
+
+    def test_nested_holes(self):
+        poly = Polygon(
+            [(0, 0), (20, 0), (20, 20), (0, 20)],
+            holes=[
+                [(2, 2), (18, 2), (18, 18), (2, 18)],
+                [(5, 5), (8, 5), (8, 8), (5, 8)],
+            ],
+        )
+        errors = polygon_validity_errors(poly)
+        assert any("nested" in e for e in errors)
+
+    def test_bowtie_shell_invalid(self):
+        # asymmetric bowtie: nonzero signed area, so it constructs,
+        # but the shell self-intersects
+        poly = Polygon([(0, 0), (4, 4), (4, 0), (0, 6)])
+        assert not is_valid(poly)
+
+    def test_symmetric_bowtie_rejected_at_construction(self):
+        from repro.errors import GeometryError
+
+        with pytest.raises(GeometryError):
+            Polygon([(0, 0), (4, 4), (4, 0), (0, 4)])
+
+    def test_points_and_lines_trivially_valid(self, diagonal_line):
+        assert is_valid(Point(1, 1))
+        assert is_valid(diagonal_line)
+
+
+class TestIsSimple:
+    def test_multipoint_duplicates(self):
+        assert not is_simple(MultiPoint([(0, 0), (0, 0)]))
+        assert is_simple(MultiPoint([(0, 0), (1, 1)]))
+
+    def test_multiline_crossing_members(self):
+        crossing = MultiLineString([[(0, 0), (4, 4)], [(0, 4), (4, 0)]])
+        assert not is_simple(crossing)
+
+    def test_multiline_endpoint_touch_ok(self):
+        chain = MultiLineString([[(0, 0), (2, 2)], [(2, 2), (4, 0)]])
+        assert is_simple(chain)
+
+
+class TestSimplifyCoords:
+    def test_collinear_middle_dropped(self):
+        got = simplify_coords([(0, 0), (5, 0.0), (10, 0)], 0.1)
+        assert got == [(0, 0), (10, 0)]
+
+    def test_significant_kink_kept(self):
+        got = simplify_coords([(0, 0), (5, 3), (10, 0)], 0.1)
+        assert len(got) == 3
+
+    def test_tolerance_controls_detail(self):
+        zigzag = [(i, (i % 2) * 0.5) for i in range(11)]
+        fine = simplify_coords(zigzag, 0.01)
+        coarse = simplify_coords(zigzag, 1.0)
+        assert len(coarse) < len(fine)
+
+    def test_two_points_unchanged(self):
+        assert simplify_coords([(0, 0), (1, 1)], 10.0) == [(0, 0), (1, 1)]
+
+
+class TestSimplifyGeometry:
+    def test_linestring(self):
+        line = LineString([(0, 0), (1, 0.001), (2, 0), (3, 0.001), (4, 0)])
+        got = simplify(line, 0.1)
+        assert got.num_points == 2
+        assert got.length() == pytest.approx(4.0, rel=1e-3)
+
+    def test_polygon_never_collapses(self):
+        triangle = Polygon([(0, 0), (10, 0), (5, 0.5)])
+        got = simplify(triangle, 5.0)
+        assert isinstance(got, Polygon)
+        assert got.area() > 0
+
+    def test_point_unchanged(self, center_point):
+        assert simplify(center_point, 100) == center_point
+
+    def test_negative_tolerance_rejected(self, diagonal_line):
+        with pytest.raises(ValueError):
+            simplify(diagonal_line, -1.0)
+
+    def test_endpoints_preserved(self):
+        line = LineString([(0, 0), (3, 1), (7, -1), (10, 0)])
+        got = simplify(line, 100.0)
+        assert got.coords[0] == (0.0, 0.0)
+        assert got.coords[-1] == (10.0, 0.0)

@@ -1,0 +1,87 @@
+"""Unit tests for WKB encoding/decoding."""
+
+import struct
+
+import pytest
+
+from repro.errors import WkbParseError
+from repro.geometry import (
+    GeometryCollection,
+    LineString,
+    MultiPolygon,
+    Point,
+    Polygon,
+    wkb_dumps,
+    wkb_loads,
+    wkt_loads,
+)
+
+
+class TestEncoding:
+    def test_point_layout(self):
+        blob = wkb_dumps(Point(1, 2))
+        assert blob[0] == 1  # little-endian flag
+        assert struct.unpack_from("<I", blob, 1)[0] == 1  # point type
+        assert struct.unpack_from("<dd", blob, 5) == (1.0, 2.0)
+        assert len(blob) == 21
+
+    def test_linestring_count(self):
+        blob = wkb_dumps(LineString([(0, 0), (1, 1), (2, 2)]))
+        assert struct.unpack_from("<I", blob, 5)[0] == 3
+
+
+class TestDecoding:
+    def test_big_endian_accepted(self):
+        blob = b"\x00" + struct.pack(">I", 1) + struct.pack(">dd", 3.0, 4.0)
+        assert wkb_loads(blob) == Point(3, 4)
+
+    def test_srid_flag_bits_ignored(self):
+        # PostGIS EWKB sets high bits in the type word; base type survives
+        blob = bytearray(wkb_dumps(Point(1, 2)))
+        raw_type = struct.unpack_from("<I", blob, 1)[0]
+        struct.pack_into("<I", blob, 1, raw_type | 0x20000000 & 0xFF000000)
+        assert wkb_loads(bytes(blob)) == Point(1, 2)
+
+    @pytest.mark.parametrize(
+        "blob",
+        [
+            b"",
+            b"\x02" + struct.pack("<I", 1) + struct.pack("<dd", 0, 0),  # bad order
+            b"\x01" + struct.pack("<I", 99),  # unknown type
+            b"\x01" + struct.pack("<I", 1) + b"\x00" * 8,  # truncated point
+            b"\x01" + struct.pack("<I", 2) + struct.pack("<I", 2 ** 30),  # huge count
+        ],
+    )
+    def test_malformed_rejected(self, blob):
+        with pytest.raises(WkbParseError):
+            wkb_loads(blob)
+
+    def test_trailing_bytes_rejected(self):
+        with pytest.raises(WkbParseError):
+            wkb_loads(wkb_dumps(Point(1, 2)) + b"\x00")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "wkt",
+        [
+            "POINT (1.5 -2.25)",
+            "LINESTRING (0 0, 1 1, 2 0)",
+            "POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0), "
+            "(2 2, 2 4, 4 4, 4 2, 2 2))",
+            "MULTIPOINT ((1 2), (3 4))",
+            "MULTILINESTRING ((0 0, 1 1), (2 2, 3 3))",
+            "MULTIPOLYGON (((0 0, 1 0, 1 1, 0 1, 0 0)))",
+            "GEOMETRYCOLLECTION (POINT (1 2), "
+            "POLYGON ((0 0, 1 0, 1 1, 0 1, 0 0)))",
+        ],
+    )
+    def test_roundtrip(self, wkt):
+        geom = wkt_loads(wkt)
+        assert wkb_loads(wkb_dumps(geom)) == geom
+
+    def test_nested_collection_roundtrip(self):
+        gc = GeometryCollection(
+            [MultiPolygon([Polygon([(0, 0), (1, 0), (1, 1), (0, 1)])])]
+        )
+        assert wkb_loads(wkb_dumps(gc)) == gc

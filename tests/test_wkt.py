@@ -1,0 +1,152 @@
+"""Unit tests for WKT parsing and serialisation."""
+
+import pytest
+
+from repro.errors import WktParseError
+from repro.geometry import (
+    GeometryCollection,
+    LineString,
+    MultiLineString,
+    MultiPoint,
+    MultiPolygon,
+    Point,
+    Polygon,
+    wkt_dumps,
+    wkt_loads,
+)
+
+
+class TestParsing:
+    def test_point(self):
+        assert wkt_loads("POINT (1 2)") == Point(1, 2)
+
+    def test_point_case_insensitive(self):
+        assert wkt_loads("point(1 2)") == Point(1, 2)
+
+    def test_point_negative_and_scientific(self):
+        p = wkt_loads("POINT (-1.5e2 2.25)")
+        assert p == Point(-150.0, 2.25)
+
+    def test_point_z_ordinate_dropped(self):
+        assert wkt_loads("POINT Z (1 2 3)") == Point(1, 2)
+
+    def test_linestring(self):
+        line = wkt_loads("LINESTRING (0 0, 1 1, 2 0)")
+        assert isinstance(line, LineString)
+        assert line.coords == ((0.0, 0.0), (1.0, 1.0), (2.0, 0.0))
+
+    def test_polygon_with_hole(self):
+        poly = wkt_loads(
+            "POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0), "
+            "(2 2, 4 2, 4 4, 2 4, 2 2))"
+        )
+        assert isinstance(poly, Polygon)
+        assert len(poly.holes) == 1
+
+    def test_multipoint_both_syntaxes(self):
+        a = wkt_loads("MULTIPOINT ((1 2), (3 4))")
+        b = wkt_loads("MULTIPOINT (1 2, 3 4)")
+        assert a == b
+        assert isinstance(a, MultiPoint)
+
+    def test_multilinestring(self):
+        ml = wkt_loads("MULTILINESTRING ((0 0, 1 1), (2 2, 3 3))")
+        assert isinstance(ml, MultiLineString)
+        assert len(ml) == 2
+
+    def test_multipolygon(self):
+        mp = wkt_loads(
+            "MULTIPOLYGON (((0 0, 1 0, 1 1, 0 1, 0 0)), "
+            "((5 5, 6 5, 6 6, 5 6, 5 5)))"
+        )
+        assert isinstance(mp, MultiPolygon)
+        assert len(mp) == 2
+
+    def test_geometrycollection(self):
+        gc = wkt_loads(
+            "GEOMETRYCOLLECTION (POINT (1 2), LINESTRING (0 0, 1 1))"
+        )
+        assert isinstance(gc, GeometryCollection)
+        assert len(gc) == 2
+
+    def test_empty_collection(self):
+        gc = wkt_loads("GEOMETRYCOLLECTION EMPTY")
+        assert gc.is_empty
+
+    def test_whitespace_tolerant(self):
+        assert wkt_loads("  POINT  (  1   2  )  ") == Point(1, 2)
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "POINT",
+            "POINT ()",
+            "POINT (1)",
+            "POINT (1 2",
+            "POINT (1 2)x",
+            "CIRCLE (0 0, 5)",
+            "POINT EMPTY",
+            "POINT (a b)",
+        ],
+    )
+    def test_malformed_rejected(self, text):
+        with pytest.raises(WktParseError):
+            wkt_loads(text)
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "LINESTRING (0 0)",       # syntactically fine, too few points
+            "POLYGON ((0 0, 1 0))",   # ring below a triangle
+        ],
+    )
+    def test_semantically_invalid_rejected(self, text):
+        from repro.errors import GeometryError
+
+        with pytest.raises(GeometryError):
+            wkt_loads(text)
+
+    def test_error_carries_position(self):
+        try:
+            wkt_loads("POINT (1 2) trailing")
+        except WktParseError as exc:
+            assert exc.position >= 0
+        else:
+            pytest.fail("expected WktParseError")
+
+
+class TestSerialisation:
+    def test_point(self):
+        assert wkt_dumps(Point(1, 2)) == "POINT (1 2)"
+
+    def test_precision(self):
+        assert wkt_dumps(Point(1.23456789, 0), precision=3) == "POINT (1.235 0)"
+
+    def test_negative_zero_normalised(self):
+        assert wkt_dumps(Point(-0.0, 0.0)) == "POINT (0 0)"
+
+    def test_empty_collection(self):
+        from repro.geometry import EMPTY
+
+        assert wkt_dumps(EMPTY) == "GEOMETRYCOLLECTION EMPTY"
+
+    @pytest.mark.parametrize(
+        "wkt",
+        [
+            "POINT (1 2)",
+            "LINESTRING (0 0, 1 1, 2 0)",
+            "POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0))",
+            "POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0), "
+            "(2 2, 2 4, 4 4, 4 2, 2 2))",
+            "MULTIPOINT ((1 2), (3 4))",
+            "MULTILINESTRING ((0 0, 1 1), (2 2, 3 3, 4 2))",
+            "MULTIPOLYGON (((0 0, 1 0, 1 1, 0 1, 0 0)))",
+            "GEOMETRYCOLLECTION (POINT (1 2), LINESTRING (0 0, 1 1))",
+        ],
+    )
+    def test_roundtrip(self, wkt):
+        geom = wkt_loads(wkt)
+        assert wkt_loads(wkt_dumps(geom)) == geom
