@@ -1,0 +1,49 @@
+"""J-X3 — spatial join strategy benchmark.
+
+Times the topology join matrix with the spatial join algorithm forced to
+INLJ (the seed engine's only strategy), synchronized tree traversal and
+PBSM, plus the cost-based default. Run::
+
+    pytest benchmarks/test_bench_spatial_join.py --benchmark-only \
+        --benchmark-group-by=param:label --benchmark-columns=median
+
+and read each group as one join: four bars, one per algorithm. Every
+parametrisation returns the same COUNT by construction (asserted by the
+tier-1 suite); only candidate generation differs.
+"""
+
+import pytest
+
+from repro.core.experiments import JOIN_MATRIX, JOIN_STRATEGY_SERIES
+from repro.datagen import generate
+from repro.dbapi import connect
+from repro.engines import Database
+
+from _bench_utils import BENCH_SCALE, BENCH_SEED, run_query
+
+QUERIES = dict(JOIN_MATRIX)
+
+
+@pytest.fixture(scope="module")
+def join_db():
+    """A dedicated database: forcing ``join_strategy`` mutates planner
+    state and flushes plan caches, so the session-wide databases shared
+    by the other benchmark modules must not be touched."""
+    db = Database("greenwood")
+    generate(seed=BENCH_SEED, scale=BENCH_SCALE).load_into(db)
+    db.execute("ANALYZE")
+    return db
+
+
+@pytest.mark.parametrize("strategy", JOIN_STRATEGY_SERIES)
+@pytest.mark.parametrize("label", sorted(QUERIES))
+def test_join_strategy(benchmark, join_db, label, strategy):
+    join_db.join_strategy = strategy
+    benchmark.group = label
+    benchmark.extra_info["strategy"] = strategy
+    conn = connect(database=join_db)
+    try:
+        run_query(benchmark, conn.cursor(), QUERIES[label])
+    finally:
+        join_db.join_strategy = "auto"
+        conn.close()

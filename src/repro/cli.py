@@ -71,11 +71,12 @@ def build_parser() -> argparse.ArgumentParser:
         "experiment", help="run one of the standalone experiments"
     )
     experiment.add_argument(
-        "which", choices=["jf5", "jf6", "ja1", "ja2", "jx1", "jx2"],
+        "which", choices=["jf5", "jf6", "ja1", "ja2", "jx1", "jx2", "jx3"],
         help="jf5=index effect, jf6=scalability, "
              "ja1=refinement ablation, ja2=index-structure ablation, "
              "jx1=selectivity sweep (extension), "
-             "jx2=concurrent clients (extension)",
+             "jx2=concurrent clients (extension), "
+             "jx3=spatial join strategies (extension)",
     )
     experiment.add_argument("--seed", type=int, default=42)
     experiment.add_argument("--scale", type=float, default=0.25)
@@ -113,9 +114,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(exp.render_selectivity(
                 exp.run_selectivity_sweep(seed=args.seed, scale=args.scale)
             ))
-        else:
+        elif args.which == "jx2":
             print(exp.render_concurrency(
                 exp.run_concurrency(seed=args.seed, scale=args.scale)
+            ))
+        else:
+            print(exp.render_spatial_join(
+                exp.run_spatial_join(seed=args.seed, scale=args.scale)
             ))
         return 0
     if args.command == "explain":

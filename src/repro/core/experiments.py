@@ -5,6 +5,7 @@
 - :func:`run_refinement_ablation` — J-A1 (exact vs MBR refinement,
   time *and* answer cardinality)
 - :func:`run_index_ablation`  — J-A2 (R-tree vs grid vs quadtree vs scan)
+- :func:`run_spatial_join`    — J-X3 (INLJ vs tree traversal vs PBSM joins)
 
 Each returns a small result object and has a ``render_*`` companion that
 prints the paper-style series. The pytest-benchmark modules under
@@ -450,3 +451,83 @@ def render_concurrency(result: ConcurrencyResult) -> str:
             f"{clients:>8d} {wall:>9.2f}s {total:>9d} {qpm:>10.0f}"
         )
     return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# J-X3 (extension): spatial join strategy comparison
+# ---------------------------------------------------------------------------
+
+#: (label, SQL) — the topology joins that dominate the paper's micro suite
+JOIN_MATRIX: Tuple[Tuple[str, str], ...] = (
+    (
+        "arealm x areawater (overlaps)",
+        "SELECT COUNT(*) FROM arealm a, areawater w "
+        "WHERE ST_Overlaps(a.geom, w.geom)",
+    ),
+    (
+        "arealm x counties (intersects)",
+        "SELECT COUNT(*) FROM arealm a, counties c "
+        "WHERE ST_Intersects(a.geom, c.geom)",
+    ),
+    (
+        "parcels x arealm (intersects)",
+        "SELECT COUNT(*) FROM parcels p, arealm a "
+        "WHERE ST_Intersects(p.geom, a.geom)",
+    ),
+    (
+        "edges x areawater (crosses)",
+        "SELECT COUNT(*) FROM edges e, areawater w "
+        "WHERE ST_Crosses(e.geom, w.geom)",
+    ),
+)
+
+JOIN_STRATEGY_SERIES: Tuple[str, ...] = ("inlj", "tree", "pbsm", "auto")
+
+
+@dataclass
+class SpatialJoinResult:
+    engine: str
+    strategies: Sequence[str]
+    # label -> {strategy: (seconds, answer)}; every strategy must agree
+    rows: List[Tuple[str, Dict[str, Tuple[float, Any]]]] = field(
+        default_factory=list
+    )
+
+
+def run_spatial_join(
+    seed: int = 42, scale: float = 0.25, engine: str = "greenwood",
+    strategies: Sequence[str] = JOIN_STRATEGY_SERIES,
+) -> SpatialJoinResult:
+    """Full topology joins under each join algorithm (J-X3 extension).
+
+    The same indexed database answers every query with the spatial join
+    strategy forced to INLJ, synchronized tree traversal and PBSM, plus
+    the cost-based default. Answers are asserted identical across
+    strategies — only the candidate-generation machinery may differ.
+    """
+    dataset = generate(seed=seed, scale=scale)
+    db = Database(engine)
+    dataset.load_into(db)
+    db.execute("ANALYZE")
+    conn = connect(database=db)
+    cursor = conn.cursor()
+    result = SpatialJoinResult(engine=engine, strategies=tuple(strategies))
+    for label, sql in JOIN_MATRIX:
+        cells: Dict[str, Tuple[float, Any]] = {}
+        for strategy in strategies:
+            db.join_strategy = strategy
+            cells[strategy] = _timed(cursor, sql)
+        db.join_strategy = "auto"
+        answers = {answer for _s, answer in cells.values()}
+        if len(answers) != 1:
+            raise AssertionError(
+                f"join strategies disagree on {label!r}: {cells}"
+            )
+        result.rows.append((label, cells))
+    return result
+
+
+def render_spatial_join(result: SpatialJoinResult) -> str:
+    from repro.core.report import render_spatial_join_table
+
+    return render_spatial_join_table(result)

@@ -9,6 +9,7 @@ with profiles standing in for distinct server products.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Any, List, Optional, Sequence, Tuple
 
 from repro.engines.profiles import EngineProfile, get_profile
@@ -64,29 +65,54 @@ class Database:
         self.registry = FunctionRegistry()
         self.stats = Stats()
         self._planner = Planner(self.catalog, self.registry, self.profile)
-        self._plan_cache: dict = {}
-        self._parse_cache: dict = {}
+        self._plan_cache: "OrderedDict[str, tuple]" = OrderedDict()
+        self._parse_cache: "OrderedDict[str, ast.Statement]" = OrderedDict()
 
     # -- public API --------------------------------------------------------
+
+    @property
+    def join_strategy(self) -> str:
+        """Spatial join algorithm: "auto" (cost-based) or a forced one of
+        "inlj" / "tree" / "pbsm" / "nlj"."""
+        return self._planner.join_strategy
+
+    @join_strategy.setter
+    def join_strategy(self, strategy: str) -> None:
+        from repro.sql.planner import JOIN_STRATEGIES
+
+        if strategy not in JOIN_STRATEGIES:
+            raise SqlPlanError(
+                f"unknown join strategy {strategy!r}; "
+                f"expected one of {', '.join(JOIN_STRATEGIES)}"
+            )
+        self._planner.join_strategy = strategy
+        self._plan_cache.clear()
 
     def execute(
         self, sql: str, params: Sequence[Any] = ()
     ) -> ResultSet:
         """Parse and run one statement (parse results and SELECT plans are
-        cached per SQL text, the way a driver reuses prepared statements)."""
+        cached per SQL text with LRU eviction, the way a driver reuses
+        prepared statements)."""
         statement = self._parse_cache.get(sql)
         if statement is None:
             statement = parse(sql)
             if len(self._parse_cache) >= self.PLAN_CACHE_SIZE:
-                self._parse_cache.clear()
+                self._parse_cache.popitem(last=False)
             self._parse_cache[sql] = statement
+        else:
+            self._parse_cache.move_to_end(sql)
         if isinstance(statement, ast.Select):
             cached = self._plan_cache.get(sql)
             if cached is None:
+                self.stats.plan_cache_misses += 1
                 cached = self._planner.plan_select(statement)
                 if len(self._plan_cache) >= self.PLAN_CACHE_SIZE:
-                    self._plan_cache.clear()
+                    self._plan_cache.popitem(last=False)
                 self._plan_cache[sql] = cached
+            else:
+                self.stats.plan_cache_hits += 1
+                self._plan_cache.move_to_end(sql)
             plan, names = cached
             ctx = ExecContext(
                 tuple(params), self.profile, self.registry, self.catalog,
@@ -119,7 +145,20 @@ class Database:
         if isinstance(statement, ast.DropIndex):
             self.catalog.drop_index(statement.name, statement.if_exists)
             return ResultSet([], [], 0)
+        if isinstance(statement, ast.Analyze):
+            return self._run_analyze(statement)
         raise SqlPlanError(f"unsupported statement {type(statement).__name__}")
+
+    def _run_analyze(self, stmt: ast.Analyze) -> ResultSet:
+        """Recompute geometry-column statistics (bounds, sizes, histograms)
+        for one table or, with no table name, every table in the catalog."""
+        if stmt.table is not None:
+            tables = [self.catalog.table(stmt.table)]
+        else:
+            tables = list(self.catalog.tables())
+        for table in tables:
+            table.analyze()
+        return ResultSet([], [], len(tables))
 
     def explain(self, sql: str) -> str:
         """The plan tree for a SELECT, as indented text."""

@@ -52,6 +52,25 @@ class SpatialIndex:
         for item_id in ranked:
             yield item_id, 0.0  # distance unknown in the fallback
 
+    def items(self) -> Iterator[Tuple[int, Envelope]]:
+        """Every ``(item_id, envelope)`` entry, order unspecified."""
+        raise NotImplementedError
+
+    def join(self, other: "SpatialIndex") -> Iterator[Tuple[int, int]]:
+        """All ``(self_id, other_id)`` pairs with intersecting envelopes.
+
+        The generic implementation probes ``other`` once per own entry;
+        tree indexes override it with a synchronized traversal that
+        descends both structures at once and prunes non-intersecting
+        node pairs. A self-join (``index.join(index)``) yields both
+        orientations of every pair plus each ``(x, x)``, matching
+        nested-loop join semantics.
+        """
+        search = other.search
+        for item_id, env in self.items():
+            for other_id in search(env):
+                yield item_id, other_id
+
     def __len__(self) -> int:
         raise NotImplementedError
 

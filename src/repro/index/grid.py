@@ -71,6 +71,15 @@ class GridIndex(SpatialIndex):
                     hits.append(item_id)
         return hits
 
+    def items(self):
+        """Every ``(item_id, envelope)`` entry, deduplicated across cells."""
+        seen: Set[int] = set()
+        for bucket in self._cells.values():
+            for item_id, env in bucket:
+                if item_id not in seen:
+                    seen.add(item_id)
+                    yield item_id, env
+
     def nearest(self, x: float, y: float, k: int = 1) -> List[int]:
         """Expanding ring search over grid cells.
 

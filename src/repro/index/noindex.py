@@ -35,6 +35,9 @@ class LinearScanIndex(SpatialIndex):
             item_id for item_id, env in self._items if env.intersects(envelope)
         ]
 
+    def items(self):
+        yield from self._items
+
     def nearest(self, x: float, y: float, k: int = 1) -> List[int]:
         ranked = heapq.nsmallest(
             k, self._items, key=lambda item: item[1].distance_to_point(x, y)

@@ -158,6 +158,79 @@ class QuadTree(SpatialIndex):
                 stack.extend(node.children)
         return hits
 
+    def items(self):
+        """Every ``(item_id, envelope)`` entry (inner nodes hold straddlers)."""
+        if self._root is None:
+            return
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            yield from node.items
+            if node.children is not None:
+                stack.extend(node.children)
+
+    def join(self, other):
+        """Synchronized quadtree traversal join.
+
+        Walks both trees in lockstep over node *pairs* whose bounds
+        intersect. Because quadtrees keep straddling items at inner
+        nodes, each pair job also schedules "these local items against
+        that whole subtree" sweeps so no item level is missed; every
+        candidate pair is produced exactly once.
+        """
+        if not isinstance(other, QuadTree):
+            yield from super().join(other)
+            return
+        if self._root is None or other._root is None:
+            return
+        pair_jobs = [(self._root, other._root)]
+        # (items, node, flipped): items from one tree vs a subtree of the
+        # other; flipped=True when the items belong to ``other``
+        sweep_jobs: List[Tuple[list, _QNode, bool]] = []
+        while pair_jobs:
+            na, nb = pair_jobs.pop()
+            if not na.bounds.intersects(nb.bounds):
+                continue
+            for ia, ea in na.items:
+                for ib, eb in nb.items:
+                    if (
+                        eb.min_x <= ea.max_x
+                        and ea.min_x <= eb.max_x
+                        and eb.min_y <= ea.max_y
+                        and ea.min_y <= eb.max_y
+                    ):
+                        yield ia, ib
+            if nb.children is not None and na.items:
+                for child in nb.children:
+                    sweep_jobs.append((na.items, child, False))
+            if na.children is not None and nb.items:
+                for child in na.children:
+                    sweep_jobs.append((nb.items, child, True))
+            if na.children is not None and nb.children is not None:
+                for ca in na.children:
+                    for cb in nb.children:
+                        if ca.bounds.intersects(cb.bounds):
+                            pair_jobs.append((ca, cb))
+        while sweep_jobs:
+            items, node, flipped = sweep_jobs.pop()
+            live = [
+                (i, e) for i, e in items if e.intersects(node.bounds)
+            ]
+            if not live:
+                continue
+            for ib, eb in node.items:
+                for ia, ea in live:
+                    if (
+                        eb.min_x <= ea.max_x
+                        and ea.min_x <= eb.max_x
+                        and eb.min_y <= ea.max_y
+                        and ea.min_y <= eb.max_y
+                    ):
+                        yield (ib, ia) if flipped else (ia, ib)
+            if node.children is not None:
+                for child in node.children:
+                    sweep_jobs.append((live, child, flipped))
+
     def nearest(self, x: float, y: float, k: int = 1) -> List[int]:
         result: List[int] = []
         if k <= 0:

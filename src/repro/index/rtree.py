@@ -213,6 +213,72 @@ class RTree(SpatialIndex):
                 )
         return hits
 
+    def items(self):
+        """Every ``(item_id, envelope)`` leaf entry."""
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.leaf:
+                yield from node.entries
+            else:
+                stack.extend(child for child, _env in node.entries)
+
+    def join(self, other):
+        """Synchronized traversal join: descend both trees at once.
+
+        Maintains a stack of node pairs whose envelopes intersect; a
+        leaf x leaf pair emits its intersecting entry pairs, an inner
+        node is expanded only against the entries of its partner that
+        its partner's envelope admits. This visits each candidate pair
+        once instead of re-descending the inner tree per outer row.
+        """
+        if not isinstance(other, RTree):
+            yield from super().join(other)
+            return
+        root_a, root_b = self.root, other.root
+        if root_a.envelope is None or root_b.envelope is None:
+            return
+        if not root_a.envelope.intersects(root_b.envelope):
+            return
+        stack = [(root_a, root_b)]
+        while stack:
+            na, nb = stack.pop()
+            if na.leaf and nb.leaf:
+                for ia, ea in na.entries:
+                    ea_min_x = ea.min_x
+                    ea_min_y = ea.min_y
+                    ea_max_x = ea.max_x
+                    ea_max_y = ea.max_y
+                    for ib, eb in nb.entries:
+                        if (
+                            eb.min_x <= ea_max_x
+                            and ea_min_x <= eb.max_x
+                            and eb.min_y <= ea_max_y
+                            and ea_min_y <= eb.max_y
+                        ):
+                            yield ia, ib
+            elif na.leaf:
+                env_a = na.envelope
+                stack.extend(
+                    (na, child)
+                    for child, env in nb.entries
+                    if env.intersects(env_a)
+                )
+            elif nb.leaf or na.envelope.area >= nb.envelope.area:
+                env_b = nb.envelope
+                stack.extend(
+                    (child, nb)
+                    for child, env in na.entries
+                    if env.intersects(env_b)
+                )
+            else:
+                env_a = na.envelope
+                stack.extend(
+                    (na, child)
+                    for child, env in nb.entries
+                    if env.intersects(env_a)
+                )
+
     def nearest(self, x: float, y: float, k: int = 1) -> List[int]:
         """Best-first search over node envelopes (exact for envelopes)."""
         result: List[int] = []

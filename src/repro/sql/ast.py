@@ -120,6 +120,11 @@ class DropIndex(Statement):
 
 
 @dataclass
+class Analyze(Statement):
+    table: Optional[str] = None  # None = every table in the catalog
+
+
+@dataclass
 class Insert(Statement):
     table: str
     columns: Optional[List[str]]  # None = all, in declaration order

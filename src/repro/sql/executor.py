@@ -9,6 +9,7 @@ generator — the executor is a plain Volcano-style iterator model.
 
 from __future__ import annotations
 
+import math
 import re
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
@@ -47,7 +48,17 @@ _CACHEABLE_FUNCTIONS = frozenset(
 class Stats:
     """Runtime counters, exposed on the connection for the benchmark."""
 
-    __slots__ = ("rows_scanned", "index_probes", "index_candidates", "pages_read")
+    __slots__ = (
+        "rows_scanned",
+        "index_probes",
+        "index_candidates",
+        "pages_read",
+        "join_pairs_considered",
+        "join_pairs_emitted",
+        "partitions_built",
+        "plan_cache_hits",
+        "plan_cache_misses",
+    )
 
     def __init__(self) -> None:
         self.reset()
@@ -57,6 +68,11 @@ class Stats:
         self.index_probes = 0
         self.index_candidates = 0
         self.pages_read = 0
+        self.join_pairs_considered = 0
+        self.join_pairs_emitted = 0
+        self.partitions_built = 0
+        self.plan_cache_hits = 0
+        self.plan_cache_misses = 0
 
     def snapshot(self) -> Dict[str, int]:
         return {
@@ -64,6 +80,11 @@ class Stats:
             "index_probes": self.index_probes,
             "index_candidates": self.index_candidates,
             "pages_read": self.pages_read,
+            "join_pairs_considered": self.join_pairs_considered,
+            "join_pairs_emitted": self.join_pairs_emitted,
+            "partitions_built": self.partitions_built,
+            "plan_cache_hits": self.plan_cache_hits,
+            "plan_cache_misses": self.plan_cache_misses,
         }
 
 
@@ -503,11 +524,17 @@ class SeqScan(PlanNode):
         self.alias = alias
 
     def rows(self, ctx: ExecContext) -> Iterator[Row]:
-        ctx.stats.pages_read += self.table.page_count
+        stats = ctx.stats
+        stats.pages_read += self.table.page_count
         alias = self.alias
-        for _row_id, row in self.table.scan():
-            ctx.stats.rows_scanned += 1
-            yield {alias: row}
+        scanned = 0
+        try:
+            for row in self.table.rows:
+                if row is not None:
+                    scanned += 1
+                    yield {alias: row}
+        finally:
+            stats.rows_scanned += scanned
 
     def describe(self) -> str:
         return f"SeqScan {self.table.name} AS {self.alias}"
@@ -538,15 +565,21 @@ class IndexScan(PlanNode):
         envelope = self.probe(ctx)
         if envelope is None:
             return
-        ctx.stats.index_probes += 1
+        stats = ctx.stats
+        stats.index_probes += 1
         row_ids = self.entry.index.search(envelope)
-        ctx.stats.index_candidates += len(row_ids)
-        pages = {self.table.page_of(rid) for rid in row_ids}
-        ctx.stats.pages_read += len(pages)
+        stats.index_candidates += len(row_ids)
+        per_page = self.table.ROWS_PER_PAGE
+        stats.pages_read += len({rid // per_page for rid in row_ids})
         alias = self.alias
-        for row_id in row_ids:
-            ctx.stats.rows_scanned += 1
-            yield {alias: self.table.get_row(row_id)}
+        heap = self.table.rows
+        scanned = 0
+        try:
+            for row_id in row_ids:
+                scanned += 1
+                yield {alias: heap[row_id]}
+        finally:
+            stats.rows_scanned += scanned
 
     def describe(self) -> str:
         return (
@@ -673,11 +706,32 @@ class NestedLoopJoin(PlanNode):
     def rows(self, ctx: ExecContext) -> Iterator[Row]:
         inner_rows = list(self.inner.rows(ctx))
         condition = self.condition
-        for outer_row in self.outer.rows(ctx):
-            for inner_row in inner_rows:
-                merged = {**outer_row, **inner_row}
-                if condition is None or condition(merged, ctx) is True:
-                    yield merged
+        stats = ctx.stats
+        considered = 0
+        emitted = 0
+        try:
+            if condition is None:
+                for outer_row in self.outer.rows(ctx):
+                    considered += len(inner_rows)
+                    emitted += len(inner_rows)
+                    for inner_row in inner_rows:
+                        yield {**outer_row, **inner_row}
+                return
+            # evaluate the condition against one reused scratch dict and
+            # only copy it for rows that actually survive
+            scratch: Row = {}
+            for outer_row in self.outer.rows(ctx):
+                considered += len(inner_rows)
+                for inner_row in inner_rows:
+                    scratch.clear()
+                    scratch.update(outer_row)
+                    scratch.update(inner_row)
+                    if condition(scratch, ctx) is True:
+                        emitted += 1
+                        yield dict(scratch)
+        finally:
+            stats.join_pairs_considered += considered
+            stats.join_pairs_emitted += emitted
 
     def describe(self) -> str:
         return f"NestedLoopJoin {self.label}".rstrip()
@@ -751,19 +805,33 @@ class IndexNestedLoopJoin(PlanNode):
     def rows(self, ctx: ExecContext) -> Iterator[Row]:
         alias = self.alias
         residual = self.residual
-        for outer_row in self.outer.rows(ctx):
-            envelope = self.probe(outer_row, ctx)
-            if envelope is None:
-                continue
-            ctx.stats.index_probes += 1
-            row_ids = self.entry.index.search(envelope)
-            ctx.stats.index_candidates += len(row_ids)
-            for row_id in row_ids:
-                ctx.stats.rows_scanned += 1
-                merged = dict(outer_row)
-                merged[alias] = self.table.get_row(row_id)
-                if residual is None or residual(merged, ctx) is True:
-                    yield merged
+        probe = self.probe
+        search = self.entry.index.search
+        heap = self.table.rows
+        stats = ctx.stats
+        probes = 0
+        candidates = 0
+        emitted = 0
+        try:
+            for outer_row in self.outer.rows(ctx):
+                envelope = probe(outer_row, ctx)
+                if envelope is None:
+                    continue
+                probes += 1
+                row_ids = search(envelope)
+                candidates += len(row_ids)
+                for row_id in row_ids:
+                    merged = dict(outer_row)
+                    merged[alias] = heap[row_id]
+                    if residual is None or residual(merged, ctx) is True:
+                        emitted += 1
+                        yield merged
+        finally:
+            stats.index_probes += probes
+            stats.index_candidates += candidates
+            stats.rows_scanned += candidates
+            stats.join_pairs_considered += candidates
+            stats.join_pairs_emitted += emitted
 
     def describe(self) -> str:
         return (
@@ -773,6 +841,256 @@ class IndexNestedLoopJoin(PlanNode):
 
     def children(self) -> Sequence[PlanNode]:
         return (self.outer,)
+
+
+class SpatialTreeJoin(PlanNode):
+    """Synchronized index-traversal join of two indexed tables.
+
+    Both sides must be bare table scans with spatial indexes on the
+    joined geometry columns; candidate pairs come from
+    ``SpatialIndex.join`` (a lockstep descent of both trees), so neither
+    side is re-probed per row. The spatial predicate is refined directly
+    through the engine profile — preserving exact / MBR-only / DE-9IM
+    semantics — and any remaining join conjuncts run as a compiled
+    residual.
+    """
+
+    def __init__(
+        self,
+        outer_table: Table,
+        outer_alias: str,
+        outer_entry: IndexEntry,
+        inner_table: Table,
+        inner_alias: str,
+        inner_entry: IndexEntry,
+        refine: Callable[[Any, Any], Optional[bool]],
+        residual: Optional[Evaluator],
+        label: str = "",
+    ):
+        self.outer_table = outer_table
+        self.outer_alias = outer_alias
+        self.outer_entry = outer_entry
+        self.inner_table = inner_table
+        self.inner_alias = inner_alias
+        self.inner_entry = inner_entry
+        self.refine = refine
+        self.residual = residual
+        self.label = label
+        self._outer_geom = outer_table.column_index(outer_entry.column_name)
+        self._inner_geom = inner_table.column_index(inner_entry.column_name)
+
+    def rows(self, ctx: ExecContext) -> Iterator[Row]:
+        stats = ctx.stats
+        outer_heap = self.outer_table.rows
+        inner_heap = self.inner_table.rows
+        outer_alias = self.outer_alias
+        inner_alias = self.inner_alias
+        outer_geom = self._outer_geom
+        inner_geom = self._inner_geom
+        refine = self.refine
+        residual = self.residual
+        considered = 0
+        emitted = 0
+        try:
+            for outer_id, inner_id in self.outer_entry.index.join(
+                self.inner_entry.index
+            ):
+                considered += 1
+                outer_row = outer_heap[outer_id]
+                inner_row = inner_heap[inner_id]
+                if refine(outer_row[outer_geom], inner_row[inner_geom]) is not True:
+                    continue
+                merged = {outer_alias: outer_row, inner_alias: inner_row}
+                if residual is None or residual(merged, ctx) is True:
+                    emitted += 1
+                    yield merged
+        finally:
+            stats.join_pairs_considered += considered
+            stats.join_pairs_emitted += emitted
+            stats.rows_scanned += considered
+
+    def describe(self) -> str:
+        return (
+            f"SpatialTreeJoin {self.outer_table.name} AS {self.outer_alias} "
+            f"x {self.inner_table.name} AS {self.inner_alias} "
+            f"USING ({self.outer_entry.name}, {self.inner_entry.name}) "
+            f"{self.label}"
+        ).rstrip()
+
+
+class PBSMJoin(PlanNode):
+    """Partition-based spatial-merge join (Patel & DeWitt).
+
+    Materialises both inputs, grid-partitions their envelopes over the
+    joint extent, plane-sweeps within each cell, and deduplicates pairs
+    replicated into several cells with the reference-point test (a pair
+    counts only in the cell owning the top-left corner of its envelope
+    intersection). Needs no index on either side.
+    """
+
+    #: aim for roughly this many items per grid cell
+    TARGET_PER_CELL = 32
+    MAX_CELLS_PER_AXIS = 64
+
+    def __init__(
+        self,
+        outer: PlanNode,
+        inner: PlanNode,
+        outer_geom: Evaluator,
+        inner_geom: Evaluator,
+        refine: Callable[[Any, Any], Optional[bool]],
+        residual: Optional[Evaluator],
+        label: str = "",
+    ):
+        self.outer = outer
+        self.inner = inner
+        self.outer_geom = outer_geom
+        self.inner_geom = inner_geom
+        self.refine = refine
+        self.residual = residual
+        self.label = label
+
+    def _materialise(
+        self, plan: PlanNode, geom_fn: Evaluator, ctx: ExecContext
+    ) -> List[Tuple[Envelope, Any, Row]]:
+        items = []
+        for row in plan.rows(ctx):
+            geom = geom_fn(row, ctx)
+            if geom is None:
+                continue
+            if not isinstance(geom, Geometry):
+                raise SqlPlanError(
+                    f"spatial join expects geometry operands, got {geom!r}"
+                )
+            items.append((geom.envelope, geom, row))
+        return items
+
+    def rows(self, ctx: ExecContext) -> Iterator[Row]:
+        outer_items = self._materialise(self.outer, self.outer_geom, ctx)
+        inner_items = self._materialise(self.inner, self.inner_geom, ctx)
+        if not outer_items or not inner_items:
+            return
+        universe = Envelope.union_all(
+            [env for env, _g, _r in outer_items]
+            + [env for env, _g, _r in inner_items]
+        )
+        total = len(outer_items) + len(inner_items)
+        per_axis = max(
+            1,
+            min(
+                self.MAX_CELLS_PER_AXIS,
+                int(math.sqrt(total / self.TARGET_PER_CELL)) + 1,
+            ),
+        )
+        min_x, min_y = universe.min_x, universe.min_y
+        cell_w = (universe.width / per_axis) or 1.0
+        cell_h = (universe.height / per_axis) or 1.0
+        last = per_axis - 1
+
+        cells: Dict[Tuple[int, int], Tuple[list, list]] = {}
+        for side, items in ((0, outer_items), (1, inner_items)):
+            for item in items:
+                env = item[0]
+                x0 = min(int((env.min_x - min_x) / cell_w), last)
+                x1 = min(int((env.max_x - min_x) / cell_w), last)
+                y0 = min(int((env.min_y - min_y) / cell_h), last)
+                y1 = min(int((env.max_y - min_y) / cell_h), last)
+                for gx in range(x0, x1 + 1):
+                    for gy in range(y0, y1 + 1):
+                        bucket = cells.get((gx, gy))
+                        if bucket is None:
+                            bucket = ([], [])
+                            cells[(gx, gy)] = bucket
+                        bucket[side].append(item)
+
+        stats = ctx.stats
+        stats.partitions_built += len(cells)
+        refine = self.refine
+        residual = self.residual
+        considered = 0
+        emitted = 0
+        try:
+            for (gx, gy), (cell_outer, cell_inner) in cells.items():
+                if not cell_outer or not cell_inner:
+                    continue
+                cell_outer.sort(key=_env_min_x)
+                cell_inner.sort(key=_env_min_x)
+                for ea, ga, row_a, eb, gb, row_b in _plane_sweep(
+                    cell_outer, cell_inner
+                ):
+                    # reference-point dedup for pairs spanning cells
+                    rx = ea.min_x if ea.min_x > eb.min_x else eb.min_x
+                    ry = ea.min_y if ea.min_y > eb.min_y else eb.min_y
+                    if min(int((rx - min_x) / cell_w), last) != gx:
+                        continue
+                    if min(int((ry - min_y) / cell_h), last) != gy:
+                        continue
+                    considered += 1
+                    if refine(ga, gb) is not True:
+                        continue
+                    merged = {**row_a, **row_b}
+                    if residual is None or residual(merged, ctx) is True:
+                        emitted += 1
+                        yield merged
+        finally:
+            stats.join_pairs_considered += considered
+            stats.join_pairs_emitted += emitted
+
+    def describe(self) -> str:
+        return f"PBSMJoin {self.label}".rstrip()
+
+    def children(self) -> Sequence[PlanNode]:
+        return (self.outer, self.inner)
+
+
+def _env_min_x(item: Tuple[Envelope, Any, Row]) -> float:
+    return item[0].min_x
+
+
+def _plane_sweep(side_a: list, side_b: list):
+    """Forward plane sweep over two min_x-sorted envelope lists.
+
+    Yields each x/y-overlapping pair exactly once: the item with the
+    smaller ``min_x`` scans forward through the other list while the x
+    ranges still overlap.
+    """
+    i = 0
+    j = 0
+    len_a = len(side_a)
+    len_b = len(side_b)
+    while i < len_a and j < len_b:
+        item_a = side_a[i]
+        item_b = side_b[j]
+        if item_a[0].min_x <= item_b[0].min_x:
+            ea = item_a[0]
+            max_x = ea.max_x
+            min_y = ea.min_y
+            max_y = ea.max_y
+            k = j
+            while k < len_b:
+                eb = side_b[k][0]
+                if eb.min_x > max_x:
+                    break
+                if eb.min_y <= max_y and min_y <= eb.max_y:
+                    item_b_k = side_b[k]
+                    yield ea, item_a[1], item_a[2], eb, item_b_k[1], item_b_k[2]
+                k += 1
+            i += 1
+        else:
+            eb = item_b[0]
+            max_x = eb.max_x
+            min_y = eb.min_y
+            max_y = eb.max_y
+            k = i
+            while k < len_a:
+                ea = side_a[k][0]
+                if ea.min_x > max_x:
+                    break
+                if ea.min_y <= max_y and min_y <= ea.max_y:
+                    item_a_k = side_a[k]
+                    yield ea, item_a_k[1], item_a_k[2], eb, item_b[1], item_b[2]
+                k += 1
+            j += 1
 
 
 class Aggregate(PlanNode):

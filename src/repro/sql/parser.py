@@ -3,7 +3,7 @@
 Grammar (simplified)::
 
     statement   := select | insert | delete | create_table
-                 | create_index | drop_table | drop_index
+                 | create_index | drop_table | drop_index | analyze
     select      := SELECT [DISTINCT] items [FROM table_ref join*]
                    [WHERE expr] [GROUP BY expr_list] [HAVING expr]
                    [ORDER BY order_list] [LIMIT expr [OFFSET expr]]
@@ -112,6 +112,8 @@ class Parser:
             stmt = self.parse_create()
         elif token.is_ident("drop"):
             stmt = self.parse_drop()
+        elif token.is_ident("analyze"):
+            stmt = self.parse_analyze()
         else:
             raise SqlSyntaxError(
                 f"unsupported statement starting with {token.value!r}"
@@ -160,6 +162,13 @@ class Parser:
                 using = self.identifier("index kind")
             return ast.CreateSpatialIndex(name, table, column, using)
         raise SqlSyntaxError("expected TABLE or SPATIAL INDEX after CREATE")
+
+    def parse_analyze(self) -> ast.Statement:
+        self.expect_ident("analyze")
+        table = None
+        if self.peek().type is TokenType.IDENT:
+            table = self.identifier("table name")
+        return ast.Analyze(table)
 
     def parse_drop(self) -> ast.Statement:
         self.expect_ident("drop")

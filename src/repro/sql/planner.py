@@ -12,6 +12,7 @@ nested loops.
 
 from __future__ import annotations
 
+import math
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import SqlPlanError
@@ -30,23 +31,43 @@ from repro.sql.executor import (
     Limit,
     NestedLoopJoin,
     OneRow,
+    PBSMJoin,
     PlanNode,
     Project,
     Row,
     Scope,
     SeqScan,
     Sort,
+    SpatialTreeJoin,
     contains_aggregate,
     is_aggregate_call,
     referenced_aliases,
 )
 from repro.sql.functions import SPATIAL_PREDICATES, FunctionRegistry
 from repro.storage.catalog import Catalog
-from repro.storage.table import ColumnType
+from repro.storage.statistics import ColumnStats, estimate_join_pairs
+from repro.storage.table import ColumnType, Table
 
 #: predicates whose candidates can be produced by an envelope-intersects
 #: index probe (the probe envelope may be expanded, e.g. for ST_DWithin)
 _INDEXABLE_PREDICATES = SPATIAL_PREDICATES - {"st_disjoint"}
+
+#: spatial join strategies the planner can be forced into
+JOIN_STRATEGIES = ("auto", "inlj", "tree", "pbsm", "nlj")
+
+# -- cost model weights (abstract units per basic operation) ---------------
+# per outer row: one index descent of depth ~log2(n_inner)
+_COST_PROBE = 1.5
+# per candidate pair refined through the compiled-expression INLJ residual
+_COST_CAND_INLJ = 1.4
+# per candidate pair refined directly via the profile (tree / PBSM joins)
+_COST_CAND = 1.0
+# per index entry touched by the synchronized tree traversal
+_COST_TREE = 0.4
+# per input row materialised, partitioned and sorted by PBSM
+_COST_PBSM = 1.6
+# per pair evaluated by a plain nested loop
+_COST_NLJ = 2.2
 
 
 def split_conjuncts(expr: Optional[ast.Expr]) -> List[ast.Expr]:
@@ -67,15 +88,21 @@ def conjoin(conjuncts: Sequence[ast.Expr]) -> Optional[ast.Expr]:
 class _IndexableConjunct:
     """A conjunct answerable through a spatial index on ``alias.column``."""
 
-    __slots__ = ("conjunct", "alias", "column", "other", "radius_expr")
+    __slots__ = ("conjunct", "alias", "column", "other", "radius_expr",
+                 "col_first")
 
     def __init__(self, conjunct: ast.Expr, alias: str, column: str,
-                 other: ast.Expr, radius_expr: Optional[ast.Expr] = None):
+                 other: ast.Expr, radius_expr: Optional[ast.Expr] = None,
+                 col_first: bool = True):
         self.conjunct = conjunct
         self.alias = alias
         self.column = column
         self.other = other
         self.radius_expr = radius_expr
+        # True when the indexed column is the predicate's first argument
+        # (or the left '&&' operand) — needed to refine with the original
+        # argument order, which matters for asymmetric predicates
+        self.col_first = col_first
 
 
 class Planner:
@@ -83,6 +110,9 @@ class Planner:
         self.catalog = catalog
         self.registry = registry
         self.profile = profile
+        #: "auto" = cost-based; "inlj"/"tree"/"pbsm"/"nlj" force a spatial
+        #: join algorithm (falling back to auto when inapplicable)
+        self.join_strategy = "auto"
 
     # -- entry point ------------------------------------------------------
 
@@ -310,7 +340,7 @@ class Planner:
         table = self.catalog.table(ref.name)
         alias = ref.alias.lower()
 
-        # try an index nested loop on a spatial conjunct
+        # cost-based spatial join on an indexable spatial conjunct
         for conjunct in conjuncts:
             indexable = self._match_indexable(conjunct, scope, alias)
             if indexable is None:
@@ -321,30 +351,11 @@ class Planner:
                 indexable.radius_expr, scope
             ) <= bound:
                 continue
-            entry = self.catalog.index_for(ref.name, indexable.column)
-            if entry is None:
-                continue
-            other_fn = compiler.compile(indexable.other)
-            radius_fn = (
-                compiler.compile(indexable.radius_expr)
-                if indexable.radius_expr is not None
-                else None
+            plan = self._plan_spatial_join(
+                outer, table, alias, scope, compiler, conjuncts, indexable
             )
-
-            def probe(row: Row, ctx: ExecContext,
-                      other_fn=other_fn, radius_fn=radius_fn) -> Optional[Envelope]:
-                return _probe_envelope(
-                    other_fn(row, ctx),
-                    radius_fn(row, ctx) if radius_fn else None,
-                )
-
-            residual = conjoin(conjuncts)
-            residual_fn = (
-                compiler.compile(residual) if residual is not None else None
-            )
-            return IndexNestedLoopJoin(
-                outer, table, alias, entry, probe, residual_fn, label="spatial"
-            )
+            if plan is not None:
+                return plan
 
         # try a hash join on an equality conjunct
         for conjunct in conjuncts:
@@ -354,7 +365,7 @@ class Planner:
             outer_key, inner_key = keys
             residual_list = [c for c in conjuncts if c is not conjunct]
             residual = conjoin(residual_list)
-            return HashJoin(
+            plan = HashJoin(
                 outer,
                 SeqScan(table, alias),
                 compiler.compile(outer_key),
@@ -362,13 +373,256 @@ class Planner:
                 compiler.compile(residual) if residual is not None else None,
                 label=f"{outer_key} = {inner_key}",
             )
+            plan.est_rows = max(self._estimate_rows(outer), float(len(table)))
+            return plan
 
         condition = conjoin(conjuncts)
-        return NestedLoopJoin(
+        plan = NestedLoopJoin(
             outer,
             SeqScan(table, alias),
             compiler.compile(condition) if condition is not None else None,
         )
+        product = self._estimate_rows(outer) * max(len(table), 1)
+        plan.est_rows = product if condition is None else max(1.0, product / 3.0)
+        return plan
+
+    # -- cost-based spatial join selection ---------------------------------
+
+    def _plan_spatial_join(
+        self,
+        outer: PlanNode,
+        table: Table,
+        alias: str,
+        scope: Scope,
+        compiler: Compiler,
+        conjuncts: List[ast.Expr],
+        indexable: _IndexableConjunct,
+    ) -> Optional[PlanNode]:
+        """Choose INLJ vs synchronized tree join vs PBSM for one spatial
+        conjunct, by estimated cost (or the forced ``join_strategy``).
+
+        Returns ``None`` when a plain nested loop is the best (or only)
+        option, letting ``_plan_join`` fall through to its generic paths.
+        """
+        inner_entry = self.catalog.index_for(table.name, indexable.column)
+
+        # ST_DWithin expands the probe envelope per row: only INLJ applies
+        if indexable.radius_expr is not None:
+            if inner_entry is None:
+                return None
+            return self._build_inlj(
+                outer, table, alias, compiler, conjuncts, indexable,
+                inner_entry, label="spatial",
+            )
+
+        # outer side of the conjunct: a bare indexed geometry column over
+        # an unfiltered scan makes the synchronized tree join applicable
+        outer_table: Optional[Table] = None
+        outer_column: Optional[str] = None
+        outer_alias: Optional[str] = None
+        outer_entry = None
+        other = indexable.other
+        if isinstance(other, ast.ColumnRef):
+            try:
+                outer_alias, idx = scope.resolve(other)
+            except SqlPlanError:
+                outer_alias = None
+            if outer_alias is not None:
+                candidate = scope.table(outer_alias)
+                if candidate.columns[idx].type is ColumnType.GEOMETRY:
+                    outer_table = candidate
+                    outer_column = candidate.columns[idx].name
+                    outer_entry = self.catalog.index_for(
+                        candidate.name, outer_column
+                    )
+        tree_ok = (
+            inner_entry is not None
+            and outer_entry is not None
+            and isinstance(outer, SeqScan)
+            and outer_table is not None
+            and outer.alias == outer_alias
+        )
+
+        n_out = self._estimate_rows(outer)
+        n_in = float(max(len(table), 1))
+        inner_stats = table.stats.column(indexable.column)
+        outer_stats = (
+            outer_table.stats.column(outer_column)
+            if outer_table is not None and outer_column is not None
+            else None
+        )
+        pairs = self._estimate_pairs(n_out, outer_table, outer_stats,
+                                     inner_stats, n_in)
+
+        costs: Dict[str, float] = {}
+        if inner_entry is not None:
+            costs["inlj"] = (
+                n_out * _COST_PROBE * math.log2(n_in + 2.0)
+                + pairs * _COST_CAND_INLJ
+            )
+        if tree_ok:
+            costs["tree"] = (
+                _COST_TREE * (len(outer_table) + n_in) + pairs * _COST_CAND
+            )
+        costs["pbsm"] = _COST_PBSM * (n_out + n_in) + pairs * _COST_CAND
+        if inner_entry is None and not tree_ok:
+            costs["nlj"] = _COST_NLJ * n_out * n_in
+
+        forced = self.join_strategy
+        if forced == "nlj":
+            return None
+        if forced != "auto" and forced in costs:
+            choice = forced
+        else:
+            choice = min(costs, key=costs.__getitem__)
+        if choice == "nlj":
+            return None
+        label = (
+            "spatial cost("
+            + " ".join(f"{k}={v:.0f}" for k, v in sorted(costs.items()))
+            + f") -> {choice}"
+        )
+
+        est = max(1.0, pairs * 0.5)
+        if choice == "inlj":
+            assert inner_entry is not None
+            plan = self._build_inlj(
+                outer, table, alias, compiler, conjuncts, indexable,
+                inner_entry, label=label,
+            )
+            plan.est_rows = est
+            return plan
+
+        refine = self._make_refine(indexable)
+        residual_list = [c for c in conjuncts if c is not indexable.conjunct]
+        residual = conjoin(residual_list)
+        residual_fn = (
+            compiler.compile(residual) if residual is not None else None
+        )
+        if choice == "tree":
+            assert outer_entry is not None and inner_entry is not None
+            assert outer_table is not None
+            plan = SpatialTreeJoin(
+                outer_table, outer.alias, outer_entry,
+                table, alias, inner_entry,
+                refine, residual_fn, label=label,
+            )
+            plan.est_rows = est
+            return plan
+
+        inner_geom_fn = compiler.compile(
+            ast.ColumnRef(indexable.column, table=alias)
+        )
+        plan = PBSMJoin(
+            outer,
+            SeqScan(table, alias),
+            compiler.compile(indexable.other),
+            inner_geom_fn,
+            refine,
+            residual_fn,
+            label=label,
+        )
+        plan.est_rows = est
+        return plan
+
+    def _build_inlj(
+        self,
+        outer: PlanNode,
+        table: Table,
+        alias: str,
+        compiler: Compiler,
+        conjuncts: List[ast.Expr],
+        indexable: _IndexableConjunct,
+        entry,
+        label: str,
+    ) -> IndexNestedLoopJoin:
+        other_fn = compiler.compile(indexable.other)
+        radius_fn = (
+            compiler.compile(indexable.radius_expr)
+            if indexable.radius_expr is not None
+            else None
+        )
+
+        def probe(row: Row, ctx: ExecContext,
+                  other_fn=other_fn, radius_fn=radius_fn) -> Optional[Envelope]:
+            return _probe_envelope(
+                other_fn(row, ctx),
+                radius_fn(row, ctx) if radius_fn else None,
+            )
+
+        residual = conjoin(conjuncts)
+        residual_fn = (
+            compiler.compile(residual) if residual is not None else None
+        )
+        return IndexNestedLoopJoin(
+            outer, table, alias, entry, probe, residual_fn, label=label
+        )
+
+    def _make_refine(
+        self, indexable: _IndexableConjunct
+    ) -> Callable[[Geometry, Geometry], Optional[bool]]:
+        """Direct profile refinement for ``(outer_geom, inner_geom)``.
+
+        Candidate pairs from tree/PBSM joins already have intersecting
+        envelopes, so an ``&&`` conjunct is trivially satisfied; named
+        predicates re-evaluate through the profile with the conjunct's
+        original argument order.
+        """
+        conjunct = indexable.conjunct
+        if isinstance(conjunct, ast.BinaryOp):  # '&&'
+            return lambda outer_geom, inner_geom: True
+        name = conjunct.name
+        self.profile.check_supported(name)
+        profile = self.profile
+        if indexable.col_first:
+            return lambda outer_geom, inner_geom: profile.evaluate_predicate(
+                name, inner_geom, outer_geom
+            )
+        return lambda outer_geom, inner_geom: profile.evaluate_predicate(
+            name, outer_geom, inner_geom
+        )
+
+    def _estimate_rows(self, plan: PlanNode) -> float:
+        """Rough output-cardinality estimate for a built subplan."""
+        est = getattr(plan, "est_rows", None)
+        if est is not None:
+            return float(est)
+        if isinstance(plan, SeqScan):
+            return float(max(len(plan.table), 1))
+        if isinstance(plan, IndexScan):
+            return float(max(1, len(plan.table) // 10))
+        if isinstance(plan, Filter):
+            return max(1.0, self._estimate_rows(plan.child) / 3.0)
+        return 100.0
+
+    @staticmethod
+    def _estimate_pairs(
+        n_out: float,
+        outer_table: Optional[Table],
+        outer_stats: Optional[ColumnStats],
+        inner_stats: Optional[ColumnStats],
+        n_in: float,
+    ) -> float:
+        """Expected candidate pairs for the spatial conjunct."""
+        if outer_stats is not None:
+            pairs = estimate_join_pairs(outer_stats, inner_stats)
+            if outer_table is not None and len(outer_table) > 0:
+                # outer side may be pre-filtered below the join
+                pairs *= min(1.0, n_out / len(outer_table))
+            return pairs
+        # expression probe: only the inner side's density is known; assume
+        # each probe envelope behaves like an average inner envelope
+        if (
+            inner_stats is None
+            or inner_stats.count == 0
+            or inner_stats.bounds is None
+        ):
+            return n_out
+        width = inner_stats.bounds.width or 1.0
+        height = inner_stats.bounds.height or 1.0
+        p_x = min(1.0, 2.0 * inner_stats.avg_width / width)
+        p_y = min(1.0, 2.0 * inner_stats.avg_height / height)
+        return n_out * max(1.0, inner_stats.count * p_x * p_y)
 
     # -- conjunct pattern matching ---------------------------------------------
 
@@ -377,38 +631,42 @@ class Planner:
     ) -> Optional[_IndexableConjunct]:
         """Recognise ``pred(t.geom, other)`` / ``other && t.geom`` shapes."""
         if isinstance(conjunct, ast.BinaryOp) and conjunct.op == "&&":
-            for col_side, other_side in (
-                (conjunct.left, conjunct.right),
-                (conjunct.right, conjunct.left),
+            for col_side, other_side, col_first in (
+                (conjunct.left, conjunct.right, True),
+                (conjunct.right, conjunct.left, False),
             ):
                 col = self._geometry_column(col_side, scope, alias)
                 if col is not None:
-                    return _IndexableConjunct(conjunct, alias, col, other_side)
+                    return _IndexableConjunct(
+                        conjunct, alias, col, other_side, col_first=col_first
+                    )
             return None
         if not isinstance(conjunct, ast.FuncCall):
             return None
         name = conjunct.name
         if name == "st_dwithin" and len(conjunct.args) == 3:
-            for col_side, other_side in (
-                (conjunct.args[0], conjunct.args[1]),
-                (conjunct.args[1], conjunct.args[0]),
+            for col_side, other_side, col_first in (
+                (conjunct.args[0], conjunct.args[1], True),
+                (conjunct.args[1], conjunct.args[0], False),
             ):
                 col = self._geometry_column(col_side, scope, alias)
                 if col is not None:
                     return _IndexableConjunct(
                         conjunct, alias, col, other_side,
-                        radius_expr=conjunct.args[2],
+                        radius_expr=conjunct.args[2], col_first=col_first,
                     )
             return None
         if name not in _INDEXABLE_PREDICATES or len(conjunct.args) != 2:
             return None
-        for col_side, other_side in (
-            (conjunct.args[0], conjunct.args[1]),
-            (conjunct.args[1], conjunct.args[0]),
+        for col_side, other_side, col_first in (
+            (conjunct.args[0], conjunct.args[1], True),
+            (conjunct.args[1], conjunct.args[0], False),
         ):
             col = self._geometry_column(col_side, scope, alias)
             if col is not None:
-                return _IndexableConjunct(conjunct, alias, col, other_side)
+                return _IndexableConjunct(
+                    conjunct, alias, col, other_side, col_first=col_first
+                )
         return None
 
     def _geometry_column(

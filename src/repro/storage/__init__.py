@@ -1,6 +1,22 @@
 """Storage layer: heap tables, schemas, and the system catalog."""
 
 from repro.storage.catalog import Catalog, IndexEntry
+from repro.storage.statistics import (
+    ColumnStats,
+    EnvelopeHistogram,
+    TableStats,
+    estimate_join_pairs,
+)
 from repro.storage.table import Column, ColumnType, Table
 
-__all__ = ["Catalog", "Column", "ColumnType", "IndexEntry", "Table"]
+__all__ = [
+    "Catalog",
+    "Column",
+    "ColumnStats",
+    "ColumnType",
+    "EnvelopeHistogram",
+    "IndexEntry",
+    "Table",
+    "TableStats",
+    "estimate_join_pairs",
+]

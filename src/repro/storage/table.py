@@ -13,7 +13,8 @@ import enum
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import EngineError, SqlPlanError
-from repro.geometry.base import Geometry
+from repro.geometry.base import Envelope, Geometry
+from repro.storage.statistics import TableStats
 
 
 class ColumnType(enum.Enum):
@@ -111,6 +112,18 @@ class Table:
         }
         self.rows: List[Optional[tuple]] = []
         self.live_count = 0
+        # per-geometry-column envelope arrays, parallel to ``rows``, plus
+        # incrementally maintained statistics for the cost-based planner
+        self._geom_positions: Tuple[int, ...] = tuple(
+            i for i, c in enumerate(self.columns)
+            if c.type is ColumnType.GEOMETRY
+        )
+        self._envelopes: Dict[int, List[Optional[Envelope]]] = {
+            i: [] for i in self._geom_positions
+        }
+        self.stats = TableStats(
+            [self.columns[i].name for i in self._geom_positions]
+        )
 
     # -- schema ------------------------------------------------------------
 
@@ -142,6 +155,11 @@ class Table:
         )
         self.rows.append(row)
         self.live_count += 1
+        for position in self._geom_positions:
+            geom = row[position]
+            env = geom.envelope if isinstance(geom, Geometry) else None
+            self._envelopes[position].append(env)
+            self.stats.geometry[self.columns[position].name].add(env)
         return len(self.rows) - 1
 
     def update_row(self, row_id: int, values: Sequence[Any]) -> None:
@@ -155,12 +173,24 @@ class Table:
         self.rows[row_id] = tuple(
             _coerce(value, col) for value, col in zip(values, self.columns)
         )
+        new_row = self.rows[row_id]
+        for position in self._geom_positions:
+            stats = self.stats.geometry[self.columns[position].name]
+            stats.remove(self._envelopes[position][row_id])
+            geom = new_row[position]
+            env = geom.envelope if isinstance(geom, Geometry) else None
+            self._envelopes[position][row_id] = env
+            stats.add(env)
 
     def delete_row(self, row_id: int) -> None:
         if self.rows[row_id] is None:
             raise EngineError(f"row {row_id} already deleted")
         self.rows[row_id] = None
         self.live_count -= 1
+        for position in self._geom_positions:
+            stats = self.stats.geometry[self.columns[position].name]
+            stats.remove(self._envelopes[position][row_id])
+            self._envelopes[position][row_id] = None
 
     def get_row(self, row_id: int) -> tuple:
         row = self.rows[row_id]
@@ -172,6 +202,26 @@ class Table:
         for row_id, row in enumerate(self.rows):
             if row is not None:
                 yield row_id, row
+
+    def envelopes(self, column_name: str) -> List[Optional[Envelope]]:
+        """Envelope array for one geometry column, parallel to ``rows``."""
+        position = self.column_index(column_name)
+        try:
+            return self._envelopes[position]
+        except KeyError:
+            raise SqlPlanError(
+                f"column {column_name!r} of table {self.name!r} "
+                f"is not a GEOMETRY column"
+            )
+
+    def analyze(self) -> None:
+        """Rebuild exact statistics + envelope histograms (the ANALYZE path)."""
+        self.stats.rebuild(
+            {
+                self.columns[position].name: self._envelopes[position]
+                for position in self._geom_positions
+            }
+        )
 
     def page_of(self, row_id: int) -> int:
         return row_id // self.ROWS_PER_PAGE

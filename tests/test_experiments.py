@@ -135,6 +135,28 @@ class TestConcurrency:
         assert "geocoding" in text
 
 
+class TestSpatialJoin:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return exp.run_spatial_join(seed=42, scale=0.1)
+
+    def test_all_strategies_timed_for_every_join(self, result):
+        assert len(result.rows) == len(exp.JOIN_MATRIX)
+        for _label, cells in result.rows:
+            assert set(cells) == set(exp.JOIN_STRATEGY_SERIES)
+
+    def test_answers_identical_across_strategies(self, result):
+        # asserted inside run_spatial_join; re-check the invariant here
+        for _label, cells in result.rows:
+            assert len({answer for _s, answer in cells.values()}) == 1
+
+    def test_render(self, result):
+        text = exp.render_spatial_join(result)
+        assert "J-X3" in text
+        for strategy in exp.JOIN_STRATEGY_SERIES:
+            assert strategy in text
+
+
 class TestCliIntegration:
     def test_experiment_subcommand(self, capsys):
         from repro.cli import main
@@ -142,6 +164,13 @@ class TestCliIntegration:
         code = main(["experiment", "ja2", "--scale", "0.1"])
         assert code == 0
         assert "J-A2" in capsys.readouterr().out
+
+    def test_spatial_join_subcommand(self, capsys):
+        from repro.cli import main
+
+        code = main(["experiment", "jx3", "--scale", "0.1"])
+        assert code == 0
+        assert "J-X3" in capsys.readouterr().out
 
     def test_selectivity_subcommand(self, capsys):
         from repro.cli import main
