@@ -1,0 +1,103 @@
+"""Observability overhead guard.
+
+The tracing/metrics layer must cost *nothing it can avoid* when it is
+off: ``Database.execute`` adds exactly one attribute check
+(``self.obs.active``) in front of the seed fast path. This module pins
+that contract by timing the full jx3 topology-join matrix through
+``db.execute`` with observability disabled against a baseline that runs
+the cached plan directly (the pre-observability hot path), and asserting
+the guarded medians stay within 5%.
+
+Wall-clock comparisons at single-digit-percent resolution are noisy, so
+the guard measures median-of-repeats per query, sums across the matrix
+(the joins dominate, amortising per-call jitter), and retries the whole
+comparison a few times — it fails only when *every* attempt exceeds the
+budget. Run standalone::
+
+    pytest benchmarks/test_bench_obs_overhead.py --benchmark-disable -q
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.experiments import JOIN_MATRIX
+from repro.datagen import generate
+from repro.engines import Database
+from repro.sql.executor import ExecContext
+
+from _bench_utils import BENCH_SCALE, BENCH_SEED
+
+#: allowed slowdown of obs-disabled execute over the direct plan path
+OVERHEAD_BUDGET = 1.05
+REPEATS = 5
+ATTEMPTS = 3
+
+
+def _fresh_db() -> Database:
+    db = Database("greenwood")
+    generate(seed=BENCH_SEED, scale=BENCH_SCALE).load_into(db)
+    db.execute("ANALYZE")
+    return db
+
+
+def _run_plan_directly(db: Database, sql: str):
+    """The seed-era fast path: cached plan, no observability branch."""
+    statement = db._parse_statement(sql)
+    cached = db._plan_cache.get(sql)
+    if cached is None:
+        cached = db._planner.plan_select(statement)
+        db._plan_cache[sql] = cached
+    plan, names = cached
+    ctx = ExecContext(
+        (), db.profile, db.registry, db.catalog, db.stats,
+    )
+    return [row["__out__"] for row in plan.rows(ctx)]
+
+
+def _median_seconds(call, repeats: int = REPEATS) -> float:
+    call()  # warm caches (parse, plan, index) outside the timed window
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        call()
+        times.append(time.perf_counter() - start)
+    times.sort()
+    return times[len(times) // 2]
+
+
+def test_observability_disabled_by_default():
+    db = Database("greenwood")
+    assert db.obs.active is False
+    assert db.obs.tracing is False
+    assert db.obs.metrics_enabled is False
+
+
+def test_disabled_execute_matches_direct_plan_answers():
+    db = _fresh_db()
+    for _label, sql in JOIN_MATRIX:
+        via_execute = db.execute(sql).scalar()
+        direct = _run_plan_directly(db, sql)[0][0]
+        assert via_execute == direct
+
+
+def test_disabled_overhead_within_budget():
+    db = _fresh_db()
+    assert db.obs.active is False
+    ratios = []
+    for _ in range(ATTEMPTS):
+        guarded = 0.0
+        baseline = 0.0
+        for _label, sql in JOIN_MATRIX:
+            guarded += _median_seconds(lambda s=sql: db.execute(s))
+            baseline += _median_seconds(
+                lambda s=sql: _run_plan_directly(db, s)
+            )
+        ratio = guarded / baseline
+        ratios.append(ratio)
+        if ratio <= OVERHEAD_BUDGET:
+            break
+    assert min(ratios) <= OVERHEAD_BUDGET, (
+        f"obs-disabled execute exceeded the {OVERHEAD_BUDGET:.0%} budget "
+        f"on every attempt: ratios={[f'{r:.3f}' for r in ratios]}"
+    )

@@ -56,6 +56,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="also export every figure's data series as CSV into DIR",
     )
     run.add_argument(
+        "--telemetry", default=None, metavar="DIR",
+        help="write structured per-query JSON telemetry artifacts "
+             "(percentiles + operator breakdowns) into DIR",
+    )
+    run.add_argument(
         "--details", action="store_true",
         help="with --suite macro: print per-step timings",
     )
@@ -65,7 +70,25 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=list(ENGINE_NAMES))
     explain.add_argument("--seed", type=int, default=42)
     explain.add_argument("--scale", type=float, default=0.5)
+    explain.add_argument(
+        "--analyze", action="store_true",
+        help="execute the query and report per-operator rows, times "
+             "and counters (EXPLAIN ANALYZE)",
+    )
     explain.add_argument("sql")
+
+    stats = sub.add_parser(
+        "stats", help="run a probe workload and print the metrics registry"
+    )
+    stats.add_argument("--engine", default="greenwood",
+                       choices=list(ENGINE_NAMES))
+    stats.add_argument("--seed", type=int, default=42)
+    stats.add_argument("--scale", type=float, default=0.1)
+    stats.add_argument(
+        "--sql", action="append", default=None, metavar="STMT",
+        help="statement(s) to run instead of the default probe workload "
+             "(repeatable)",
+    )
 
     experiment = sub.add_parser(
         "experiment", help="run one of the standalone experiments"
@@ -126,9 +149,48 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "explain":
         db = Database(args.engine)
         generate(seed=args.seed, scale=args.scale).load_into(db)
-        print(db.explain(args.sql))
+        if args.analyze:
+            print(db.explain_analyze(args.sql))
+        else:
+            print(db.explain(args.sql))
         return 0
+    if args.command == "stats":
+        return _run_stats(args)
 
+    return _run_suites(args)
+
+
+#: default probe workload for ``jackpine stats`` — exercises scans,
+#: index probes and a spatial join so every counter family moves
+_STATS_PROBES = (
+    "SELECT COUNT(*) FROM edges",
+    "SELECT COUNT(*) FROM edges "
+    "WHERE ST_Intersects(geom, ST_MakeEnvelope(10000, 10000, 40000, 40000))",
+    "SELECT COUNT(*) FROM arealm a, areawater w "
+    "WHERE ST_Overlaps(a.geom, w.geom)",
+)
+
+
+def _run_stats(args) -> int:
+    db = Database(args.engine)
+    generate(seed=args.seed, scale=args.scale).load_into(db)
+    db.obs.enable_metrics()
+    db.obs.enable_tracing()
+    for sql in args.sql or _STATS_PROBES:
+        db.execute(sql)
+        trace = db.last_trace()
+        deltas = ", ".join(
+            f"{k}={v}" for k, v in sorted(trace.counters.items())
+        )
+        print(f"-- {sql}")
+        print(f"   {trace.seconds * 1e3:.2f}ms, {trace.rows} rows"
+              + (f", {deltas}" if deltas else ""))
+    print()
+    print(db.obs.metrics.render(), end="")
+    return 0
+
+
+def _run_suites(args) -> int:
     config = BenchmarkConfig(
         engines=args.engines,
         seed=args.seed,
@@ -147,6 +209,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
             for path in export_all(result, args.out):
                 print(f"wrote {path}")
+        _write_telemetry(result, args.telemetry)
         return 0
 
     from repro.core.benchmark import BenchmarkResult, EngineRun
@@ -175,7 +238,17 @@ def main(argv: Optional[List[str]] = None) -> int:
 
             print()
             print(render_macro_details(result))
+    _write_telemetry(result, args.telemetry)
     return 0
+
+
+def _write_telemetry(result, out_dir) -> None:
+    if not out_dir:
+        return
+    from repro.obs import telemetry
+
+    for path in telemetry.write_artifacts(result, out_dir):
+        print(f"wrote {path}")
 
 
 if __name__ == "__main__":

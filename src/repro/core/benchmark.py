@@ -39,6 +39,9 @@ class BenchmarkConfig:
     warmups: int = 1
     scenarios: Optional[Sequence[str]] = None  # None = all six
     with_indexes: bool = True
+    #: capture one traced exemplar execution per micro query (outside the
+    #: timed runs) so telemetry artifacts carry operator breakdowns
+    collect_traces: bool = True
 
 
 @dataclass
@@ -95,7 +98,8 @@ class Jackpine:
         return topology_queries() + bind_dataset(analysis_queries(), self.dataset)
 
     def run_micro(self, engine: str) -> Dict[str, QueryTiming]:
-        conn = connect(database=self.database(engine))
+        db = self.database(engine)
+        conn = connect(database=db)
         cursor = conn.cursor()
         results: Dict[str, QueryTiming] = {}
         for query in self.micro_queries():
@@ -106,6 +110,15 @@ class Jackpine:
                 repeats=self.config.repeats,
                 warmups=self.config.warmups,
             )
+            if self.config.collect_traces and timing.supported:
+                # one extra traced run, after timing, for the telemetry
+                # operator breakdown — never inside the measured window
+                db.obs.enable_tracing()
+                try:
+                    query.run(cursor)
+                    timing.trace = db.last_trace()
+                finally:
+                    db.obs.disable_tracing()
             results[query.query_id] = timing
         conn.close()
         return results

@@ -35,6 +35,9 @@ class StepResult:
     rows: int
     skipped: bool = False
     error: Optional[str] = None
+    #: statement trace (a :class:`repro.obs.Trace`) when the engine had
+    #: tracing enabled while the scenario ran
+    trace: Optional[Any] = None
 
 
 @dataclass
@@ -79,13 +82,18 @@ class Scenario:
         rng = random.Random(seed)
         result = ScenarioResult(scenario=self.name, engine=engine_name)
         cursor = connection.cursor()
+        database = getattr(connection, "database", None)
+        tracing = database is not None and database.obs.tracing
         for item in self.build_workload(dataset, rng):
             start = time.perf_counter()
             try:
                 cursor.execute(item.sql, item.params)
                 rows = len(cursor.fetchall())
                 elapsed = time.perf_counter() - start
-                result.steps.append(StepResult(item.label, elapsed, rows))
+                step = StepResult(item.label, elapsed, rows)
+                if tracing:
+                    step.trace = database.last_trace()
+                result.steps.append(step)
             except UnsupportedFeatureError as exc:
                 result.steps.append(
                     StepResult(item.label, 0.0, 0, skipped=True, error=str(exc))

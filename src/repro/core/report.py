@@ -39,6 +39,14 @@ def _table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
     return "\n".join([line(headers), sep] + [line(r) for r in rows])
 
 
+def _micro_headers(result: BenchmarkResult, label: str) -> List[str]:
+    headers = [label]
+    for engine in result.engines():
+        headers.extend([engine, f"{engine} p95/p99"])
+    headers.append("result")
+    return headers
+
+
 def _micro_rows(
     result: BenchmarkResult, queries: List[BenchmarkQuery]
 ) -> List[List[str]]:
@@ -50,11 +58,14 @@ def _micro_rows(
         for engine in engines:
             timing = result.runs[engine].micro.get(query.query_id)
             if timing is None:
-                row.append("-")
+                row.extend(["-", "-"])
             elif not timing.supported:
-                row.append("n/s")
+                row.extend(["n/s", "n/s"])
             else:
                 row.append(_fmt_time(timing.median))
+                row.append(
+                    f"{_fmt_time(timing.p95)}/{_fmt_time(timing.p99)}"
+                )
                 if ref_value is None:
                     ref_value = timing.result_value
         row.append(str(_first_supported_value(result, query.query_id)))
@@ -78,8 +89,8 @@ def _first_supported_value(result: BenchmarkResult, query_id: str):
 
 
 def render_micro_topology(result: BenchmarkResult) -> str:
-    """J-F1: response time per topological micro query."""
-    headers = ["Topological query"] + result.engines() + ["result"]
+    """J-F1: response time per topological micro query (median + tails)."""
+    headers = _micro_headers(result, "Topological query")
     return (
         "== Micro benchmark: topological relations (J-T1 / J-F1) ==\n"
         + _table(headers, _micro_rows(result, topology_queries()))
@@ -87,8 +98,8 @@ def render_micro_topology(result: BenchmarkResult) -> str:
 
 
 def render_micro_analysis(result: BenchmarkResult) -> str:
-    """J-F2: response time per spatial-analysis micro query."""
-    headers = ["Analysis query"] + result.engines() + ["result"]
+    """J-F2: response time per spatial-analysis micro query (median + tails)."""
+    headers = _micro_headers(result, "Analysis query")
     queries = [
         q for q in analysis_queries()
     ]

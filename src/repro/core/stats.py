@@ -17,9 +17,30 @@ class QueryTiming:
     result_value: Optional[object] = None  # e.g. COUNT(*) for answer checks
     supported: bool = True
     error: Optional[str] = None
+    #: exemplar operator trace (a :class:`repro.obs.Trace`) captured by
+    #: the harness outside the timed runs, for telemetry breakdowns
+    trace: Optional[object] = None
 
     def record(self, seconds: float) -> None:
         self.times.append(seconds)
+
+    def percentile(self, p: float) -> float:
+        """Exact percentile of the recorded runs (``p`` in 0..100)."""
+        from repro.obs.metrics import percentile_of
+
+        return percentile_of(self.times, p)
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50.0)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(95.0)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99.0)
 
     @property
     def runs(self) -> int:

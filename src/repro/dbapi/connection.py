@@ -46,9 +46,27 @@ class Connection:
     def stats(self):
         return self.database.stats
 
+    @property
+    def obs(self):
+        """The engine's observability switchboard (tracing/metrics/hooks)."""
+        return self.database.obs
+
+    @property
+    def metrics(self):
+        """Per-connection metrics registry (chained to the global one)."""
+        return self.database.obs.metrics
+
+    def last_trace(self):
+        """Most recent statement trace (enable via ``obs.enable_tracing()``)."""
+        return self.database.last_trace()
+
     def explain(self, sql: str) -> str:
         self._check_open()
         return self.database.explain(sql)
+
+    def explain_analyze(self, sql: str, params: Sequence[Any] = ()) -> str:
+        self._check_open()
+        return self.database.explain_analyze(sql, params)
 
     def __enter__(self) -> "Connection":
         return self

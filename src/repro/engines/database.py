@@ -17,8 +17,9 @@ from repro.errors import SqlPlanError
 from repro.geometry.base import Geometry
 from repro.index import make_index
 from repro.index.base import SpatialIndex
+from repro.obs import Observability, Trace
 from repro.sql import ast
-from repro.sql.executor import Compiler, ExecContext, Scope, Stats
+from repro.sql.executor import Compiler, ExecContext, Scope, SpanNode, Stats
 from repro.sql.functions import FunctionRegistry
 from repro.sql.parser import parse
 from repro.sql.planner import Planner
@@ -64,6 +65,8 @@ class Database:
         self.catalog = Catalog()
         self.registry = FunctionRegistry()
         self.stats = Stats()
+        self.obs = Observability()
+        self.obs.metrics.bind_stats(self.profile.name, self.stats)
         self._planner = Planner(self.catalog, self.registry, self.profile)
         self._plan_cache: "OrderedDict[str, tuple]" = OrderedDict()
         self._parse_cache: "OrderedDict[str, ast.Statement]" = OrderedDict()
@@ -88,20 +91,19 @@ class Database:
         self._planner.join_strategy = strategy
         self._plan_cache.clear()
 
+    def last_trace(self) -> Optional[Trace]:
+        """The most recent statement trace (requires ``obs.enable_tracing()``)."""
+        return self.obs.last_trace
+
     def execute(
         self, sql: str, params: Sequence[Any] = ()
     ) -> ResultSet:
         """Parse and run one statement (parse results and SELECT plans are
         cached per SQL text with LRU eviction, the way a driver reuses
         prepared statements)."""
-        statement = self._parse_cache.get(sql)
-        if statement is None:
-            statement = parse(sql)
-            if len(self._parse_cache) >= self.PLAN_CACHE_SIZE:
-                self._parse_cache.popitem(last=False)
-            self._parse_cache[sql] = statement
-        else:
-            self._parse_cache.move_to_end(sql)
+        if self.obs.active:
+            return self._execute_observed(sql, params)
+        statement = self._parse_statement(sql)
         if isinstance(statement, ast.Select):
             cached = self._plan_cache.get(sql)
             if cached is None:
@@ -123,6 +125,94 @@ class Database:
         # any non-SELECT may change schema or data layout: flush plans
         self._plan_cache.clear()
         return self.execute_statement(statement, params)
+
+    def _parse_statement(self, sql: str) -> ast.Statement:
+        """LRU-cached parse of one SQL text."""
+        statement = self._parse_cache.get(sql)
+        if statement is None:
+            statement = parse(sql)
+            if len(self._parse_cache) >= self.PLAN_CACHE_SIZE:
+                self._parse_cache.popitem(last=False)
+            self._parse_cache[sql] = statement
+        else:
+            self._parse_cache.move_to_end(sql)
+        return statement
+
+    def _execute_observed(self, sql: str, params: Sequence[Any]) -> ResultSet:
+        """The instrumented twin of :meth:`execute`.
+
+        Runs whenever any observability feature is on: fires hooks,
+        times the statement, snapshots per-statement engine-counter
+        deltas, and — when span capture is wanted — plans SELECTs afresh
+        under a :class:`~repro.sql.executor.SpanNode` tree (span wrapping
+        mutates the plan, so cached plans are never traced).
+        """
+        import time as _time
+
+        obs = self.obs
+        params_tuple = tuple(params)
+        if obs.hooks.query_start:
+            obs.hooks.fire_query_start(sql, params_tuple)
+        statement = self._parse_statement(sql)
+        before = self.stats.snapshot()
+        started_at = _time.time()
+        start = _time.perf_counter()
+        root = None
+        if isinstance(statement, ast.Select) and obs.capture_spans:
+            plan, names = self._planner.plan_select(statement)
+            on_close = (
+                obs.hooks.fire_operator_close
+                if obs.hooks.operator_close else None
+            )
+            wrapped = SpanNode(plan, on_close)
+            ctx = ExecContext(
+                params_tuple, self.profile, self.registry, self.catalog,
+                self.stats,
+            )
+            result = ResultSet(
+                names, [row["__out__"] for row in wrapped.rows(ctx)]
+            )
+            root = wrapped.span
+        elif isinstance(statement, ast.Select):
+            cached = self._plan_cache.get(sql)
+            if cached is None:
+                self.stats.plan_cache_misses += 1
+                cached = self._planner.plan_select(statement)
+                if len(self._plan_cache) >= self.PLAN_CACHE_SIZE:
+                    self._plan_cache.popitem(last=False)
+                self._plan_cache[sql] = cached
+            else:
+                self.stats.plan_cache_hits += 1
+                self._plan_cache.move_to_end(sql)
+            plan, names = cached
+            ctx = ExecContext(
+                params_tuple, self.profile, self.registry, self.catalog,
+                self.stats,
+            )
+            result = ResultSet(
+                names, [row["__out__"] for row in plan.rows(ctx)]
+            )
+        else:
+            self._plan_cache.clear()
+            result = self.execute_statement(statement, params_tuple)
+        elapsed = _time.perf_counter() - start
+        after = self.stats.snapshot()
+        trace = Trace(
+            sql=sql,
+            engine=self.profile.name,
+            statement=type(statement).__name__,
+            seconds=elapsed,
+            started_at=started_at,
+            rows=result.rowcount,
+            counters={
+                key: value - before[key]
+                for key, value in after.items()
+                if value != before[key]
+            },
+            root=root,
+        )
+        obs.record(trace)
+        return result
 
     def execute_statement(
         self, statement: ast.Statement, params: Sequence[Any] = ()
@@ -173,15 +263,15 @@ class Database:
 
         Plans afresh (never from the cache — instrumentation rewires the
         tree) and drains the full result before rendering, like
-        ``EXPLAIN ANALYZE`` in the DBMSes the paper benchmarks.
+        ``EXPLAIN ANALYZE`` in the DBMSes the paper benchmarks. Each
+        operator line shows actual rows, wall time and its exclusive
+        engine-counter deltas (``index_probes``, ``join_pairs_…``, …).
         """
-        from repro.sql.executor import Instrumented
-
         statement = parse(sql)
         if not isinstance(statement, ast.Select):
             raise SqlPlanError("EXPLAIN ANALYZE supports SELECT statements only")
         plan, _names = self._planner.plan_select(statement)
-        wrapped = Instrumented(plan)
+        wrapped = SpanNode(plan)
         ctx = ExecContext(
             tuple(params), self.profile, self.registry, self.catalog,
             self.stats,

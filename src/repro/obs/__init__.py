@@ -1,0 +1,161 @@
+"""Query-engine observability: trace spans, metrics, hooks, telemetry.
+
+One :class:`Observability` object hangs off every
+:class:`~repro.engines.Database` and bundles the three concerns:
+
+- **tracing** — per-operator span trees for SELECTs
+  (:meth:`enable_tracing`, :attr:`last_trace`), plus slow-query
+  auto-capture via :attr:`slow_query_threshold`;
+- **metrics** — a per-connection :class:`MetricsRegistry` chained to the
+  process-wide :data:`~repro.obs.metrics.GLOBAL` registry
+  (:meth:`enable_metrics`);
+- **hooks** — ``on_query_start`` / ``on_query_end`` /
+  ``on_operator_close`` callbacks.
+
+The whole subsystem is built to cost one attribute check per statement
+when nothing is enabled: :attr:`active` is a plain precomputed bool, and
+the engine's fast path is byte-for-byte the untraced one.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Optional
+
+from repro.obs.hooks import Hooks
+from repro.obs.metrics import GLOBAL, Histogram, MetricsRegistry, percentile_of
+from repro.obs.span import Span
+from repro.obs.trace import Trace
+
+__all__ = [
+    "GLOBAL",
+    "Hooks",
+    "MetricsRegistry",
+    "Observability",
+    "Span",
+    "Trace",
+    "percentile_of",
+]
+
+
+class Observability:
+    """Per-database observability switchboard (see module docstring)."""
+
+    #: how many auto-captured slow-query traces to keep
+    SLOW_TRACE_CAPACITY = 16
+
+    def __init__(self, metrics_parent: Optional[MetricsRegistry] = None):
+        self.metrics = MetricsRegistry(
+            parent=GLOBAL if metrics_parent is None else metrics_parent
+        )
+        self.hooks = Hooks()
+        self.last_trace: Optional[Trace] = None
+        self.slow_traces: Deque[Trace] = deque(maxlen=self.SLOW_TRACE_CAPACITY)
+        self._tracing = False
+        self._metrics_enabled = False
+        self._slow_query_threshold: Optional[float] = None
+        #: the one flag the engine hot path reads; kept in sync by every
+        #: mutator below so the disabled path never recomputes it
+        self.active = False
+
+    # -- switches ----------------------------------------------------------
+
+    def _refresh(self) -> None:
+        self.active = bool(
+            self._tracing
+            or self._metrics_enabled
+            or self._slow_query_threshold is not None
+            or self.hooks
+        )
+
+    @property
+    def tracing(self) -> bool:
+        return self._tracing
+
+    def enable_tracing(self) -> "Observability":
+        self._tracing = True
+        self._refresh()
+        return self
+
+    def disable_tracing(self) -> "Observability":
+        self._tracing = False
+        self._refresh()
+        return self
+
+    @property
+    def metrics_enabled(self) -> bool:
+        return self._metrics_enabled
+
+    def enable_metrics(self) -> "Observability":
+        self._metrics_enabled = True
+        self._refresh()
+        return self
+
+    def disable_metrics(self) -> "Observability":
+        self._metrics_enabled = False
+        self._refresh()
+        return self
+
+    @property
+    def slow_query_threshold(self) -> Optional[float]:
+        """Seconds; statements at or above it get their trace auto-kept."""
+        return self._slow_query_threshold
+
+    @slow_query_threshold.setter
+    def slow_query_threshold(self, seconds: Optional[float]) -> None:
+        self._slow_query_threshold = (
+            float(seconds) if seconds is not None else None
+        )
+        self._refresh()
+
+    # -- hook registration (decorator-friendly) ----------------------------
+
+    def on_query_start(self, fn: Callable[[str, tuple], Any]):
+        self.hooks.query_start.append(fn)
+        self._refresh()
+        return fn
+
+    def on_query_end(self, fn: Callable[[Trace], Any]):
+        self.hooks.query_end.append(fn)
+        self._refresh()
+        return fn
+
+    def on_operator_close(self, fn: Callable[[Span], Any]):
+        self.hooks.operator_close.append(fn)
+        self._refresh()
+        return fn
+
+    def clear_hooks(self) -> None:
+        self.hooks = Hooks()
+        self._refresh()
+
+    # -- recording (called by the engine) ----------------------------------
+
+    @property
+    def capture_spans(self) -> bool:
+        """Whether SELECT executions should build a span tree."""
+        return (
+            self._tracing
+            or self._slow_query_threshold is not None
+            or bool(self.hooks.operator_close)
+        )
+
+    def record(self, trace: Trace) -> None:
+        """File one finished statement: traces, slow log, metrics, hooks."""
+        if self._tracing:
+            self.last_trace = trace
+        threshold = self._slow_query_threshold
+        if threshold is not None and trace.seconds >= threshold:
+            self.slow_traces.append(trace)
+        if self._metrics_enabled:
+            metrics = self.metrics
+            metrics.counter(
+                "queries_total", "statements executed"
+            ).inc()
+            metrics.counter(
+                "rows_returned_total", "result rows returned"
+            ).inc(trace.rows)
+            metrics.histogram(
+                "query_seconds", "statement latency"
+            ).observe(trace.seconds)
+        self.hooks.fire_query_end(trace)

@@ -1,0 +1,43 @@
+"""Instrumentation hook points fired by the engine.
+
+Three events exist:
+
+- ``query_start(sql, params)`` — before a statement executes;
+- ``query_end(trace)`` — after it finishes, with the statement
+  :class:`~repro.obs.trace.Trace` (span tree included when tracing);
+- ``operator_close(span)`` — as each traced plan operator finishes.
+
+Hook lists are plain and dumb on purpose: the engine checks one
+attribute to know whether anything is registered, so an idle hook system
+costs a single truth test per statement.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List
+
+
+class Hooks:
+    """Registered callback lists for the three engine events."""
+
+    __slots__ = ("query_start", "query_end", "operator_close")
+
+    def __init__(self) -> None:
+        self.query_start: List[Callable[[str, tuple], Any]] = []
+        self.query_end: List[Callable[[Any], Any]] = []
+        self.operator_close: List[Callable[[Any], Any]] = []
+
+    def __bool__(self) -> bool:
+        return bool(self.query_start or self.query_end or self.operator_close)
+
+    def fire_query_start(self, sql: str, params: tuple) -> None:
+        for callback in self.query_start:
+            callback(sql, params)
+
+    def fire_query_end(self, trace: Any) -> None:
+        for callback in self.query_end:
+            callback(trace)
+
+    def fire_operator_close(self, span: Any) -> None:
+        for callback in self.operator_close:
+            callback(span)

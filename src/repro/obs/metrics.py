@@ -1,0 +1,297 @@
+"""Metrics registry: counters, gauges and fixed-bucket latency histograms.
+
+Registries nest: a per-connection (per-:class:`~repro.engines.Database`)
+registry forwards every observation to its parent, so the module-level
+:data:`GLOBAL` registry aggregates across all engines in the process
+while each connection keeps its own scoped view. Everything renders to
+Prometheus-style text exposition via :meth:`MetricsRegistry.render`;
+engine :class:`~repro.sql.executor.Stats` objects can be *bound* to a
+registry so their counters appear in the exposition without any hot-path
+cost (they are read live at render time).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: default latency buckets in seconds (10us .. 10s, roughly log-spaced)
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+    1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2,
+    1e-1, 2.5e-1, 5e-1, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+class Counter:
+    """Monotonically increasing integer metric."""
+
+    __slots__ = ("name", "help", "value", "_parent")
+
+    def __init__(self, name: str, help: str = "",
+                 parent: Optional["Counter"] = None):
+        self.name = name
+        self.help = help
+        self.value = 0
+        self._parent = parent
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+        if self._parent is not None:
+            self._parent.inc(amount)
+
+
+class Gauge:
+    """A value that can go up and down (last write wins per scope)."""
+
+    __slots__ = ("name", "help", "value", "_parent")
+
+    def __init__(self, name: str, help: str = "",
+                 parent: Optional["Gauge"] = None):
+        self.name = name
+        self.help = help
+        self.value = 0.0
+        self._parent = parent
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+        if self._parent is not None:
+            self._parent.set(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+        if self._parent is not None:
+            self._parent.inc(amount)
+
+
+class Histogram:
+    """Fixed-bucket histogram with percentile estimation.
+
+    Buckets are cumulative-upper-bound style (Prometheus ``le``); the
+    estimator interpolates linearly inside the bucket containing the
+    requested quantile, clamped to the observed min/max.
+    """
+
+    __slots__ = ("name", "help", "buckets", "counts", "count", "sum",
+                 "min", "max", "_parent")
+
+    def __init__(self, name: str, help: str = "",
+                 buckets: Optional[Sequence[float]] = None,
+                 parent: Optional["Histogram"] = None):
+        self.name = name
+        self.help = help
+        self.buckets: Tuple[float, ...] = tuple(buckets or DEFAULT_BUCKETS)
+        # one slot per bucket plus the +Inf overflow slot
+        self.counts: List[int] = [0] * (len(self.buckets) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self._parent = parent
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[i] += 1
+                break
+        else:
+            self.counts[-1] += 1
+        if self._parent is not None:
+            self._parent.observe(value)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else math.nan
+
+    def percentile(self, p: float) -> float:
+        """Estimated value at percentile ``p`` (0..100)."""
+        if self.count == 0:
+            return math.nan
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {p!r}")
+        target = p / 100.0 * self.count
+        cumulative = 0
+        lower = 0.0
+        for i, bound in enumerate(self.buckets):
+            in_bucket = self.counts[i]
+            if cumulative + in_bucket >= target and in_bucket:
+                fraction = (target - cumulative) / in_bucket
+                estimate = lower + (bound - lower) * fraction
+                return min(max(estimate, self.min), self.max)
+            cumulative += in_bucket
+            lower = bound
+        return self.max  # overflow bucket
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50.0)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(95.0)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99.0)
+
+
+class MetricsRegistry:
+    """Named metrics for one scope, optionally chained to a parent."""
+
+    def __init__(self, namespace: str = "jackpine",
+                 parent: Optional["MetricsRegistry"] = None):
+        self.namespace = namespace
+        self.parent = parent
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        #: (label, Stats-like) pairs read live at render time
+        self._bound_stats: List[Tuple[str, object]] = []
+
+    # -- metric constructors (created on demand, cached by name) -----------
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        metric = self._counters.get(name)
+        if metric is None:
+            parent = (
+                self.parent.counter(name, help) if self.parent else None
+            )
+            metric = Counter(name, help, parent=parent)
+            self._counters[name] = metric
+        return metric
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        metric = self._gauges.get(name)
+        if metric is None:
+            parent = self.parent.gauge(name, help) if self.parent else None
+            metric = Gauge(name, help, parent=parent)
+            self._gauges[name] = metric
+        return metric
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: Optional[Sequence[float]] = None) -> Histogram:
+        metric = self._histograms.get(name)
+        if metric is None:
+            parent = (
+                self.parent.histogram(name, help, buckets)
+                if self.parent else None
+            )
+            metric = Histogram(name, help, buckets=buckets, parent=parent)
+            self._histograms[name] = metric
+        return metric
+
+    # -- engine counter bridge ---------------------------------------------
+
+    def bind_stats(self, label: str, stats: object) -> None:
+        """Expose a live ``Stats``-like object (has ``snapshot()``) in the
+        exposition under ``<namespace>_engine_<counter>{scope="label"}``."""
+        self._bound_stats.append((label, stats))
+
+    # -- views --------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        """All metric values as one plain dict (for tests and telemetry)."""
+        out: Dict[str, object] = {}
+        for name, counter in self._counters.items():
+            out[name] = counter.value
+        for name, gauge in self._gauges.items():
+            out[name] = gauge.value
+        for name, hist in self._histograms.items():
+            out[name] = {
+                "count": hist.count,
+                "sum": hist.sum,
+                "mean": hist.mean,
+                "p50": hist.p50,
+                "p95": hist.p95,
+                "p99": hist.p99,
+            }
+        for label, stats in self._bound_stats:
+            for key, value in stats.snapshot().items():
+                out[f"engine_{key}[{label}]"] = value
+        return out
+
+    def render(self) -> str:
+        """Prometheus-style text exposition of every metric in scope."""
+        ns = self.namespace
+        lines: List[str] = []
+
+        def header(name: str, kind: str, help: str) -> None:
+            if help:
+                lines.append(f"# HELP {ns}_{name} {help}")
+            lines.append(f"# TYPE {ns}_{name} {kind}")
+
+        for name in sorted(self._counters):
+            counter = self._counters[name]
+            header(name, "counter", counter.help)
+            lines.append(f"{ns}_{name} {counter.value}")
+        for name in sorted(self._gauges):
+            gauge = self._gauges[name]
+            header(name, "gauge", gauge.help)
+            lines.append(f"{ns}_{name} {_fmt(gauge.value)}")
+        for name in sorted(self._histograms):
+            hist = self._histograms[name]
+            header(name, "histogram", hist.help)
+            cumulative = 0
+            for bound, in_bucket in zip(hist.buckets, hist.counts):
+                cumulative += in_bucket
+                lines.append(
+                    f'{ns}_{name}_bucket{{le="{_fmt(bound)}"}} {cumulative}'
+                )
+            lines.append(
+                f'{ns}_{name}_bucket{{le="+Inf"}} {hist.count}'
+            )
+            lines.append(f"{ns}_{name}_sum {_fmt(hist.sum)}")
+            lines.append(f"{ns}_{name}_count {hist.count}")
+            if hist.count:
+                for q, value in (("0.5", hist.p50), ("0.95", hist.p95),
+                                 ("0.99", hist.p99)):
+                    lines.append(
+                        f'{ns}_{name}{{quantile="{q}"}} {_fmt(value)}'
+                    )
+        for label, stats in self._bound_stats:
+            for key, value in sorted(stats.snapshot().items()):
+                lines.append(
+                    f'{ns}_engine_{key}{{scope="{label}"}} {value}'
+                )
+        return "\n".join(lines) + "\n"
+
+    def reset(self) -> None:
+        """Forget every metric and stats binding in this scope."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+        self._bound_stats.clear()
+
+
+def _fmt(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+#: process-wide aggregate; per-connection registries parent to this
+GLOBAL = MetricsRegistry()
+
+
+def percentile_of(samples: Iterable[float], p: float) -> float:
+    """Exact linear-interpolation percentile of raw samples (0..100)."""
+    ordered = sorted(samples)
+    if not ordered:
+        return math.nan
+    if not 0.0 <= p <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {p!r}")
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = p / 100.0 * (len(ordered) - 1)
+    low = int(math.floor(rank))
+    high = int(math.ceil(rank))
+    if low == high:
+        return ordered[low]
+    weight = rank - low
+    return ordered[low] * (1.0 - weight) + ordered[high] * weight

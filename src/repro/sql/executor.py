@@ -463,41 +463,77 @@ class PlanNode:
         return ()
 
 
-class Instrumented(PlanNode):
-    """Wraps a node to record emitted-row counts and cumulative time —
-    the machinery behind ``EXPLAIN ANALYZE``-style output."""
+class SpanNode(PlanNode):
+    """Wraps a plan node to record a :class:`repro.obs.span.Span`.
 
-    __slots__ = ("inner", "emitted", "seconds", "_children")
+    Each wrapper measures emitted rows, cumulative wall time and the
+    *inclusive* delta of the engine counters over the operator's
+    lifetime (children included; exclusive figures are derived from the
+    span tree). This is the machinery behind ``EXPLAIN ANALYZE``,
+    ``Database.last_trace()`` and the trace exporters. Wrapping mutates
+    the inner tree's child pointers, so traced executions always plan
+    afresh rather than reusing a cached plan.
+    """
 
-    def __init__(self, inner: PlanNode):
+    __slots__ = ("inner", "span", "_children", "_on_close")
+
+    def __init__(self, inner: PlanNode, on_close=None):
+        from repro.obs.span import Span
+
         self.inner = inner
-        self.emitted = 0
-        self.seconds = 0.0
-        self._children = [Instrumented(c) for c in inner.children()]
+        self._on_close = on_close
+        self._children = [SpanNode(c, on_close) for c in inner.children()]
         _graft_children(self.inner, self._children)
+        self.span = Span(
+            type(inner).__name__,
+            inner.describe(),
+            [child.span for child in self._children],
+        )
 
     def rows(self, ctx: ExecContext) -> Iterator[Row]:
         import time as _time
 
-        start = _time.perf_counter()
-        for row in self.inner.rows(ctx):
-            self.seconds += _time.perf_counter() - start
-            self.emitted += 1
-            yield row
-            start = _time.perf_counter()
-        self.seconds += _time.perf_counter() - start
+        perf_counter = _time.perf_counter
+        span = self.span
+        stats = ctx.stats
+        start = perf_counter()
+        span.begin(start, stats.snapshot())
+        emitted = 0
+        elapsed = 0.0
+        inner_rows = self.inner.rows(ctx)
+        try:
+            for row in inner_rows:
+                elapsed += perf_counter() - start
+                emitted += 1
+                yield row
+                start = perf_counter()
+            elapsed += perf_counter() - start
+        finally:
+            # close the inner iterator first so every descendant flushes
+            # its buffered counters before this span snapshots them
+            close = getattr(inner_rows, "close", None)
+            if close is not None:
+                close()
+            span.finish(emitted, elapsed, stats.snapshot())
+            if self._on_close is not None:
+                self._on_close(span)
 
     def describe(self) -> str:
+        span = self.span
+        extras = "".join(
+            f", {key}={value}"
+            for key, value in sorted(span.exclusive_counters().items())
+        )
         return (
-            f"{self.inner.describe()}  "
-            f"(rows={self.emitted}, time={self.seconds * 1e3:.2f}ms)"
+            f"{span.detail}  "
+            f"(rows={span.rows}, time={span.seconds * 1e3:.2f}ms{extras})"
         )
 
     def children(self) -> Sequence[PlanNode]:
         return self._children
 
 
-def _graft_children(node: PlanNode, wrapped: List["Instrumented"]) -> None:
+def _graft_children(node: PlanNode, wrapped: List["SpanNode"]) -> None:
     """Point a node's child references at the instrumented wrappers."""
     originals = list(node.children())
     for attr in ("child", "outer", "inner"):
