@@ -1,0 +1,107 @@
+"""Guardrail overhead guard.
+
+Guardrails must cost *nothing it can avoid* when no limit is set:
+``Database.execute`` arms a guard only when a limit is configured
+(:meth:`Guardrails.start` returns ``None`` otherwise), and every
+executor call site gates on ``guard is not None`` before doing any
+accounting. This module pins that contract the same way the
+observability overhead guard does: the full jx3 topology-join matrix
+through ``db.execute`` with no guardrails configured, against the
+direct cached-plan baseline, medians summed across the matrix, within
+5% on at least one attempt. Run standalone::
+
+    pytest benchmarks/test_bench_guard_overhead.py --benchmark-disable -q
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.experiments import JOIN_MATRIX
+from repro.datagen import generate
+from repro.engines import Database
+from repro.sql.executor import ExecContext
+
+from _bench_utils import BENCH_SCALE, BENCH_SEED
+
+#: allowed slowdown of guardrail-free execute over the direct plan path
+OVERHEAD_BUDGET = 1.05
+REPEATS = 5
+ATTEMPTS = 3
+
+
+def _fresh_db() -> Database:
+    db = Database("greenwood")
+    generate(seed=BENCH_SEED, scale=BENCH_SCALE).load_into(db)
+    db.execute("ANALYZE")
+    return db
+
+
+def _run_plan_directly(db: Database, sql: str):
+    """The pre-guardrail fast path: cached plan, no guard in the context."""
+    statement = db._parse_statement(sql)
+    cached = db._plan_cache.get(sql)
+    if cached is None:
+        cached = db._planner.plan_select(statement)
+        db._plan_cache[sql] = cached
+    plan, names = cached
+    ctx = ExecContext(
+        (), db.profile, db.registry, db.catalog, db.stats,
+    )
+    return [row["__out__"] for row in plan.rows(ctx)]
+
+
+def _median_seconds(call, repeats: int = REPEATS) -> float:
+    call()  # warm caches (parse, plan, index) outside the timed window
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        call()
+        times.append(time.perf_counter() - start)
+    times.sort()
+    return times[len(times) // 2]
+
+
+def test_guardrails_disabled_by_default():
+    db = Database("greenwood")
+    assert db.guardrails.enabled is False
+    assert db.guardrails.start() is None
+
+
+def test_unguarded_execute_matches_direct_plan_answers():
+    db = _fresh_db()
+    for _label, sql in JOIN_MATRIX:
+        via_execute = db.execute(sql).scalar()
+        direct = _run_plan_directly(db, sql)[0][0]
+        assert via_execute == direct
+
+
+def test_guarded_execute_matches_unguarded_answers():
+    """A live guard (generous limits) must not change any answer."""
+    db = _fresh_db()
+    for _label, sql in JOIN_MATRIX:
+        unguarded = db.execute(sql).scalar()
+        guarded = db.execute(sql, timeout=3600.0).scalar()
+        assert guarded == unguarded
+
+
+def test_disabled_overhead_within_budget():
+    db = _fresh_db()
+    assert db.guardrails.enabled is False
+    ratios = []
+    for _ in range(ATTEMPTS):
+        guarded = 0.0
+        baseline = 0.0
+        for _label, sql in JOIN_MATRIX:
+            guarded += _median_seconds(lambda s=sql: db.execute(s))
+            baseline += _median_seconds(
+                lambda s=sql: _run_plan_directly(db, s)
+            )
+        ratio = guarded / baseline
+        ratios.append(ratio)
+        if ratio <= OVERHEAD_BUDGET:
+            break
+    assert min(ratios) <= OVERHEAD_BUDGET, (
+        f"guardrail-free execute exceeded the {OVERHEAD_BUDGET:.0%} budget "
+        f"on every attempt: ratios={[f'{r:.3f}' for r in ratios]}"
+    )

@@ -64,6 +64,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--details", action="store_true",
         help="with --suite macro: print per-step timings",
     )
+    run.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-query deadline; a query that trips it is reported "
+             "with outcome 'timeout' instead of failing the run",
+    )
+    run.add_argument(
+        "--retries", type=int, default=0, metavar="N",
+        help="retries per query for transient faults "
+             "(exponential backoff with full jitter)",
+    )
 
     explain = sub.add_parser("explain", help="show a query plan")
     explain.add_argument("--engine", default="greenwood",
@@ -171,11 +181,28 @@ _STATS_PROBES = (
 )
 
 
+#: resilience counters shown by ``jackpine stats`` even at zero, so the
+#: guardrail/fault machinery is visible before anything ever trips
+_RESILIENCE_COUNTERS = (
+    ("query_timeouts_total", "queries stopped by their deadline"),
+    ("query_cancellations_total",
+     "queries stopped by cooperative cancellation"),
+    ("memory_budget_trips_total",
+     "queries stopped by the row/byte memory budget"),
+    ("degraded_results_total", "exact refinements degraded to MBR verdicts"),
+    ("faults_fired_total", "injected faults that fired"),
+    ("harness_retries_total",
+     "transient-fault retries spent by the benchmark harness"),
+)
+
+
 def _run_stats(args) -> int:
     db = Database(args.engine)
     generate(seed=args.seed, scale=args.scale).load_into(db)
     db.obs.enable_metrics()
     db.obs.enable_tracing()
+    for name, help_text in _RESILIENCE_COUNTERS:
+        db.obs.metrics.counter(name, help_text)
     for sql in args.sql or _STATS_PROBES:
         db.execute(sql)
         trace = db.last_trace()
@@ -187,6 +214,14 @@ def _run_stats(args) -> int:
               + (f", {deltas}" if deltas else ""))
     print()
     print(db.obs.metrics.render(), end="")
+    # degradation/fault/retry counters live on the process-wide registry
+    # (they can fire outside any one connection's scope)
+    from repro.obs.metrics import GLOBAL
+
+    print()
+    print("-- process-wide resilience counters")
+    for name, help_text in _RESILIENCE_COUNTERS:
+        print(f"jackpine_{name} {GLOBAL.counter(name, help_text).value}")
     return 0
 
 
@@ -199,6 +234,8 @@ def _run_suites(args) -> int:
         warmups=args.warmups,
         scenarios=args.scenarios,
         with_indexes=not args.no_index,
+        timeout=args.timeout,
+        retries=args.retries,
     )
     bench = Jackpine(config)
     if args.suite == "all":

@@ -26,6 +26,7 @@ from repro.core.stats import QueryTiming, run_timed
 from repro.datagen import TigerDataset, generate
 from repro.dbapi import connect
 from repro.engines import Database
+from repro.errors import ReproError
 
 
 @dataclass
@@ -42,6 +43,11 @@ class BenchmarkConfig:
     #: capture one traced exemplar execution per micro query (outside the
     #: timed runs) so telemetry artifacts carry operator breakdowns
     collect_traces: bool = True
+    #: per-query deadline in seconds (None = no deadline); a query that
+    #: trips it is reported with outcome ``timeout``, not a crashed run
+    timeout: Optional[float] = None
+    #: transient-fault retries per query execution (full-jitter backoff)
+    retries: int = 0
 
 
 @dataclass
@@ -102,21 +108,34 @@ class Jackpine:
         conn = connect(database=db)
         cursor = conn.cursor()
         results: Dict[str, QueryTiming] = {}
+        rng = random.Random(self.config.seed)
         for query in self.micro_queries():
             timing = QueryTiming(query.query_id)
+            degraded_before = db.stats.degraded_results
             run_timed(
                 timing,
-                lambda q=query: q.run(cursor),
+                lambda q=query: q.run(cursor, timeout=self.config.timeout),
                 repeats=self.config.repeats,
                 warmups=self.config.warmups,
+                retries=self.config.retries,
+                rng=rng,
             )
-            if self.config.collect_traces and timing.supported:
+            if timing.outcome == "ok" and (
+                db.stats.degraded_results > degraded_before
+            ):
+                # exact refinement fell back to MBR verdicts mid-run; the
+                # numbers are usable but flagged (see docs/RESILIENCE.md)
+                timing.outcome = "degraded"
+            if self.config.collect_traces and timing.ok:
                 # one extra traced run, after timing, for the telemetry
-                # operator breakdown — never inside the measured window
+                # operator breakdown — never inside the measured window;
+                # a failure here loses the trace, not the measurements
                 db.obs.enable_tracing()
                 try:
-                    query.run(cursor)
+                    query.run(cursor, timeout=self.config.timeout)
                     timing.trace = db.last_trace()
+                except ReproError:
+                    pass
                 finally:
                     db.obs.disable_tracing()
             results[query.query_id] = timing
@@ -130,7 +149,8 @@ class Jackpine:
         for name in wanted:
             scenario = SCENARIOS_BY_NAME[name]()
             results[name] = scenario.run(
-                conn, self.dataset, seed=self.config.seed, engine_name=engine
+                conn, self.dataset, seed=self.config.seed, engine_name=engine,
+                timeout=self.config.timeout, retries=self.config.retries,
             )
         conn.close()
         return results

@@ -16,7 +16,12 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Iterable, List, Optional, Sequence, Tuple
 
-from repro.errors import UnsupportedFeatureError
+from repro.errors import (
+    QueryTimeoutError,
+    ReproError,
+    TransientError,
+    UnsupportedFeatureError,
+)
 
 
 @dataclass(frozen=True)
@@ -38,6 +43,10 @@ class StepResult:
     #: statement trace (a :class:`repro.obs.Trace`) when the engine had
     #: tracing enabled while the scenario ran
     trace: Optional[Any] = None
+    #: "ok" | "degraded" | "not supported" | "timeout" | "error"
+    outcome: str = "ok"
+    #: transient-fault retries spent before this step settled
+    retries: int = 0
 
 
 @dataclass
@@ -48,11 +57,19 @@ class ScenarioResult:
 
     @property
     def executed(self) -> int:
-        return sum(1 for s in self.steps if not s.skipped)
+        return sum(
+            1 for s in self.steps
+            if not s.skipped and s.outcome in ("ok", "degraded")
+        )
 
     @property
     def skipped(self) -> int:
         return sum(1 for s in self.steps if s.skipped)
+
+    @property
+    def failed(self) -> int:
+        """Steps that timed out or errored (distinct from feature gaps)."""
+        return sum(1 for s in self.steps if s.outcome in ("timeout", "error"))
 
     @property
     def total_seconds(self) -> float:
@@ -78,26 +95,69 @@ class Scenario:
         raise NotImplementedError
 
     def run(self, connection, dataset, seed: int = 7,
-            engine_name: str = "?") -> ScenarioResult:
+            engine_name: str = "?", timeout: Optional[float] = None,
+            retries: int = 0) -> ScenarioResult:
+        from repro.core.stats import backoff_delay
+
         rng = random.Random(seed)
         result = ScenarioResult(scenario=self.name, engine=engine_name)
         cursor = connection.cursor()
         database = getattr(connection, "database", None)
         tracing = database is not None and database.obs.tracing
         for item in self.build_workload(dataset, rng):
-            start = time.perf_counter()
-            try:
-                cursor.execute(item.sql, item.params)
-                rows = len(cursor.fetchall())
-                elapsed = time.perf_counter() - start
-                step = StepResult(item.label, elapsed, rows)
-                if tracing:
-                    step.trace = database.last_trace()
-                result.steps.append(step)
-            except UnsupportedFeatureError as exc:
-                result.steps.append(
-                    StepResult(item.label, 0.0, 0, skipped=True, error=str(exc))
+            tries = 0
+            while True:
+                degraded_before = (
+                    database.stats.degraded_results
+                    if database is not None else 0
                 )
+                start = time.perf_counter()
+                try:
+                    cursor.execute(item.sql, item.params, timeout=timeout)
+                    rows = len(cursor.fetchall())
+                    elapsed = time.perf_counter() - start
+                    step = StepResult(item.label, elapsed, rows, retries=tries)
+                    if database is not None and (
+                        database.stats.degraded_results > degraded_before
+                    ):
+                        step.outcome = "degraded"
+                    if tracing:
+                        step.trace = database.last_trace()
+                except UnsupportedFeatureError as exc:
+                    # a feature gap is a *result* the paper reports
+                    step = StepResult(
+                        item.label, 0.0, 0, skipped=True, error=str(exc),
+                        outcome="not supported", retries=tries,
+                    )
+                except QueryTimeoutError as exc:
+                    step = StepResult(
+                        item.label, time.perf_counter() - start, 0,
+                        error=str(exc), outcome="timeout", retries=tries,
+                    )
+                except TransientError as exc:
+                    if tries < retries:
+                        time.sleep(backoff_delay(tries, rng=rng))
+                        tries += 1
+                        from repro.obs.metrics import GLOBAL
+
+                        GLOBAL.counter(
+                            "harness_retries_total",
+                            "transient-fault retries spent by the "
+                            "benchmark harness",
+                        ).inc()
+                        continue
+                    step = StepResult(
+                        item.label, time.perf_counter() - start, 0,
+                        error=str(exc), outcome="error", retries=tries,
+                    )
+                except ReproError as exc:
+                    # isolate the failure to this step; the scenario goes on
+                    step = StepResult(
+                        item.label, time.perf_counter() - start, 0,
+                        error=str(exc), outcome="error", retries=tries,
+                    )
+                result.steps.append(step)
+                break
         return result
 
 

@@ -61,8 +61,14 @@ def _micro_rows(
                 row.extend(["-", "-"])
             elif not timing.supported:
                 row.extend(["n/s", "n/s"])
+            elif not timing.ok:
+                # resilience outcomes render in place of a latency
+                row.extend([timing.outcome, timing.outcome])
             else:
-                row.append(_fmt_time(timing.median))
+                median = _fmt_time(timing.median)
+                if timing.outcome == "degraded":
+                    median += "*"  # MBR-degraded verdicts, see RESILIENCE.md
+                row.append(median)
                 row.append(
                     f"{_fmt_time(timing.p95)}/{_fmt_time(timing.p99)}"
                 )
@@ -83,7 +89,7 @@ def _first_supported_value(result: BenchmarkResult, query_id: str):
     ]
     for engine in ordered:
         timing = result.runs[engine].micro.get(query_id)
-        if timing is not None and timing.supported:
+        if timing is not None and timing.supported and timing.ok:
             return timing.result_value
     return "-"
 

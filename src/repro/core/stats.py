@@ -3,9 +3,14 @@
 from __future__ import annotations
 
 import math
+import random
 import time
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
+
+#: per-query outcomes the harness distinguishes; ``n/s`` stays a result
+#: (the paper reports feature gaps), the rest are resilience outcomes
+OUTCOMES = ("ok", "degraded", "not supported", "timeout", "error")
 
 
 @dataclass
@@ -20,6 +25,15 @@ class QueryTiming:
     #: exemplar operator trace (a :class:`repro.obs.Trace`) captured by
     #: the harness outside the timed runs, for telemetry breakdowns
     trace: Optional[object] = None
+    #: one of :data:`OUTCOMES` — how the measurement protocol ended
+    outcome: str = "ok"
+    #: transient-fault retries spent across all runs of this query
+    retries: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """True when the timings are usable (possibly degraded)."""
+        return self.outcome in ("ok", "degraded")
 
     def record(self, seconds: float) -> None:
         self.times.append(seconds)
@@ -88,23 +102,83 @@ def time_call(fn: Callable[[], object]) -> tuple:
     return time.perf_counter() - start, value
 
 
+def backoff_delay(
+    attempt: int,
+    base: float = 0.05,
+    cap: float = 1.0,
+    rng: Optional[random.Random] = None,
+) -> float:
+    """Full-jitter exponential backoff for retry ``attempt`` (0-based).
+
+    Sleeping a uniform draw from ``[0, min(cap, base * 2**attempt)]``
+    decorrelates retries — the standard cure for retry storms.
+    """
+    window = min(cap, base * (2.0 ** attempt))
+    return (rng or random).uniform(0.0, window)
+
+
 def run_timed(
     timing: QueryTiming,
     fn: Callable[[], object],
     repeats: int = 3,
     warmups: int = 1,
+    retries: int = 0,
+    backoff_base: float = 0.05,
+    backoff_cap: float = 1.0,
+    rng: Optional[random.Random] = None,
 ) -> QueryTiming:
-    """Standard protocol: discard warmups, record ``repeats`` runs."""
-    from repro.errors import UnsupportedFeatureError
+    """Standard protocol: discard warmups, record ``repeats`` runs.
+
+    Resilience contract: transient faults (:class:`TransientError`) are
+    retried up to ``retries`` times per call with full-jitter backoff —
+    only the successful attempt is timed. Deadline trips, unsupported
+    features and other engine errors end the protocol and are recorded
+    on ``timing.outcome`` instead of propagating, so one failing query
+    never takes down a suite run.
+    """
+    from repro.errors import (
+        QueryTimeoutError,
+        ReproError,
+        TransientError,
+        UnsupportedFeatureError,
+    )
+
+    def attempt(record: bool) -> None:
+        tries = 0
+        while True:
+            try:
+                elapsed, value = time_call(fn)
+            except TransientError:
+                if tries >= retries:
+                    raise
+                time.sleep(backoff_delay(tries, backoff_base, backoff_cap, rng))
+                tries += 1
+                timing.retries += 1
+                from repro.obs.metrics import GLOBAL
+
+                GLOBAL.counter(
+                    "harness_retries_total",
+                    "transient-fault retries spent by the benchmark harness",
+                ).inc()
+                continue
+            if record:
+                timing.record(elapsed)
+                timing.result_value = value
+            return
 
     try:
         for _ in range(warmups):
-            fn()
+            attempt(record=False)
         for _ in range(repeats):
-            elapsed, value = time_call(fn)
-            timing.record(elapsed)
-            timing.result_value = value
+            attempt(record=True)
     except UnsupportedFeatureError as exc:
         timing.supported = False
+        timing.outcome = "not supported"
+        timing.error = str(exc)
+    except QueryTimeoutError as exc:
+        timing.outcome = "timeout"
+        timing.error = str(exc)
+    except ReproError as exc:
+        timing.outcome = "error"
         timing.error = str(exc)
     return timing

@@ -6,21 +6,49 @@ from typing import Any, Iterator, List, Optional, Sequence, Tuple
 
 from repro.engines.database import Database, ResultSet
 from repro.errors import SqlError
+from repro.guard import CancelToken, Guardrails
 
 
-def connect(engine: str = "greenwood", database: Optional[Database] = None) -> "Connection":
+class InterfaceError(SqlError):
+    """Driver-level misuse: operating on a closed connection or cursor."""
+
+
+def connect(
+    engine: str = "greenwood",
+    database: Optional[Database] = None,
+    timeout: Optional[float] = None,
+    max_rows: Optional[int] = None,
+    max_bytes: Optional[int] = None,
+) -> "Connection":
     """Open a connection to an embedded engine.
 
     ``engine`` selects the profile (``greenwood``/``bluestem``/``ironbark``);
     pass an existing ``database`` to share one datastore across
     connections (the benchmark loads once and reconnects per scenario).
+    ``timeout`` / ``max_rows`` / ``max_bytes`` become this connection's
+    default guardrails, layered over the database's own defaults and
+    under any per-``execute`` overrides.
     """
-    return Connection(database or Database(engine))
+    return Connection(
+        database or Database(engine),
+        timeout=timeout, max_rows=max_rows, max_bytes=max_bytes,
+    )
 
 
 class Connection:
-    def __init__(self, database: Database):
+    def __init__(
+        self,
+        database: Database,
+        timeout: Optional[float] = None,
+        max_rows: Optional[int] = None,
+        max_bytes: Optional[int] = None,
+    ):
         self.database = database
+        #: connection-default guardrails; ``None`` fields defer to the
+        #: database's :attr:`~repro.engines.database.Database.guardrails`
+        self.guardrails = Guardrails(
+            timeout=timeout, max_rows=max_rows, max_bytes=max_bytes
+        )
         self._closed = False
 
     # transactions are no-ops: the embedded engine is auto-commit
@@ -39,7 +67,7 @@ class Connection:
 
     def _check_open(self) -> None:
         if self._closed:
-            raise SqlError("connection is closed")
+            raise InterfaceError("connection is closed")
 
     # convenience mirrors of the engine API
     @property
@@ -103,9 +131,27 @@ class Cursor:
             return -1
         return self._result.rowcount
 
-    def execute(self, sql: str, params: Sequence[Any] = ()) -> "Cursor":
+    def execute(
+        self,
+        sql: str,
+        params: Sequence[Any] = (),
+        *,
+        timeout: Optional[float] = None,
+        max_rows: Optional[int] = None,
+        max_bytes: Optional[int] = None,
+        cancel: Optional[CancelToken] = None,
+    ) -> "Cursor":
         self._check_open()
-        self._result = self.connection.database.execute(sql, params)
+        defaults = self.connection.guardrails
+        self._result = self.connection.database.execute(
+            sql, params,
+            timeout=timeout if timeout is not None else defaults.timeout,
+            max_rows=max_rows if max_rows is not None else defaults.max_rows,
+            max_bytes=(
+                max_bytes if max_bytes is not None else defaults.max_bytes
+            ),
+            cancel=cancel,
+        )
         self._position = 0
         return self
 
@@ -170,10 +216,10 @@ class Cursor:
     def _rows(self) -> List[tuple]:
         self._check_open()
         if self._result is None:
-            raise SqlError("no query has been executed")
+            raise InterfaceError("no query has been executed")
         return self._result.rows
 
     def _check_open(self) -> None:
         if self._closed:
-            raise SqlError("cursor is closed")
+            raise InterfaceError("cursor is closed")
         self.connection._check_open()

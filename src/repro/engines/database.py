@@ -13,8 +13,15 @@ from collections import OrderedDict
 from typing import Any, List, Optional, Sequence, Tuple
 
 from repro.engines.profiles import EngineProfile, get_profile
-from repro.errors import SqlPlanError
+from repro.errors import (
+    GuardrailError,
+    QueryCancelledError,
+    QueryTimeoutError,
+    SqlPlanError,
+)
+from repro.faults import FAULTS
 from repro.geometry.base import Geometry
+from repro.guard import CancelToken, ExecutionGuard, Guardrails
 from repro.index import make_index
 from repro.index.base import SpatialIndex
 from repro.obs import Observability, Trace
@@ -67,6 +74,9 @@ class Database:
         self.stats = Stats()
         self.obs = Observability()
         self.obs.metrics.bind_stats(self.profile.name, self.stats)
+        #: default execution limits for every statement on this database;
+        #: per-call overrides win (see :meth:`execute`)
+        self.guardrails = Guardrails()
         self._planner = Planner(self.catalog, self.registry, self.profile)
         self._plan_cache: "OrderedDict[str, tuple]" = OrderedDict()
         self._parse_cache: "OrderedDict[str, ast.Statement]" = OrderedDict()
@@ -96,13 +106,32 @@ class Database:
         return self.obs.last_trace
 
     def execute(
-        self, sql: str, params: Sequence[Any] = ()
+        self,
+        sql: str,
+        params: Sequence[Any] = (),
+        *,
+        timeout: Optional[float] = None,
+        max_rows: Optional[int] = None,
+        max_bytes: Optional[int] = None,
+        cancel: Optional[CancelToken] = None,
     ) -> ResultSet:
         """Parse and run one statement (parse results and SELECT plans are
         cached per SQL text with LRU eviction, the way a driver reuses
-        prepared statements)."""
+        prepared statements).
+
+        ``timeout`` / ``max_rows`` / ``max_bytes`` / ``cancel`` arm
+        per-statement guardrails over :attr:`guardrails` defaults; a
+        tripped limit raises :class:`QueryTimeoutError`,
+        :class:`MemoryBudgetError` or :class:`QueryCancelledError`. The
+        failed statement leaves no cached plan poisoned — plans cache the
+        *strategy*, never results.
+        """
+        guard = self.guardrails.start(
+            timeout=timeout, max_rows=max_rows, max_bytes=max_bytes,
+            cancel=cancel,
+        )
         if self.obs.active:
-            return self._execute_observed(sql, params)
+            return self._execute_observed(sql, params, guard)
         statement = self._parse_statement(sql)
         if isinstance(statement, ast.Select):
             cached = self._plan_cache.get(sql)
@@ -118,13 +147,12 @@ class Database:
             plan, names = cached
             ctx = ExecContext(
                 tuple(params), self.profile, self.registry, self.catalog,
-                self.stats,
+                self.stats, guard,
             )
-            rows = [row["__out__"] for row in plan.rows(ctx)]
-            return ResultSet(names, rows)
+            return ResultSet(names, self._collect(plan, ctx))
         # any non-SELECT may change schema or data layout: flush plans
         self._plan_cache.clear()
-        return self.execute_statement(statement, params)
+        return self.execute_statement(statement, params, guard=guard)
 
     def _parse_statement(self, sql: str) -> ast.Statement:
         """LRU-cached parse of one SQL text."""
@@ -138,7 +166,35 @@ class Database:
             self._parse_cache.move_to_end(sql)
         return statement
 
-    def _execute_observed(self, sql: str, params: Sequence[Any]) -> ResultSet:
+    def _collect(self, plan, ctx: ExecContext) -> List[tuple]:
+        """Drain a SELECT plan, counting guardrail trips on the way out."""
+        try:
+            return [row["__out__"] for row in plan.rows(ctx)]
+        except GuardrailError as exc:
+            self._record_guard_trip(exc)
+            raise
+
+    def _record_guard_trip(self, exc: GuardrailError) -> None:
+        metrics = self.obs.metrics
+        if isinstance(exc, QueryTimeoutError):
+            metrics.counter(
+                "query_timeouts_total", "queries stopped by their deadline"
+            ).inc()
+        elif isinstance(exc, QueryCancelledError):
+            metrics.counter(
+                "query_cancellations_total",
+                "queries stopped by cooperative cancellation",
+            ).inc()
+        else:
+            metrics.counter(
+                "memory_budget_trips_total",
+                "queries stopped by the row/byte memory budget",
+            ).inc()
+
+    def _execute_observed(
+        self, sql: str, params: Sequence[Any],
+        guard: Optional[ExecutionGuard] = None,
+    ) -> ResultSet:
         """The instrumented twin of :meth:`execute`.
 
         Runs whenever any observability feature is on: fires hooks,
@@ -167,11 +223,9 @@ class Database:
             wrapped = SpanNode(plan, on_close)
             ctx = ExecContext(
                 params_tuple, self.profile, self.registry, self.catalog,
-                self.stats,
+                self.stats, guard,
             )
-            result = ResultSet(
-                names, [row["__out__"] for row in wrapped.rows(ctx)]
-            )
+            result = ResultSet(names, self._collect(wrapped, ctx))
             root = wrapped.span
         elif isinstance(statement, ast.Select):
             cached = self._plan_cache.get(sql)
@@ -187,14 +241,14 @@ class Database:
             plan, names = cached
             ctx = ExecContext(
                 params_tuple, self.profile, self.registry, self.catalog,
-                self.stats,
+                self.stats, guard,
             )
-            result = ResultSet(
-                names, [row["__out__"] for row in plan.rows(ctx)]
-            )
+            result = ResultSet(names, self._collect(plan, ctx))
         else:
             self._plan_cache.clear()
-            result = self.execute_statement(statement, params_tuple)
+            result = self.execute_statement(
+                statement, params_tuple, guard=guard
+            )
         elapsed = _time.perf_counter() - start
         after = self.stats.snapshot()
         trace = Trace(
@@ -215,10 +269,11 @@ class Database:
         return result
 
     def execute_statement(
-        self, statement: ast.Statement, params: Sequence[Any] = ()
+        self, statement: ast.Statement, params: Sequence[Any] = (),
+        guard: Optional[ExecutionGuard] = None,
     ) -> ResultSet:
         if isinstance(statement, ast.Select):
-            return self._run_select(statement, params)
+            return self._run_select(statement, params, guard)
         if isinstance(statement, ast.Insert):
             return self._run_insert(statement, params)
         if isinstance(statement, ast.Delete):
@@ -283,13 +338,16 @@ class Database:
 
     # -- statement runners -----------------------------------------------------
 
-    def _run_select(self, stmt: ast.Select, params: Sequence[Any]) -> ResultSet:
+    def _run_select(
+        self, stmt: ast.Select, params: Sequence[Any],
+        guard: Optional[ExecutionGuard] = None,
+    ) -> ResultSet:
         plan, names = self._planner.plan_select(stmt)
         ctx = ExecContext(
-            tuple(params), self.profile, self.registry, self.catalog, self.stats
+            tuple(params), self.profile, self.registry, self.catalog,
+            self.stats, guard,
         )
-        rows = [row["__out__"] for row in plan.rows(ctx)]
-        return ResultSet(names, rows)
+        return ResultSet(names, self._collect(plan, ctx))
 
     def _run_insert(self, stmt: ast.Insert, params: Sequence[Any]) -> ResultSet:
         table = self.catalog.table(stmt.table)
@@ -320,8 +378,7 @@ class Database:
             for vals in pending
         ]
         for values in coerced:
-            row_id = table.insert_row(values)
-            self._index_insert(table, row_id)
+            self._insert_one(table, values)
         return ResultSet([], [], len(coerced))
 
     def insert_rows(self, table_name: str, rows: Sequence[Sequence[Any]]) -> int:
@@ -329,12 +386,26 @@ class Database:
         table = self.catalog.table(table_name)
         count = 0
         for values in rows:
-            row_id = table.insert_row(values)
-            self._index_insert(table, row_id)
+            self._insert_one(table, values)
             count += 1
         return count
 
+    def _insert_one(self, table: Table, values: Sequence[Any]) -> int:
+        """Heap insert + index maintenance; the heap row is rolled back if
+        index maintenance fails, keeping heap and indexes consistent."""
+        row_id = table.insert_row(values)
+        try:
+            self._index_insert(table, row_id)
+        except Exception:
+            table.delete_row(row_id)
+            raise
+        return row_id
+
     def _index_insert(self, table: Table, row_id: int) -> None:
+        if FAULTS.active:
+            # fires before any index is touched, so the caller's heap
+            # rollback restores a fully consistent catalog
+            FAULTS.hit("index.insert")
         for entry in self.catalog.indexes():
             if entry.table_name != table.name:
                 continue

@@ -32,7 +32,8 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, FrozenSet, Optional
 
 from repro.algorithms import de9im
-from repro.errors import UnsupportedFeatureError
+from repro.errors import TopologyError, UnsupportedFeatureError
+from repro.faults import FAULTS
 from repro.geometry.base import Envelope, Geometry
 
 #: predicate name -> DE-9IM pattern(s) used by full-matrix refinement
@@ -140,6 +141,10 @@ class EngineProfile:
     predicate_mode: str  # 'fast' | 'matrix' | 'mbr'
     unsupported: FrozenSet[str] = frozenset()
     index_options: Dict[str, Any] = field(default_factory=dict)
+    #: graceful degradation: answer with the MBR verdict when exact
+    #: refinement raises :class:`TopologyError` (MBR-only profiles have
+    #: nothing weaker to fall back to and keep failing loudly)
+    mbr_fallback: bool = False
 
     @property
     def exact(self) -> bool:
@@ -153,11 +158,38 @@ class EngineProfile:
 
     def evaluate_predicate(self, name: str, ga: Geometry, gb: Geometry) -> bool:
         self.check_supported(name)
+        if FAULTS.active:
+            FAULTS.hit("geometry.refine")
         if self.predicate_mode == "mbr":
             return _mbr_predicate(name, ga, gb)
         if self.predicate_mode == "matrix":
             return _matrix_predicate(name, ga, gb)
         return _FAST_PREDICATES[name](ga, gb)
+
+    def refine_predicate(
+        self, name: str, ga: Geometry, gb: Geometry, stats=None
+    ) -> bool:
+        """:meth:`evaluate_predicate` with graceful degradation.
+
+        When exact refinement raises :class:`TopologyError` and the
+        profile allows it, answer with the (superset) MBR verdict and
+        count a degraded result on ``stats`` — mirroring how the paper's
+        engines differ in what they do with numerically hostile input.
+        """
+        try:
+            return self.evaluate_predicate(name, ga, gb)
+        except TopologyError:
+            if not self.mbr_fallback:
+                raise
+            if stats is not None:
+                stats.degraded_results += 1
+            from repro.obs.metrics import GLOBAL
+
+            GLOBAL.counter(
+                "degraded_results_total",
+                "exact refinements degraded to MBR verdicts",
+            ).inc()
+            return _mbr_predicate(name, ga, gb)
 
 
 GREENWOOD = EngineProfile(
@@ -165,6 +197,7 @@ GREENWOOD = EngineProfile(
     description="open-source, PostGIS-like: R-tree + exact fast-path refinement",
     index_kind="rtree",
     predicate_mode="fast",
+    mbr_fallback=True,
 )
 
 BLUESTEM = EngineProfile(
@@ -196,6 +229,7 @@ IRONBARK = EngineProfile(
     description="commercial-like: quadtree tessellation + full-matrix refinement",
     index_kind="quadtree",
     predicate_mode="matrix",
+    mbr_fallback=True,
 )
 
 PROFILES: Dict[str, EngineProfile] = {

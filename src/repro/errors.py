@@ -31,7 +31,7 @@ class WkbParseError(GeometryError):
     """Malformed Well-Known Binary."""
 
 
-class TopologyError(ReproError):
+class TopologyError(GeometryError):
     """A computational-geometry routine could not produce a valid result."""
 
 
@@ -39,11 +39,15 @@ class SqlError(ReproError):
     """Base class for SQL front-end problems."""
 
 
-class SqlSyntaxError(SqlError):
+class SqlProgrammingError(SqlError):
+    """The statement itself is wrong as written (syntax or analysis)."""
+
+
+class SqlSyntaxError(SqlProgrammingError):
     """The statement failed to lex or parse."""
 
 
-class SqlPlanError(SqlError):
+class SqlPlanError(SqlProgrammingError):
     """The statement parsed but cannot be planned (unknown table/column...)."""
 
 
@@ -58,3 +62,46 @@ class UnsupportedFeatureError(SqlError):
 
 class EngineError(ReproError):
     """Internal engine failure (catalog corruption, executor invariant...)."""
+
+
+class GuardrailError(EngineError):
+    """Base class for statements stopped by an execution guardrail.
+
+    Guardrail trips are operational conditions, not programming errors:
+    the same statement may succeed with a longer deadline or a larger
+    budget. They map to PEP 249 ``OperationalError``.
+    """
+
+
+class QueryTimeoutError(GuardrailError):
+    """The statement exceeded its wall-clock deadline."""
+
+
+class QueryCancelledError(GuardrailError):
+    """The statement observed a cooperative cancellation request."""
+
+
+class MemoryBudgetError(GuardrailError):
+    """The statement tried to buffer more rows/bytes than its budget."""
+
+
+class TransientError(EngineError):
+    """An operation failed in a way that is safe to retry.
+
+    The benchmark harness retries these with exponential backoff; any
+    other :class:`ReproError` is treated as permanent.
+    """
+
+
+class InjectedFaultError(TransientError):
+    """Raised by an armed :mod:`repro.faults` failure point."""
+
+
+class DumpCorruptionError(EngineError):
+    """A dump file failed validation (bad checksum, torn record, ...)."""
+
+    def __init__(self, message: str, line_no: int = -1):
+        if line_no >= 0:
+            message = f"dump line {line_no}: {message}"
+        super().__init__(message)
+        self.line_no = line_no

@@ -27,8 +27,11 @@ def timing_record(timing, engine: str, suite: str) -> Dict[str, Any]:
         "suite": suite,
         "supported": timing.supported,
         "runs": timing.runs,
+        "outcome": timing.outcome,
     }
-    if not timing.supported:
+    if timing.retries:
+        record["retries"] = timing.retries
+    if not timing.supported or not timing.ok:
         record["error"] = timing.error
         return record
     record.update(
@@ -58,7 +61,12 @@ def scenario_record(scenario, engine: str) -> Dict[str, Any]:
             "seconds": step.seconds,
             "rows": step.rows,
             "skipped": step.skipped,
+            "outcome": step.outcome,
         }
+        if step.retries:
+            entry["retries"] = step.retries
+        if step.error and not step.skipped:
+            entry["error"] = step.error
         if step.trace is not None:
             entry["operators"] = step.trace.operator_breakdown()
         steps.append(entry)
@@ -70,6 +78,7 @@ def scenario_record(scenario, engine: str) -> Dict[str, Any]:
         "queries_per_minute": scenario.queries_per_minute,
         "executed": scenario.executed,
         "skipped": scenario.skipped,
+        "failed": scenario.failed,
         "total_seconds": scenario.total_seconds,
         "steps": steps,
     }

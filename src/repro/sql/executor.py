@@ -14,6 +14,7 @@ import re
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import SqlPlanError
+from repro.faults import FAULTS
 from repro.geometry.base import Envelope, Geometry
 from repro.sql import ast
 from repro.sql.functions import (
@@ -58,6 +59,7 @@ class Stats:
         "partitions_built",
         "plan_cache_hits",
         "plan_cache_misses",
+        "degraded_results",
     )
 
     def __init__(self) -> None:
@@ -73,6 +75,7 @@ class Stats:
         self.partitions_built = 0
         self.plan_cache_hits = 0
         self.plan_cache_misses = 0
+        self.degraded_results = 0
 
     def snapshot(self) -> Dict[str, int]:
         return {
@@ -85,16 +88,18 @@ class Stats:
             "partitions_built": self.partitions_built,
             "plan_cache_hits": self.plan_cache_hits,
             "plan_cache_misses": self.plan_cache_misses,
+            "degraded_results": self.degraded_results,
         }
 
 
 class ExecContext:
     """Everything an operator needs at run time."""
 
-    __slots__ = ("params", "profile", "registry", "catalog", "stats", "cache")
+    __slots__ = ("params", "profile", "registry", "catalog", "stats",
+                 "cache", "guard")
 
     def __init__(self, params, profile, registry: FunctionRegistry,
-                 catalog: Catalog, stats: Stats):
+                 catalog: Catalog, stats: Stats, guard=None):
         self.params = params
         self.profile = profile
         self.registry = registry
@@ -103,6 +108,9 @@ class ExecContext:
         # per-statement memo for expensive pure geometry functions, keyed
         # by (function, argument identities) — geometries are immutable
         self.cache: Dict[tuple, Any] = {}
+        #: armed :class:`repro.guard.ExecutionGuard` (None = no limits);
+        #: operators skip all accounting when it is None
+        self.guard = guard
 
 
 class Scope:
@@ -314,7 +322,7 @@ class Compiler:
                     return None
                 if not isinstance(ga, Geometry) or not isinstance(gb, Geometry):
                     raise SqlPlanError(f"{name} expects geometry arguments")
-                return ctx.profile.evaluate_predicate(name, ga, gb)
+                return ctx.profile.refine_predicate(name, ga, gb, ctx.stats)
 
             return predicate
         if name.startswith("st_"):
@@ -563,11 +571,14 @@ class SeqScan(PlanNode):
         stats = ctx.stats
         stats.pages_read += self.table.page_count
         alias = self.alias
+        guard = ctx.guard
         scanned = 0
         try:
             for row in self.table.rows:
                 if row is not None:
                     scanned += 1
+                    if guard is not None:
+                        guard.tick()
                     yield {alias: row}
         finally:
             stats.rows_scanned += scanned
@@ -601,6 +612,8 @@ class IndexScan(PlanNode):
         envelope = self.probe(ctx)
         if envelope is None:
             return
+        if FAULTS.active:
+            FAULTS.hit("index.probe")
         stats = ctx.stats
         stats.index_probes += 1
         row_ids = self.entry.index.search(envelope)
@@ -609,10 +622,13 @@ class IndexScan(PlanNode):
         stats.pages_read += len({rid // per_page for rid in row_ids})
         alias = self.alias
         heap = self.table.rows
+        guard = ctx.guard
         scanned = 0
         try:
             for row_id in row_ids:
                 scanned += 1
+                if guard is not None:
+                    guard.tick()
                 yield {alias: heap[row_id]}
         finally:
             stats.rows_scanned += scanned
@@ -680,10 +696,13 @@ class KNNScan(PlanNode):
             return
         cx, cy = probe_geom.x, probe_geom.y
         ctx.stats.index_probes += 1
+        guard = ctx.guard
         emitted = 0
         pending: List[tuple] = []  # (exact_dist, seq, row_id)
         seq = 0
         for row_id, lower_bound in self.entry.index.nearest_iter(cx, cy):
+            if guard is not None:
+                guard.tick()
             while pending and pending[0][0] <= lower_bound:
                 _d, _s, ready_id = heapq.heappop(pending)
                 yield {self.alias: self.table.get_row(ready_id)}
@@ -741,6 +760,9 @@ class NestedLoopJoin(PlanNode):
 
     def rows(self, ctx: ExecContext) -> Iterator[Row]:
         inner_rows = list(self.inner.rows(ctx))
+        guard = ctx.guard
+        if guard is not None and inner_rows:
+            guard.reserve(len(inner_rows), inner_rows[0])
         condition = self.condition
         stats = ctx.stats
         considered = 0
@@ -750,6 +772,8 @@ class NestedLoopJoin(PlanNode):
                 for outer_row in self.outer.rows(ctx):
                     considered += len(inner_rows)
                     emitted += len(inner_rows)
+                    if guard is not None:
+                        guard.tick(len(inner_rows))
                     for inner_row in inner_rows:
                         yield {**outer_row, **inner_row}
                 return
@@ -759,6 +783,8 @@ class NestedLoopJoin(PlanNode):
             for outer_row in self.outer.rows(ctx):
                 considered += len(inner_rows)
                 for inner_row in inner_rows:
+                    if guard is not None:
+                        guard.tick()
                     scratch.clear()
                     scratch.update(outer_row)
                     scratch.update(inner_row)
@@ -794,11 +820,14 @@ class HashJoin(PlanNode):
         self.label = label
 
     def rows(self, ctx: ExecContext) -> Iterator[Row]:
+        guard = ctx.guard
         buckets: Dict[Any, List[Row]] = {}
         for inner_row in self.inner.rows(ctx):
             key = self.inner_key(inner_row, ctx)
             if key is None:
                 continue
+            if guard is not None:
+                guard.reserve(1, inner_row)
             buckets.setdefault(key, []).append(inner_row)
         residual = self.residual
         for outer_row in self.outer.rows(ctx):
@@ -845,6 +874,8 @@ class IndexNestedLoopJoin(PlanNode):
         search = self.entry.index.search
         heap = self.table.rows
         stats = ctx.stats
+        guard = ctx.guard
+        faults_hit = FAULTS.hit
         probes = 0
         candidates = 0
         emitted = 0
@@ -853,10 +884,14 @@ class IndexNestedLoopJoin(PlanNode):
                 envelope = probe(outer_row, ctx)
                 if envelope is None:
                     continue
+                if FAULTS.active:
+                    faults_hit("index.probe")
                 probes += 1
                 row_ids = search(envelope)
                 candidates += len(row_ids)
                 for row_id in row_ids:
+                    if guard is not None:
+                        guard.tick()
                     merged = dict(outer_row)
                     merged[alias] = heap[row_id]
                     if residual is None or residual(merged, ctx) is True:
@@ -899,7 +934,7 @@ class SpatialTreeJoin(PlanNode):
         inner_table: Table,
         inner_alias: str,
         inner_entry: IndexEntry,
-        refine: Callable[[Any, Any], Optional[bool]],
+        refine: Callable[[Any, Any, "ExecContext"], Optional[bool]],
         residual: Optional[Evaluator],
         label: str = "",
     ):
@@ -925,6 +960,7 @@ class SpatialTreeJoin(PlanNode):
         inner_geom = self._inner_geom
         refine = self.refine
         residual = self.residual
+        guard = ctx.guard
         considered = 0
         emitted = 0
         try:
@@ -932,9 +968,13 @@ class SpatialTreeJoin(PlanNode):
                 self.inner_entry.index
             ):
                 considered += 1
+                if guard is not None:
+                    guard.tick()
                 outer_row = outer_heap[outer_id]
                 inner_row = inner_heap[inner_id]
-                if refine(outer_row[outer_geom], inner_row[inner_geom]) is not True:
+                if refine(
+                    outer_row[outer_geom], inner_row[inner_geom], ctx
+                ) is not True:
                     continue
                 merged = {outer_alias: outer_row, inner_alias: inner_row}
                 if residual is None or residual(merged, ctx) is True:
@@ -974,7 +1014,7 @@ class PBSMJoin(PlanNode):
         inner: PlanNode,
         outer_geom: Evaluator,
         inner_geom: Evaluator,
-        refine: Callable[[Any, Any], Optional[bool]],
+        refine: Callable[[Any, Any, "ExecContext"], Optional[bool]],
         residual: Optional[Evaluator],
         label: str = "",
     ):
@@ -990,6 +1030,7 @@ class PBSMJoin(PlanNode):
         self, plan: PlanNode, geom_fn: Evaluator, ctx: ExecContext
     ) -> List[Tuple[Envelope, Any, Row]]:
         items = []
+        guard = ctx.guard
         for row in plan.rows(ctx):
             geom = geom_fn(row, ctx)
             if geom is None:
@@ -998,6 +1039,8 @@ class PBSMJoin(PlanNode):
                 raise SqlPlanError(
                     f"spatial join expects geometry operands, got {geom!r}"
                 )
+            if guard is not None:
+                guard.reserve(1, row)
             items.append((geom.envelope, geom, row))
         return items
 
@@ -1043,6 +1086,7 @@ class PBSMJoin(PlanNode):
         stats.partitions_built += len(cells)
         refine = self.refine
         residual = self.residual
+        guard = ctx.guard
         considered = 0
         emitted = 0
         try:
@@ -1054,6 +1098,8 @@ class PBSMJoin(PlanNode):
                 for ea, ga, row_a, eb, gb, row_b in _plane_sweep(
                     cell_outer, cell_inner
                 ):
+                    if guard is not None:
+                        guard.tick()
                     # reference-point dedup for pairs spanning cells
                     rx = ea.min_x if ea.min_x > eb.min_x else eb.min_x
                     ry = ea.min_y if ea.min_y > eb.min_y else eb.min_y
@@ -1062,7 +1108,7 @@ class PBSMJoin(PlanNode):
                     if min(int((ry - min_y) / cell_h), last) != gy:
                         continue
                     considered += 1
-                    if refine(ga, gb) is not True:
+                    if refine(ga, gb, ctx) is not True:
                         continue
                     merged = {**row_a, **row_b}
                     if residual is None or residual(merged, ctx) is True:
@@ -1146,10 +1192,13 @@ class Aggregate(PlanNode):
         self.always_one_group = always_one_group
 
     def rows(self, ctx: ExecContext) -> Iterator[Row]:
+        guard = ctx.guard
         groups: Dict[Any, Tuple[Row, list]] = {}
         for row in self.child.rows(ctx):
             key = tuple(_hashable(k(row, ctx)) for k in self.group_keys)
             if key not in groups:
+                if guard is not None:
+                    guard.reserve(1, row)
                 accs = []
                 for name, _arg, distinct in self.agg_specs:
                     factory = AGGREGATES[name]
@@ -1215,6 +1264,9 @@ class Sort(PlanNode):
 
     def rows(self, ctx: ExecContext) -> Iterator[Row]:
         materialised = list(self.child.rows(ctx))
+        guard = ctx.guard
+        if guard is not None and materialised:
+            guard.reserve(len(materialised), materialised[0])
         # stable multi-key sort: apply keys right-to-left
         for evaluator, descending in reversed(self.keys):
             materialised.sort(

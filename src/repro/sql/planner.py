@@ -560,26 +560,28 @@ class Planner:
 
     def _make_refine(
         self, indexable: _IndexableConjunct
-    ) -> Callable[[Geometry, Geometry], Optional[bool]]:
-        """Direct profile refinement for ``(outer_geom, inner_geom)``.
+    ) -> Callable:
+        """Direct profile refinement for ``(outer_geom, inner_geom, ctx)``.
 
         Candidate pairs from tree/PBSM joins already have intersecting
         envelopes, so an ``&&`` conjunct is trivially satisfied; named
         predicates re-evaluate through the profile with the conjunct's
-        original argument order.
+        original argument order. The execution context rides along so
+        degraded refinements are counted on the *running* statement's
+        stats — plans (and these closures) are cached across executions.
         """
         conjunct = indexable.conjunct
         if isinstance(conjunct, ast.BinaryOp):  # '&&'
-            return lambda outer_geom, inner_geom: True
+            return lambda outer_geom, inner_geom, ctx: True
         name = conjunct.name
         self.profile.check_supported(name)
         profile = self.profile
         if indexable.col_first:
-            return lambda outer_geom, inner_geom: profile.evaluate_predicate(
-                name, inner_geom, outer_geom
+            return lambda outer_geom, inner_geom, ctx: profile.refine_predicate(
+                name, inner_geom, outer_geom, ctx.stats
             )
-        return lambda outer_geom, inner_geom: profile.evaluate_predicate(
-            name, outer_geom, inner_geom
+        return lambda outer_geom, inner_geom, ctx: profile.refine_predicate(
+            name, outer_geom, inner_geom, ctx.stats
         )
 
     def _estimate_rows(self, plan: PlanNode) -> float:

@@ -1,22 +1,45 @@
-"""Database dump and restore.
+"""Database dump and restore, crash-safe.
 
 A dump is a JSON-lines file: a header record, one schema record per
-table, row batches with geometries as hex-encoded WKB, and one record per
+table, row batches with geometries as hex-encoded WKB, one record per
 spatial index (structure is rebuilt on restore, matching how logical
 backups work in the DBMSes the paper benchmarks — pg_dump stores index
-*definitions*, not pages).
+*definitions*, not pages), and a footer carrying the record count.
+
+Format version 2 adds crash safety:
+
+* every record line after the header is prefixed with the CRC32 of its
+  JSON payload (``"%08x <json>\\n"``), so torn or bit-flipped lines are
+  detected rather than half-loaded;
+* the footer makes truncation at a record boundary detectable;
+* :func:`save_database` writes through a temp file in the target
+  directory, fsyncs, and ``os.replace``\\ s into place — a crash mid-dump
+  leaves the previous file intact, never a half-written one.
+
+Version 1 dumps (no checksums, no footer) remain fully readable.
+
+Restore is strict by default (any corruption raises
+:class:`~repro.errors.DumpCorruptionError`); with ``recover=True`` it
+truncates the torn tail instead, restores every complete preceding
+record, and reports exactly what was kept via :class:`RestoreReport`.
 """
 
 from __future__ import annotations
 
 import json
-from typing import IO, Any, Iterator, List
+import os
+import zlib
+from dataclasses import dataclass, field
+from typing import IO, Any, Dict, List, Optional, Tuple
 
-from repro.errors import EngineError
+from repro.errors import DumpCorruptionError, EngineError
+from repro.faults import FAULTS
 from repro.geometry import Geometry, wkb_dumps, wkb_loads
 
 FORMAT_NAME = "jackpine-dump"
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+#: dump versions this reader understands
+SUPPORTED_VERSIONS = (1, 2)
 
 _ROW_BATCH = 512
 
@@ -33,6 +56,15 @@ def _decode_value(value: Any) -> Any:
     return value
 
 
+def _write_record(stream: IO[str], record: dict) -> None:
+    """One checksummed record line: ``%08x <json>``."""
+    if FAULTS.active:
+        FAULTS.hit("dump.write")
+    payload = json.dumps(record)
+    crc = zlib.crc32(payload.encode("utf-8")) & 0xFFFFFFFF
+    stream.write(f"{crc:08x} {payload}\n")
+
+
 def dump_database(db, stream: IO[str]) -> None:
     """Write a logical dump of ``db`` to a text stream."""
     header = {
@@ -41,119 +73,290 @@ def dump_database(db, stream: IO[str]) -> None:
         "version": FORMAT_VERSION,
         "profile": db.profile.name,
     }
+    # the header stays unchecksummed so format detection is trivial
     stream.write(json.dumps(header) + "\n")
+    records = 0
     for table in db.catalog.tables():
-        stream.write(
-            json.dumps(
-                {
-                    "type": "table",
-                    "name": table.name,
-                    "columns": [[c.name, c.type.value] for c in table.columns],
-                }
-            )
-            + "\n"
+        _write_record(
+            stream,
+            {
+                "type": "table",
+                "name": table.name,
+                "columns": [[c.name, c.type.value] for c in table.columns],
+            },
         )
+        records += 1
         batch: List[list] = []
         for _row_id, row in table.scan():
             batch.append([_encode_value(v) for v in row])
             if len(batch) >= _ROW_BATCH:
-                stream.write(
-                    json.dumps(
-                        {"type": "rows", "table": table.name, "rows": batch}
-                    )
-                    + "\n"
+                _write_record(
+                    stream,
+                    {"type": "rows", "table": table.name, "rows": batch},
                 )
+                records += 1
                 batch = []
         if batch:
-            stream.write(
-                json.dumps(
-                    {"type": "rows", "table": table.name, "rows": batch}
-                )
-                + "\n"
+            _write_record(
+                stream, {"type": "rows", "table": table.name, "rows": batch}
             )
+            records += 1
     for entry in db.catalog.indexes():
-        stream.write(
-            json.dumps(
-                {
-                    "type": "index",
-                    "name": entry.name,
-                    "table": entry.table_name,
-                    "column": entry.column_name,
-                    "kind": entry.index.kind,
-                }
-            )
-            + "\n"
+        _write_record(
+            stream,
+            {
+                "type": "index",
+                "name": entry.name,
+                "table": entry.table_name,
+                "column": entry.column_name,
+                "kind": entry.index.kind,
+            },
         )
+        records += 1
+    _write_record(stream, {"type": "footer", "records": records})
 
 
 def save_database(db, path: str) -> None:
-    """Dump ``db`` to a file."""
-    with open(path, "w", encoding="utf-8") as stream:
-        dump_database(db, stream)
+    """Dump ``db`` to a file, atomically.
+
+    The dump goes to a temp file in the same directory, is flushed and
+    fsynced, then renamed over ``path`` — so a crash at any point leaves
+    either the old file or the new one, never a torn hybrid.
+    """
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    tmp_path = os.path.join(
+        directory, f".{os.path.basename(path)}.tmp.{os.getpid()}"
+    )
+    try:
+        with open(tmp_path, "w", encoding="utf-8") as stream:
+            dump_database(db, stream)
+            stream.flush()
+            os.fsync(stream.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
 
 
-def _records(stream: IO[str]) -> Iterator[dict]:
+@dataclass
+class RestoreReport:
+    """What a restore actually brought back."""
+
+    version: int = FORMAT_VERSION
+    profile: str = ""
+    tables: List[str] = field(default_factory=list)
+    rows_restored: Dict[str, int] = field(default_factory=dict)
+    indexes_rebuilt: List[str] = field(default_factory=list)
+    records_read: int = 0
+    #: True when the dump ended in a torn/corrupt tail that was truncated
+    torn: bool = False
+    torn_line: Optional[int] = None
+    torn_reason: Optional[str] = None
+
+    @property
+    def complete(self) -> bool:
+        return not self.torn
+
+    def describe(self) -> str:
+        rows = sum(self.rows_restored.values())
+        summary = (
+            f"restored {len(self.tables)} tables, {rows} rows, "
+            f"{len(self.indexes_rebuilt)} indexes"
+        )
+        if self.torn:
+            summary += (
+                f"; truncated torn tail at line {self.torn_line}"
+                f" ({self.torn_reason})"
+            )
+        return summary
+
+
+def _parse_record(line: str, line_no: int, version: int) -> dict:
+    """Decode (and for v2, checksum-verify) one record line."""
+    if FAULTS.active:
+        FAULTS.hit("dump.read")
+    if version >= 2:
+        prefix, sep, payload = line.partition(" ")
+        if not sep or len(prefix) != 8:
+            raise DumpCorruptionError("missing checksum prefix", line_no)
+        try:
+            expected = int(prefix, 16)
+        except ValueError:
+            raise DumpCorruptionError(
+                f"bad checksum prefix {prefix!r}", line_no
+            )
+        actual = zlib.crc32(payload.encode("utf-8")) & 0xFFFFFFFF
+        if actual != expected:
+            raise DumpCorruptionError(
+                f"checksum mismatch (stored {expected:08x}, "
+                f"computed {actual:08x})",
+                line_no,
+            )
+    else:
+        payload = line
+    try:
+        record = json.loads(payload)
+    except json.JSONDecodeError as exc:
+        raise DumpCorruptionError(f"invalid JSON ({exc})", line_no)
+    if not isinstance(record, dict) or "type" not in record:
+        raise DumpCorruptionError("not a dump record", line_no)
+    return record
+
+
+def _read_header(stream: IO[str]) -> Tuple[dict, int]:
     for line_no, line in enumerate(stream, start=1):
         line = line.strip()
         if not line:
             continue
         try:
-            record = json.loads(line)
+            header = json.loads(line)
         except json.JSONDecodeError as exc:
-            raise EngineError(f"dump line {line_no}: invalid JSON ({exc})")
-        if not isinstance(record, dict) or "type" not in record:
-            raise EngineError(f"dump line {line_no}: not a dump record")
-        yield record
+            raise DumpCorruptionError(f"invalid JSON ({exc})", line_no)
+        if (
+            not isinstance(header, dict)
+            or header.get("type") != "header"
+            or header.get("format") != FORMAT_NAME
+        ):
+            raise EngineError("not a jackpine dump")
+        if header.get("version") not in SUPPORTED_VERSIONS:
+            raise EngineError(
+                f"unsupported dump version {header.get('version')!r}"
+            )
+        return header, line_no
+    raise EngineError("empty dump")
 
 
-def restore_database(stream: IO[str], profile: str = None):  # type: ignore[assignment]
+def restore_database(
+    stream: IO[str],
+    profile: str = None,  # type: ignore[assignment]
+    recover: bool = False,
+    report: Optional[RestoreReport] = None,
+):
     """Rebuild a Database from a dump stream.
 
     ``profile`` overrides the dumped engine profile, which lets the same
     dump be restored into all three engines — the benchmark's
     load-once-run-everywhere pattern.
+
+    Strict by default: checksum failures, garbage lines and truncation
+    raise :class:`DumpCorruptionError`. With ``recover=True`` the first
+    corrupt record ends the restore instead — every complete preceding
+    record is kept, and the passed-in (or attached) :class:`RestoreReport`
+    says what was restored and where the tail tore off.
     """
     from repro.engines.database import Database
 
-    records = _records(stream)
-    try:
-        header = next(records)
-    except StopIteration:
-        raise EngineError("empty dump")
-    if header.get("type") != "header" or header.get("format") != FORMAT_NAME:
-        raise EngineError("not a jackpine dump")
-    if header.get("version") != FORMAT_VERSION:
-        raise EngineError(
-            f"unsupported dump version {header.get('version')!r}"
-        )
-    db = Database(profile or header.get("profile", "greenwood"))
-    pending_indexes = []
-    for record in records:
-        kind = record["type"]
-        if kind == "table":
-            columns = ", ".join(
-                f"{name} {type_name}" for name, type_name in record["columns"]
+    header, header_line = _read_header(stream)
+    version = header.get("version", 1)
+    if report is None:
+        report = RestoreReport()
+    report.version = version
+    report.profile = header.get("profile", "greenwood")
+    db = Database(profile or report.profile)
+    pending_indexes: List[dict] = []
+    footer: Optional[dict] = None
+
+    def build_indexes() -> None:
+        for record in pending_indexes:
+            db.execute(
+                f"CREATE SPATIAL INDEX {record['name']} "
+                f"ON {record['table']} ({record['column']}) "
+                f"USING {record['kind']}"
             )
-            db.execute(f"CREATE TABLE {record['name']} ({columns})")
-        elif kind == "rows":
-            rows = [
-                tuple(_decode_value(v) for v in row) for row in record["rows"]
-            ]
-            db.insert_rows(record["table"], rows)
-        elif kind == "index":
-            pending_indexes.append(record)
-        else:
-            raise EngineError(f"unknown dump record type {kind!r}")
-    for record in pending_indexes:
-        db.execute(
-            f"CREATE SPATIAL INDEX {record['name']} "
-            f"ON {record['table']} ({record['column']}) "
-            f"USING {record['kind']}"
+            report.indexes_rebuilt.append(record["name"])
+        db.restore_report = report
+
+    line_no = header_line
+    for line_no, line in enumerate(stream, start=header_line + 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = _parse_record(line, line_no, version)
+            kind = record["type"]
+            if kind == "table":
+                columns = ", ".join(
+                    f"{name} {type_name}"
+                    for name, type_name in record["columns"]
+                )
+                db.execute(f"CREATE TABLE {record['name']} ({columns})")
+                report.tables.append(record["name"])
+                report.rows_restored.setdefault(record["name"], 0)
+            elif kind == "rows":
+                rows = [
+                    tuple(_decode_value(v) for v in row)
+                    for row in record["rows"]
+                ]
+                db.insert_rows(record["table"], rows)
+                report.rows_restored[record["table"]] = (
+                    report.rows_restored.get(record["table"], 0) + len(rows)
+                )
+            elif kind == "index":
+                pending_indexes.append(record)
+            elif kind == "footer":
+                footer = record
+            else:
+                raise DumpCorruptionError(
+                    f"unknown dump record type {kind!r}", line_no
+                )
+        except (DumpCorruptionError, EngineError, KeyError, TypeError,
+                ValueError) as exc:
+            if not recover:
+                raise
+            report.torn = True
+            report.torn_line = line_no
+            report.torn_reason = str(exc)
+            build_indexes()
+            return db
+        report.records_read += 1
+        if footer is not None:
+            break
+    if version >= 2 and footer is None:
+        # the footer is written last: its absence means the file was
+        # truncated at a record boundary
+        if not recover:
+            raise DumpCorruptionError(
+                "dump truncated (missing footer)", line_no
+            )
+        report.torn = True
+        report.torn_line = line_no
+        report.torn_reason = "missing footer (dump truncated)"
+    elif footer is not None and footer.get("records") != (
+        report.records_read - 1
+    ):
+        reason = (
+            f"footer expects {footer.get('records')} records, "
+            f"read {report.records_read - 1}"
         )
+        if not recover:
+            raise DumpCorruptionError(reason, line_no)
+        report.torn = True
+        report.torn_line = line_no
+        report.torn_reason = reason
+    build_indexes()
     return db
 
 
 def load_database(path: str, profile: str = None):  # type: ignore[assignment]
-    """Restore a Database from a dump file."""
+    """Restore a Database from a dump file (strict)."""
     with open(path, "r", encoding="utf-8") as stream:
         return restore_database(stream, profile=profile)
+
+
+def recover_database(
+    path: str, profile: str = None  # type: ignore[assignment]
+) -> Tuple[Any, RestoreReport]:
+    """Best-effort restore of a possibly-torn dump file.
+
+    Returns ``(db, report)``: everything up to the first corrupt record
+    is restored and the report records the truncation point.
+    """
+    report = RestoreReport()
+    with open(path, "r", encoding="utf-8") as stream:
+        db = restore_database(
+            stream, profile=profile, recover=True, report=report
+        )
+    return db, report

@@ -13,6 +13,7 @@ import enum
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import EngineError, SqlPlanError
+from repro.faults import FAULTS
 from repro.geometry.base import Envelope, Geometry
 from repro.storage.statistics import TableStats
 
@@ -145,6 +146,9 @@ class Table:
     # -- data --------------------------------------------------------------
 
     def insert_row(self, values: Sequence[Any]) -> int:
+        if FAULTS.active:
+            # before any mutation: a fired fault leaves the heap untouched
+            FAULTS.hit("storage.insert")
         if len(values) != len(self.columns):
             raise EngineError(
                 f"table {self.name}: expected {len(self.columns)} values, "

@@ -139,3 +139,78 @@ class TestConnection:
         cur.execute("INSERT INTO g VALUES (ST_Point(0, 0))")
         with pytest.raises(dbapi.NotSupportedError):
             cur.execute("SELECT ST_ConvexHull(geom) FROM g")
+
+
+def _all_public_errors():
+    """Every public exception class defined in repro.errors."""
+    import inspect
+
+    from repro import errors as errors_module
+    from repro.errors import ReproError
+
+    return sorted(
+        (
+            obj
+            for _name, obj in inspect.getmembers(errors_module, inspect.isclass)
+            if issubclass(obj, ReproError)
+            and obj.__module__ == errors_module.__name__
+        ),
+        key=lambda cls: cls.__name__,
+    )
+
+
+class TestErrorMapping:
+    """The PEP 249 mapping must stay total over the library hierarchy."""
+
+    @pytest.mark.parametrize(
+        "error_cls", _all_public_errors(),
+        ids=lambda cls: cls.__name__,
+    )
+    def test_every_library_error_has_a_pep249_home(self, error_cls):
+        assert error_cls in dbapi.ERROR_MAP, (
+            f"{error_cls.__name__} is missing from dbapi.ERROR_MAP — "
+            f"map it to a PEP 249 name"
+        )
+        pep_name = dbapi.ERROR_MAP[error_cls]
+        # catching the mapped PEP 249 name must catch the library error
+        assert issubclass(error_cls, pep_name)
+        # and every mapped name must itself be catchable as dbapi.Error
+        assert issubclass(pep_name, dbapi.Error)
+
+    @pytest.mark.parametrize(
+        "error_cls", _all_public_errors(),
+        ids=lambda cls: cls.__name__,
+    )
+    def test_error_class_resolves_via_mro(self, error_cls):
+        assert dbapi.error_class(error_cls) is dbapi.ERROR_MAP[error_cls]
+
+    def test_error_class_accepts_instances_and_subclasses(self):
+        from repro.errors import QueryTimeoutError
+
+        class Custom(QueryTimeoutError):
+            pass
+
+        assert dbapi.error_class(Custom("x")) is dbapi.OperationalError
+
+    def test_operational_errors_for_guardrails(self):
+        from repro.errors import (
+            InjectedFaultError,
+            MemoryBudgetError,
+            QueryCancelledError,
+            QueryTimeoutError,
+        )
+
+        for cls in (QueryTimeoutError, QueryCancelledError,
+                    MemoryBudgetError, InjectedFaultError):
+            assert issubclass(cls, dbapi.OperationalError)
+
+    def test_integrity_error_for_dump_corruption(self):
+        from repro.errors import DumpCorruptionError
+
+        assert issubclass(DumpCorruptionError, dbapi.IntegrityError)
+
+    def test_interface_error_is_its_own_family(self):
+        conn = connect("greenwood")
+        conn.close()
+        with pytest.raises(dbapi.InterfaceError):
+            conn.cursor()

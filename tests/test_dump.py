@@ -1,14 +1,17 @@
 """Tests for database dump/restore."""
 
 import io
+import json
 
 import pytest
 
 from repro.engines import Database
-from repro.errors import EngineError
+from repro.errors import DumpCorruptionError, EngineError
 from repro.storage.dump import (
+    RestoreReport,
     dump_database,
     load_database,
+    recover_database,
     restore_database,
     save_database,
 )
@@ -127,3 +130,147 @@ class TestMalformedDumps:
         )
         with pytest.raises(EngineError):
             restore_database(stream)
+
+
+class TestCrashSafety:
+    """v2 format: checksums, footer, atomic save, torn-tail recovery."""
+
+    def _dump_text(self, rows=600):
+        db = Database("greenwood")
+        db.execute("CREATE TABLE pts (id INTEGER, g GEOMETRY)")
+        db.insert_rows(
+            "pts", [(i, f"POINT({i} {i})") for i in range(rows)]
+        )
+        db.execute("CREATE SPATIAL INDEX idx_pts ON pts (g)")
+        buf = io.StringIO()
+        dump_database(db, buf)
+        return buf.getvalue()
+
+    def test_records_are_checksummed_and_footed(self):
+        lines = self._dump_text().strip().splitlines()
+        header, records = lines[0], lines[1:]
+        assert '"type": "header"' in header
+        for line in records:
+            prefix, _, payload = line.partition(" ")
+            assert len(prefix) == 8
+            int(prefix, 16)  # must be hex
+        assert '"type": "footer"' in records[-1]
+
+    def test_bitflip_detected_strictly(self):
+        lines = self._dump_text().splitlines()
+        prefix, _, payload = lines[2].partition(" ")  # first rows record
+        flipped = payload.replace("a", "b", 1)
+        assert flipped != payload
+        lines[2] = f"{prefix} {flipped}"
+        corrupted = "\n".join(lines) + "\n"
+        with pytest.raises(DumpCorruptionError, match="checksum mismatch"):
+            restore_database(io.StringIO(corrupted))
+
+    def test_truncated_dump_recovers_preceding_batches(self):
+        # 600 rows = one full 512-row batch + one partial batch; tear the
+        # second batch mid-line and the first must survive recovery
+        lines = self._dump_text().splitlines()
+        torn = "\n".join(lines[:3] + [lines[3][:-25]]) + "\n"
+        with pytest.raises(DumpCorruptionError):
+            restore_database(io.StringIO(torn))
+        report = RestoreReport()
+        db = restore_database(io.StringIO(torn), recover=True, report=report)
+        assert db.execute("SELECT COUNT(*) FROM pts").scalar() == 512
+        assert report.torn
+        assert report.torn_line == 4
+        assert "truncated torn tail" in report.describe()
+
+    def test_truncation_at_record_boundary_detected_by_footer(self):
+        lines = self._dump_text().splitlines()
+        no_footer = "\n".join(lines[:-1]) + "\n"
+        with pytest.raises(DumpCorruptionError, match="missing footer"):
+            restore_database(io.StringIO(no_footer))
+        report = RestoreReport()
+        db = restore_database(
+            io.StringIO(no_footer), recover=True, report=report
+        )
+        # all records were complete; only the footer is gone
+        assert db.execute("SELECT COUNT(*) FROM pts").scalar() == 600
+        assert report.torn
+        assert report.indexes_rebuilt == ["idx_pts"]
+
+    def test_recover_database_file_roundtrip(self, tmp_path):
+        db = Database("greenwood")
+        db.execute("CREATE TABLE pts (id INTEGER, g GEOMETRY)")
+        db.insert_rows(
+            "pts", [(i, f"POINT({i} {i})") for i in range(600)]
+        )
+        path = tmp_path / "data.dump"
+        save_database(db, str(path))
+        # tear the file mid-way through the second row batch: the first
+        # (full 512-row) batch must survive recovery
+        lines = path.read_text().splitlines(keepends=True)
+        path.write_text("".join(lines[:3]) + lines[3][: len(lines[3]) // 2])
+        restored, report = recover_database(str(path))
+        assert report.torn
+        assert restored.execute("SELECT COUNT(*) FROM pts").scalar() == 512
+        assert restored.restore_report is report
+
+    def test_save_is_atomic_under_write_faults(self, tmp_path):
+        from repro.faults import FAULTS
+
+        db = Database("greenwood")
+        db.execute("CREATE TABLE pts (id INTEGER, g GEOMETRY)")
+        db.insert_rows("pts", [(1, "POINT(1 1)")])
+        path = tmp_path / "data.dump"
+        save_database(db, str(path))
+        good = path.read_text()
+        db.insert_rows("pts", [(2, "POINT(2 2)")])
+        FAULTS.arm("dump.write", on_call=2, max_fires=1)
+        try:
+            with pytest.raises(EngineError):
+                save_database(db, str(path))
+        finally:
+            FAULTS.disarm_all()
+        # the old file is intact and no temp files were left behind
+        assert path.read_text() == good
+        assert [p.name for p in tmp_path.iterdir()] == ["data.dump"]
+
+    def test_v1_dumps_without_checksums_still_restore(self):
+        v1_lines = [
+            json.dumps(
+                {"type": "header", "format": "jackpine-dump",
+                 "version": 1, "profile": "greenwood"}
+            ),
+            json.dumps(
+                {"type": "table", "name": "t",
+                 "columns": [["id", "INTEGER"]]}
+            ),
+            json.dumps({"type": "rows", "table": "t", "rows": [[1], [2]]}),
+        ]
+        db = restore_database(io.StringIO("\n".join(v1_lines) + "\n"))
+        assert db.execute("SELECT COUNT(*) FROM t").scalar() == 2
+        assert db.restore_report.version == 1
+        assert not db.restore_report.torn
+
+    def test_footer_count_mismatch_detected(self):
+        import zlib as _zlib
+
+        def rec(obj):
+            payload = json.dumps(obj)
+            crc = _zlib.crc32(payload.encode()) & 0xFFFFFFFF
+            return f"{crc:08x} {payload}"
+
+        lines = [
+            json.dumps({"type": "header", "format": "jackpine-dump",
+                        "version": 2, "profile": "greenwood"}),
+            rec({"type": "table", "name": "t",
+                 "columns": [["id", "INTEGER"]]}),
+            rec({"type": "footer", "records": 5}),
+        ]
+        with pytest.raises(DumpCorruptionError, match="footer expects"):
+            restore_database(io.StringIO("\n".join(lines) + "\n"))
+
+    def test_dump_read_fault_site_fires(self):
+        from repro.errors import InjectedFaultError
+        from repro.faults import injected
+
+        text = self._dump_text(rows=5)
+        with injected("dump.read", on_call=1):
+            with pytest.raises(InjectedFaultError):
+                restore_database(io.StringIO(text))
