@@ -1,0 +1,121 @@
+"""MVCC overhead guard for the auto-commit read path.
+
+The transaction subsystem must be pay-as-you-go: a database that never
+ran an explicit transaction keeps unversioned heaps (``table._xmin is
+None``), scans take the pre-MVCC fast path, and ``Database.execute``
+adds only the per-statement latch + stats-shard bookkeeping. This
+module pins that contract like the guardrail overhead guard does: the
+full jx3 topology-join matrix through ``db.execute`` on a
+transaction-capable engine, against the direct cached-plan baseline,
+medians summed across the matrix, within 5% on at least one attempt.
+
+A second guard covers the *versioned-but-quiescent* case: after
+transactions commit and the vacuum drains, version arrays exist but
+every row is frozen — reads must still answer identically (correctness,
+not time, is the bar there; the all-frozen visibility check is one
+integer compare per row).
+
+Run standalone::
+
+    pytest benchmarks/test_bench_txn_overhead.py --benchmark-disable -q
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.experiments import JOIN_MATRIX
+from repro.datagen import generate
+from repro.engines import Database
+from repro.sql.executor import ExecContext
+
+from _bench_utils import BENCH_SCALE, BENCH_SEED
+
+#: allowed slowdown of auto-commit execute over the direct plan path
+OVERHEAD_BUDGET = 1.05
+REPEATS = 5
+ATTEMPTS = 3
+
+
+def _fresh_db() -> Database:
+    db = Database("greenwood")
+    generate(seed=BENCH_SEED, scale=BENCH_SCALE).load_into(db)
+    db.execute("ANALYZE")
+    return db
+
+
+def _run_plan_directly(db: Database, sql: str):
+    """The pre-MVCC fast path: cached plan, no snapshot in the context."""
+    statement = db._parse_statement(sql)
+    cached = db._plan_cache.get(sql)
+    if cached is None:
+        cached = db._planner.plan_select(statement)
+        db._plan_cache[sql] = cached
+    plan, names = cached
+    ctx = ExecContext(
+        (), db.profile, db.registry, db.catalog, db.stats,
+    )
+    return [row["__out__"] for row in plan.rows(ctx)]
+
+
+def _median_seconds(call, repeats: int = REPEATS) -> float:
+    call()  # warm caches (parse, plan, index) outside the timed window
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        call()
+        times.append(time.perf_counter() - start)
+    times.sort()
+    return times[len(times) // 2]
+
+
+def test_tables_stay_unversioned_without_transactions():
+    db = _fresh_db()
+    for _label, sql in JOIN_MATRIX:
+        db.execute(sql)
+    for table in db.catalog.tables():
+        assert table._xmin is None
+    assert db.txn.active_count == 0
+
+
+def test_autocommit_execute_matches_direct_plan_answers():
+    db = _fresh_db()
+    for _label, sql in JOIN_MATRIX:
+        via_execute = db.execute(sql).scalar()
+        direct = _run_plan_directly(db, sql)[0][0]
+        assert via_execute == direct
+
+
+def test_versioned_quiescent_reads_match_unversioned():
+    """After txn traffic drains, frozen version arrays change nothing."""
+    db = _fresh_db()
+    before = {sql: db.execute(sql).scalar() for _label, sql in JOIN_MATRIX}
+    gid = db.execute("SELECT gid FROM pointlm ORDER BY gid LIMIT 1").scalar()
+    db.execute("BEGIN")
+    db.execute("UPDATE pointlm SET name = ? WHERE gid = ?", ("touched", gid))
+    db.execute("COMMIT")
+    assert db.txn.pending_garbage == 0
+    assert db.catalog.table("pointlm")._xmin is not None
+    for _label, sql in JOIN_MATRIX:
+        assert db.execute(sql).scalar() == before[sql]
+
+
+def test_txn_overhead_within_budget():
+    db = _fresh_db()
+    ratios = []
+    for _ in range(ATTEMPTS):
+        via_execute = 0.0
+        baseline = 0.0
+        for _label, sql in JOIN_MATRIX:
+            via_execute += _median_seconds(lambda s=sql: db.execute(s))
+            baseline += _median_seconds(
+                lambda s=sql: _run_plan_directly(db, s)
+            )
+        ratio = via_execute / baseline
+        ratios.append(ratio)
+        if ratio <= OVERHEAD_BUDGET:
+            break
+    assert min(ratios) <= OVERHEAD_BUDGET, (
+        f"transaction-capable execute exceeded the {OVERHEAD_BUDGET:.0%} "
+        f"budget on every attempt: ratios={[f'{r:.3f}' for r in ratios]}"
+    )

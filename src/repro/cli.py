@@ -104,12 +104,14 @@ def build_parser() -> argparse.ArgumentParser:
         "experiment", help="run one of the standalone experiments"
     )
     experiment.add_argument(
-        "which", choices=["jf5", "jf6", "ja1", "ja2", "jx1", "jx2", "jx3"],
+        "which",
+        choices=["jf5", "jf6", "ja1", "ja2", "jx1", "jx2", "jx3", "jx4"],
         help="jf5=index effect, jf6=scalability, "
              "ja1=refinement ablation, ja2=index-structure ablation, "
              "jx1=selectivity sweep (extension), "
              "jx2=concurrent clients (extension), "
-             "jx3=spatial join strategies (extension)",
+             "jx3=spatial join strategies (extension), "
+             "jx4=mixed read/write workload (extension)",
     )
     experiment.add_argument("--seed", type=int, default=42)
     experiment.add_argument("--scale", type=float, default=0.25)
@@ -117,6 +119,39 @@ def build_parser() -> argparse.ArgumentParser:
         "--distribution", choices=["uniform", "clustered"],
         default="uniform",
         help="landmark placement for ja2 (clustered = urban skew)",
+    )
+
+    workload = sub.add_parser(
+        "workload",
+        help="drive N concurrent clients against one engine "
+             "(MVCC transactions, commit/abort accounting)",
+    )
+    workload.add_argument("--engine", default="greenwood",
+                          choices=list(ENGINE_NAMES))
+    workload.add_argument("--clients", type=int, default=4)
+    workload.add_argument(
+        "--duration", type=float, default=2.0, metavar="SECONDS",
+        help="how long each client issues operations",
+    )
+    workload.add_argument(
+        "--mix", choices=["read_only", "mixed"], default="mixed",
+        help="read_only=map-search reads (J-X2 style), "
+             "mixed=80/20 read/write transactions (J-X4 style)",
+    )
+    workload.add_argument(
+        "--mode", choices=["closed", "open"], default="closed",
+        help="closed=saturation loop, open=fixed arrival rate",
+    )
+    workload.add_argument(
+        "--rate", type=float, default=8.0, metavar="OPS_PER_SEC",
+        help="open loop: operation arrivals per second per client",
+    )
+    workload.add_argument("--seed", type=int, default=42)
+    workload.add_argument("--scale", type=float, default=0.25)
+    workload.add_argument(
+        "--telemetry", default=None, metavar="DIR",
+        help="write the workload telemetry JSON artifact into DIR "
+             "(same schema family as 'jackpine run --telemetry')",
     )
     return parser
 
@@ -151,6 +186,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(exp.render_concurrency(
                 exp.run_concurrency(seed=args.seed, scale=args.scale)
             ))
+        elif args.which == "jx4":
+            print(exp.render_mixed_workload(
+                exp.run_mixed_workload(seed=args.seed, scale=args.scale)
+            ))
         else:
             print(exp.render_spatial_join(
                 exp.run_spatial_join(seed=args.seed, scale=args.scale)
@@ -166,6 +205,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.command == "stats":
         return _run_stats(args)
+    if args.command == "workload":
+        return _run_workload(args)
 
     return _run_suites(args)
 
@@ -193,6 +234,10 @@ _RESILIENCE_COUNTERS = (
     ("faults_fired_total", "injected faults that fired"),
     ("harness_retries_total",
      "transient-fault retries spent by the benchmark harness"),
+    ("txn_commits_total", "transactions committed"),
+    ("txn_aborts_total", "transactions rolled back"),
+    ("txn_conflicts_total",
+     "write-write conflicts lost (first-updater-wins)"),
 )
 
 
@@ -222,6 +267,36 @@ def _run_stats(args) -> int:
     print("-- process-wide resilience counters")
     for name, help_text in _RESILIENCE_COUNTERS:
         print(f"jackpine_{name} {GLOBAL.counter(name, help_text).value}")
+    hist = db.txn.lock_wait_histogram()
+    print(f"jackpine_txn_lock_wait_seconds_count {hist.count}")
+    if hist.count:
+        print(f"jackpine_txn_lock_wait_seconds_sum {hist.sum:.6f}")
+        print(f"jackpine_txn_lock_wait_seconds_p95 {hist.p95:.6f}")
+    return 0
+
+
+def _run_workload(args) -> int:
+    from repro.workload import (
+        WorkloadConfig,
+        render_workload,
+        run_workload,
+        write_workload_telemetry,
+    )
+
+    config = WorkloadConfig(
+        clients=args.clients,
+        duration=args.duration,
+        mix=args.mix,
+        engine=args.engine,
+        mode=args.mode,
+        rate=args.rate,
+        seed=args.seed,
+        scale=args.scale,
+    )
+    report = run_workload(config)
+    print(render_workload(report))
+    if args.telemetry:
+        print(f"wrote {write_workload_telemetry(report, args.telemetry)}")
     return 0
 
 

@@ -397,42 +397,39 @@ def run_concurrency(
     seed: int = 42,
     scale: float = 0.25,
 ) -> ConcurrencyResult:
-    """Aggregate throughput with N concurrent clients on one datastore.
+    """J-X2: read-only throughput with N concurrent clients (extension).
 
-    Extension beyond the paper's single-user runs. The embedded engines
-    are pure Python, so the GIL serialises CPU work — the experiment
-    therefore measures *contention behaviour* (fairness and aggregate
-    throughput stability), not parallel speedup, and the report says so.
+    Each client replays one deterministic macro scenario on its own
+    DB-API connection via the :mod:`repro.workload` client harness, which
+    also collects per-client latency histograms from the scenario step
+    timings. The embedded engines are pure Python, so the GIL serialises
+    CPU work — the experiment therefore measures *contention behaviour*
+    (fairness and aggregate throughput stability), not parallel speedup,
+    and the report says so.
     """
-    import threading
-
     from repro.core.macro import SCENARIOS_BY_NAME
+    from repro.workload import run_client_threads
 
     dataset = generate(seed=seed, scale=scale)
     db = Database(engine)
     dataset.load_into(db)
     result = ConcurrencyResult(scenario=scenario_name, engine=engine)
     for clients in clients_series:
-        outcomes: List[Any] = [None] * clients
 
-        def worker(slot: int) -> None:
-            conn = connect(database=db)
+        def body(conn, report) -> None:
             scenario = SCENARIOS_BY_NAME[scenario_name]()
-            outcomes[slot] = scenario.run(
-                conn, dataset, seed=seed + slot, engine_name=engine
+            outcome = scenario.run(
+                conn, dataset, seed=seed + report.client_id,
+                engine_name=engine,
             )
+            report.ops += outcome.executed
+            report.reads += outcome.executed
+            for step in outcome.steps:
+                if not step.skipped:
+                    report.latency.observe(step.seconds)
 
-        threads = [
-            threading.Thread(target=worker, args=(slot,))
-            for slot in range(clients)
-        ]
-        start = time.perf_counter()
-        for thread in threads:
-            thread.start()
-        for thread in threads:
-            thread.join()
-        wall = time.perf_counter() - start
-        total_queries = sum(o.executed for o in outcomes)
+        wall, reports = run_client_threads(db, clients, body)
+        total_queries = sum(report.ops for report in reports)
         qpm = 60.0 * total_queries / wall if wall else 0.0
         result.points.append((clients, wall, total_queries, qpm))
     return result
@@ -449,6 +446,84 @@ def render_concurrency(result: ConcurrencyResult) -> str:
     for clients, wall, total, qpm in result.points:
         lines.append(
             f"{clients:>8d} {wall:>9.2f}s {total:>9d} {qpm:>10.0f}"
+        )
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# J-X4 (extension): mixed read/write throughput and abort rate
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class MixedThroughputResult:
+    engine: str
+    mix: str
+    # [(clients, wall_s, ops, qpm, commits, aborts, retries, abort_rate)]
+    points: List[Tuple[int, float, int, float, int, int, int, float]] = field(
+        default_factory=list
+    )
+
+
+def run_mixed_workload(
+    engine: str = "greenwood",
+    clients_series: Sequence[int] = (1, 2, 4),
+    seed: int = 42,
+    scale: float = 0.25,
+    duration: float = 2.0,
+    mix: str = "mixed",
+) -> MixedThroughputResult:
+    """J-X4: mixed read/write throughput and abort rate vs client count.
+
+    The :mod:`repro.workload` driver replays the 80/20 read/write mix in
+    a closed loop against one shared datastore; write transactions that
+    lose a first-updater-wins conflict abort with
+    :class:`~repro.errors.SerializationError` and are retried with
+    backoff. The reported abort rate is the real cost of optimistic
+    snapshot-isolation writers under contention — the dimension the
+    paper's single-user runs cannot see.
+    """
+    from repro.workload import WorkloadConfig, run_workload
+
+    dataset = generate(seed=seed, scale=scale)
+    db = Database(engine)
+    dataset.load_into(db)
+    result = MixedThroughputResult(engine=engine, mix=mix)
+    for clients in clients_series:
+        config = WorkloadConfig(
+            clients=clients, duration=duration, mix=mix, engine=engine,
+            seed=seed, scale=scale,
+        )
+        report = run_workload(config, database=db)
+        result.points.append((
+            clients,
+            report.wall_seconds,
+            report.total_ops,
+            report.queries_per_minute,
+            report.total_commits,
+            report.total_aborts,
+            report.total_retries,
+            report.abort_rate,
+        ))
+    return result
+
+
+def render_mixed_workload(result: MixedThroughputResult) -> str:
+    lines = [
+        f"== J-X4 (extension): mixed read/write workload, "
+        f"{result.mix} mix on {result.engine} ==",
+        "(snapshot isolation, first-updater-wins: aborted writers retry",
+        " with backoff; the GIL serialises CPU work, so read throughput",
+        " measures contention behaviour, not parallel speedup)",
+        f"{'clients':>8s} {'wall':>8s} {'ops':>7s} {'agg q/min':>10s} "
+        f"{'commits':>8s} {'aborts':>7s} {'retries':>8s} {'abort %':>8s}",
+    ]
+    for (clients, wall, ops, qpm, commits, aborts, retries,
+         abort_rate) in result.points:
+        lines.append(
+            f"{clients:>8d} {wall:>7.2f}s {ops:>7d} {qpm:>10.0f} "
+            f"{commits:>8d} {aborts:>7d} {retries:>8d} "
+            f"{abort_rate:>7.1%}"
         )
     return "\n".join(lines)
 

@@ -35,6 +35,7 @@ from repro.errors import (
     QueryCancelledError,
     QueryTimeoutError,
     ReproError,
+    SerializationError,
     SqlError,
     SqlPlanError,
     SqlProgrammingError,
@@ -87,6 +88,7 @@ ERROR_MAP = {
     MemoryBudgetError: OperationalError,
     TransientError: OperationalError,
     InjectedFaultError: OperationalError,
+    SerializationError: OperationalError,
     DumpCorruptionError: IntegrityError,
     InterfaceError: InterfaceError,
 }

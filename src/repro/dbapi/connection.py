@@ -7,6 +7,7 @@ from typing import Any, Iterator, List, Optional, Sequence, Tuple
 from repro.engines.database import Database, ResultSet
 from repro.errors import SqlError
 from repro.guard import CancelToken, Guardrails
+from repro.txn import Session
 
 
 class InterfaceError(SqlError):
@@ -49,17 +50,34 @@ class Connection:
         self.guardrails = Guardrails(
             timeout=timeout, max_rows=max_rows, max_bytes=max_bytes
         )
+        #: per-connection transaction state; statements run auto-commit
+        #: until ``BEGIN`` opens a transaction on this session
+        self.session = Session()
         self._closed = False
 
-    # transactions are no-ops: the embedded engine is auto-commit
     def commit(self) -> None:
+        """Commit the open transaction; a no-op in auto-commit mode (no
+        ``BEGIN`` was issued), per PEP 249 convention."""
         self._check_open()
+        if self.session.txn is not None:
+            self.database.execute("COMMIT", session=self.session)
 
     def rollback(self) -> None:
+        """Roll back the open transaction; a no-op in auto-commit mode."""
         self._check_open()
+        if self.session.txn is not None:
+            self.database.execute("ROLLBACK", session=self.session)
 
     def close(self) -> None:
+        # PEP 249: closing with a pending transaction rolls it back
+        if not self._closed and self.session.txn is not None:
+            self.database.execute("ROLLBACK", session=self.session)
         self._closed = True
+
+    @property
+    def in_transaction(self) -> bool:
+        """Whether a ``BEGIN`` is open on this connection (sqlite3-style)."""
+        return self.session.txn is not None
 
     def cursor(self) -> "Cursor":
         self._check_open()
@@ -151,6 +169,7 @@ class Cursor:
                 max_bytes if max_bytes is not None else defaults.max_bytes
             ),
             cancel=cancel,
+            session=self.connection.session,
         )
         self._position = 0
         return self
@@ -161,7 +180,9 @@ class Cursor:
         self._check_open()
         total = 0
         for params in seq_of_params:
-            result = self.connection.database.execute(sql, params)
+            result = self.connection.database.execute(
+                sql, params, session=self.connection.session
+            )
             total += result.rowcount
         self._result = ResultSet([], [], total)
         self._position = 0

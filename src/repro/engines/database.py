@@ -5,10 +5,19 @@ profile. It executes parsed statements and returns result sets. The three
 benchmarked engines are the same machinery instantiated with the three
 profiles — exactly the paper's setup of "one benchmark, N JDBC targets",
 with profiles standing in for distinct server products.
+
+Concurrency model (see ``docs/CONCURRENCY.md``): physical access runs
+under a per-statement readers-writer latch (SELECTs shared, everything
+else exclusive), while *isolation* comes from the snapshot-isolation
+MVCC layer in :mod:`repro.txn` — row versions stamped with xmin/xmax,
+per-connection sessions, and first-updater-wins row write locks. With no
+transaction open anywhere the engine stays on the pre-MVCC fast path:
+no version arrays, no visibility checks, auto-commit semantics.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Any, List, Optional, Sequence, Tuple
 
@@ -17,7 +26,10 @@ from repro.errors import (
     GuardrailError,
     QueryCancelledError,
     QueryTimeoutError,
+    ReproError,
+    SerializationError,
     SqlPlanError,
+    SqlProgrammingError,
 )
 from repro.faults import FAULTS
 from repro.geometry.base import Geometry
@@ -29,9 +41,11 @@ from repro.sql import ast
 from repro.sql.executor import Compiler, ExecContext, Scope, SpanNode, Stats
 from repro.sql.functions import FunctionRegistry
 from repro.sql.parser import parse
-from repro.sql.planner import Planner
+from repro.sql.planner import Planner, is_txn_control
 from repro.storage.catalog import Catalog, IndexEntry
 from repro.storage.table import Column, ColumnType, Table
+from repro.txn import ACTIVE, Session, TxnManager, Transaction
+from repro.txn.locks import SharedExclusiveLock
 
 
 class ResultSet:
@@ -80,6 +94,19 @@ class Database:
         self._planner = Planner(self.catalog, self.registry, self.profile)
         self._plan_cache: "OrderedDict[str, tuple]" = OrderedDict()
         self._parse_cache: "OrderedDict[str, ast.Statement]" = OrderedDict()
+        #: the MVCC transaction manager (txn ids, snapshots, row locks)
+        self.txn = TxnManager(self)
+        # per-statement physical latch: SELECT shared, mutation exclusive;
+        # never held across statements (isolation is the txn layer's job)
+        self._latch = SharedExclusiveLock()
+        # default session for direct Database callers; each DB-API
+        # connection carries its own (transactions are per-session)
+        self._session = Session()
+        # LRU caches and the shared Stats object are mutated from every
+        # client thread; statements run on private Stats shards that are
+        # folded in under _stats_lock when the statement finishes
+        self._cache_lock = threading.Lock()
+        self._stats_lock = threading.Lock()
 
     # -- public API --------------------------------------------------------
 
@@ -99,7 +126,8 @@ class Database:
                 f"expected one of {', '.join(JOIN_STRATEGIES)}"
             )
         self._planner.join_strategy = strategy
-        self._plan_cache.clear()
+        with self._cache_lock:
+            self._plan_cache.clear()
 
     def last_trace(self) -> Optional[Trace]:
         """The most recent statement trace (requires ``obs.enable_tracing()``)."""
@@ -114,6 +142,7 @@ class Database:
         max_rows: Optional[int] = None,
         max_bytes: Optional[int] = None,
         cancel: Optional[CancelToken] = None,
+        session: Optional[Session] = None,
     ) -> ResultSet:
         """Parse and run one statement (parse results and SELECT plans are
         cached per SQL text with LRU eviction, the way a driver reuses
@@ -125,46 +154,122 @@ class Database:
         :class:`MemoryBudgetError` or :class:`QueryCancelledError`. The
         failed statement leaves no cached plan poisoned — plans cache the
         *strategy*, never results.
+
+        ``session`` carries per-connection transaction state; without
+        one, the database's default session is used. Any
+        :class:`ReproError` raised mid-statement while the session has an
+        open transaction — a guardrail deadline, a serialization
+        conflict, an injected fault — aborts that transaction before the
+        error propagates, so a failed statement never leaves a
+        half-applied transaction behind.
         """
+        if session is None:
+            session = self._session
         guard = self.guardrails.start(
             timeout=timeout, max_rows=max_rows, max_bytes=max_bytes,
             cancel=cancel,
         )
-        if self.obs.active:
-            return self._execute_observed(sql, params, guard)
         statement = self._parse_statement(sql)
+        if is_txn_control(statement):
+            with self._latch.exclusive():
+                return self._run_txn_control(statement, session)
+        try:
+            if self.obs.active:
+                return self._execute_observed(
+                    sql, statement, params, guard, session
+                )
+            return self._execute_plain(sql, statement, params, guard, session)
+        except ReproError:
+            self._abort_session(session)
+            raise
+
+    def _execute_plain(
+        self,
+        sql: str,
+        statement: ast.Statement,
+        params: Sequence[Any],
+        guard: Optional[ExecutionGuard],
+        session: Session,
+    ) -> ResultSet:
         if isinstance(statement, ast.Select):
-            cached = self._plan_cache.get(sql)
-            if cached is None:
-                self.stats.plan_cache_misses += 1
-                cached = self._planner.plan_select(statement)
-                if len(self._plan_cache) >= self.PLAN_CACHE_SIZE:
-                    self._plan_cache.popitem(last=False)
-                self._plan_cache[sql] = cached
-            else:
-                self.stats.plan_cache_hits += 1
-                self._plan_cache.move_to_end(sql)
-            plan, names = cached
-            ctx = ExecContext(
-                tuple(params), self.profile, self.registry, self.catalog,
-                self.stats, guard,
-            )
-            return ResultSet(names, self._collect(plan, ctx))
+            shard = Stats()
+            with self._latch.shared():
+                plan, names = self._cached_plan(sql, statement, shard)
+                ctx = ExecContext(
+                    tuple(params), self.profile, self.registry, self.catalog,
+                    shard, guard, self._snapshot_for(session),
+                )
+                try:
+                    rows = self._collect(plan, ctx)
+                finally:
+                    self._merge_stats(shard)
+            return ResultSet(names, rows)
         # any non-SELECT may change schema or data layout: flush plans
-        self._plan_cache.clear()
-        return self.execute_statement(statement, params, guard=guard)
+        with self._latch.exclusive():
+            with self._cache_lock:
+                self._plan_cache.clear()
+            return self.execute_statement(
+                statement, params, guard=guard, session=session
+            )
 
     def _parse_statement(self, sql: str) -> ast.Statement:
         """LRU-cached parse of one SQL text."""
-        statement = self._parse_cache.get(sql)
-        if statement is None:
-            statement = parse(sql)
+        with self._cache_lock:
+            statement = self._parse_cache.get(sql)
+            if statement is not None:
+                self._parse_cache.move_to_end(sql)
+                return statement
+        statement = parse(sql)
+        with self._cache_lock:
             if len(self._parse_cache) >= self.PLAN_CACHE_SIZE:
                 self._parse_cache.popitem(last=False)
             self._parse_cache[sql] = statement
-        else:
-            self._parse_cache.move_to_end(sql)
         return statement
+
+    def _cached_plan(
+        self, sql: str, statement: ast.Select, stats: Stats
+    ) -> tuple:
+        """LRU-cached SELECT plan; hit/miss counters land on the caller's
+        per-statement shard (never the shared Stats, which would race)."""
+        with self._cache_lock:
+            cached = self._plan_cache.get(sql)
+            if cached is not None:
+                stats.plan_cache_hits += 1
+                self._plan_cache.move_to_end(sql)
+                return cached
+        stats.plan_cache_misses += 1
+        cached = self._planner.plan_select(statement)
+        with self._cache_lock:
+            existing = self._plan_cache.get(sql)
+            if existing is not None:
+                return existing
+            if len(self._plan_cache) >= self.PLAN_CACHE_SIZE:
+                self._plan_cache.popitem(last=False)
+            self._plan_cache[sql] = cached
+        return cached
+
+    def _merge_stats(self, shard: Stats) -> None:
+        with self._stats_lock:
+            self.stats.merge(shard)
+
+    def _snapshot_for(self, session: Session):
+        """The statement's MVCC snapshot: the open transaction's, a fresh
+        single-statement snapshot while other transactions are active, or
+        ``None`` on the no-transactions fast path."""
+        txn = session.txn
+        if txn is not None:
+            return txn.snapshot
+        return self.txn.read_snapshot()
+
+    def _abort_session(self, session: Session) -> None:
+        """Roll back the session's open transaction (statement failed)."""
+        txn = session.txn
+        if txn is None:
+            return
+        session.txn = None
+        with self._latch.exclusive():
+            if txn.status is ACTIVE:
+                self.txn.rollback(txn)
 
     def _collect(self, plan, ctx: ExecContext) -> List[tuple]:
         """Drain a SELECT plan, counting guardrail trips on the way out."""
@@ -192,16 +297,21 @@ class Database:
             ).inc()
 
     def _execute_observed(
-        self, sql: str, params: Sequence[Any],
-        guard: Optional[ExecutionGuard] = None,
+        self,
+        sql: str,
+        statement: ast.Statement,
+        params: Sequence[Any],
+        guard: Optional[ExecutionGuard],
+        session: Session,
     ) -> ResultSet:
-        """The instrumented twin of :meth:`execute`.
+        """The instrumented twin of :meth:`_execute_plain`.
 
         Runs whenever any observability feature is on: fires hooks,
-        times the statement, snapshots per-statement engine-counter
-        deltas, and — when span capture is wanted — plans SELECTs afresh
-        under a :class:`~repro.sql.executor.SpanNode` tree (span wrapping
-        mutates the plan, so cached plans are never traced).
+        times the statement, reads per-statement engine-counter deltas
+        off the statement's private Stats shard, and — when span capture
+        is wanted — plans SELECTs afresh under a
+        :class:`~repro.sql.executor.SpanNode` tree (span wrapping mutates
+        the plan, so cached plans are never traced).
         """
         import time as _time
 
@@ -209,48 +319,45 @@ class Database:
         params_tuple = tuple(params)
         if obs.hooks.query_start:
             obs.hooks.fire_query_start(sql, params_tuple)
-        statement = self._parse_statement(sql)
-        before = self.stats.snapshot()
+        shard = Stats()
         started_at = _time.time()
         start = _time.perf_counter()
         root = None
-        if isinstance(statement, ast.Select) and obs.capture_spans:
-            plan, names = self._planner.plan_select(statement)
-            on_close = (
-                obs.hooks.fire_operator_close
-                if obs.hooks.operator_close else None
-            )
-            wrapped = SpanNode(plan, on_close)
-            ctx = ExecContext(
-                params_tuple, self.profile, self.registry, self.catalog,
-                self.stats, guard,
-            )
-            result = ResultSet(names, self._collect(wrapped, ctx))
-            root = wrapped.span
-        elif isinstance(statement, ast.Select):
-            cached = self._plan_cache.get(sql)
-            if cached is None:
-                self.stats.plan_cache_misses += 1
-                cached = self._planner.plan_select(statement)
-                if len(self._plan_cache) >= self.PLAN_CACHE_SIZE:
-                    self._plan_cache.popitem(last=False)
-                self._plan_cache[sql] = cached
+        try:
+            if isinstance(statement, ast.Select) and obs.capture_spans:
+                with self._latch.shared():
+                    plan, names = self._planner.plan_select(statement)
+                    on_close = (
+                        obs.hooks.fire_operator_close
+                        if obs.hooks.operator_close else None
+                    )
+                    wrapped = SpanNode(plan, on_close)
+                    ctx = ExecContext(
+                        params_tuple, self.profile, self.registry,
+                        self.catalog, shard, guard,
+                        self._snapshot_for(session),
+                    )
+                    result = ResultSet(names, self._collect(wrapped, ctx))
+                    root = wrapped.span
+            elif isinstance(statement, ast.Select):
+                with self._latch.shared():
+                    plan, names = self._cached_plan(sql, statement, shard)
+                    ctx = ExecContext(
+                        params_tuple, self.profile, self.registry,
+                        self.catalog, shard, guard,
+                        self._snapshot_for(session),
+                    )
+                    result = ResultSet(names, self._collect(plan, ctx))
             else:
-                self.stats.plan_cache_hits += 1
-                self._plan_cache.move_to_end(sql)
-            plan, names = cached
-            ctx = ExecContext(
-                params_tuple, self.profile, self.registry, self.catalog,
-                self.stats, guard,
-            )
-            result = ResultSet(names, self._collect(plan, ctx))
-        else:
-            self._plan_cache.clear()
-            result = self.execute_statement(
-                statement, params_tuple, guard=guard
-            )
+                with self._latch.exclusive():
+                    with self._cache_lock:
+                        self._plan_cache.clear()
+                    result = self._dispatch_statement(
+                        statement, params_tuple, guard, session, shard
+                    )
+        finally:
+            self._merge_stats(shard)
         elapsed = _time.perf_counter() - start
-        after = self.stats.snapshot()
         trace = Trace(
             sql=sql,
             engine=self.profile.name,
@@ -259,9 +366,9 @@ class Database:
             started_at=started_at,
             rows=result.rowcount,
             counters={
-                key: value - before[key]
-                for key, value in after.items()
-                if value != before[key]
+                key: value
+                for key, value in shard.snapshot().items()
+                if value
             },
             root=root,
         )
@@ -271,15 +378,36 @@ class Database:
     def execute_statement(
         self, statement: ast.Statement, params: Sequence[Any] = (),
         guard: Optional[ExecutionGuard] = None,
+        session: Optional[Session] = None,
+    ) -> ResultSet:
+        if session is None:
+            session = self._session
+        shard = Stats()
+        try:
+            return self._dispatch_statement(
+                statement, tuple(params), guard, session, shard
+            )
+        finally:
+            self._merge_stats(shard)
+
+    def _dispatch_statement(
+        self,
+        statement: ast.Statement,
+        params: Tuple[Any, ...],
+        guard: Optional[ExecutionGuard],
+        session: Session,
+        shard: Stats,
     ) -> ResultSet:
         if isinstance(statement, ast.Select):
-            return self._run_select(statement, params, guard)
-        if isinstance(statement, ast.Insert):
-            return self._run_insert(statement, params)
-        if isinstance(statement, ast.Delete):
-            return self._run_delete(statement, params)
-        if isinstance(statement, ast.Update):
-            return self._run_update(statement, params)
+            ctx = ExecContext(
+                params, self.profile, self.registry, self.catalog,
+                shard, guard, self._snapshot_for(session),
+            )
+            return self._run_select(statement, ctx)
+        if isinstance(statement, (ast.Insert, ast.Delete, ast.Update)):
+            return self._run_dml(statement, params, guard, session, shard)
+        if isinstance(statement, (ast.Begin, ast.Commit, ast.Rollback)):
+            return self._run_txn_control(statement, session)
         if isinstance(statement, ast.CreateTable):
             return self._run_create_table(statement)
         if isinstance(statement, ast.CreateSpatialIndex):
@@ -293,6 +421,128 @@ class Database:
         if isinstance(statement, ast.Analyze):
             return self._run_analyze(statement)
         raise SqlPlanError(f"unsupported statement {type(statement).__name__}")
+
+    # -- transactions ------------------------------------------------------
+
+    def _run_txn_control(
+        self, statement: ast.Statement, session: Session
+    ) -> ResultSet:
+        """BEGIN / COMMIT / ROLLBACK against the session's transaction.
+
+        COMMIT and ROLLBACK with no open transaction are no-ops (PEP 249
+        connections call ``commit()`` freely in auto-commit flows). A
+        COMMIT that fails mid-flight — e.g. an injected ``txn.commit``
+        fault — rolls the transaction back before re-raising, so the
+        session is never left wedged on a half-committed transaction.
+        """
+        if isinstance(statement, ast.Begin):
+            if session.txn is not None:
+                raise SqlProgrammingError(
+                    "a transaction is already in progress"
+                )
+            session.txn = self.txn.begin()
+            return ResultSet([], [], 0)
+        txn = session.txn
+        if txn is None:
+            return ResultSet([], [], 0)
+        session.txn = None
+        if isinstance(statement, ast.Commit):
+            try:
+                self.txn.commit(txn)
+            except BaseException:
+                if txn.status is ACTIVE:
+                    self.txn.rollback(txn)
+                raise
+        else:
+            self.txn.rollback(txn)
+        return ResultSet([], [], 0)
+
+    def _run_dml(
+        self,
+        statement: ast.Statement,
+        params: Tuple[Any, ...],
+        guard: Optional[ExecutionGuard],
+        session: Session,
+        shard: Stats,
+    ) -> ResultSet:
+        """INSERT/DELETE/UPDATE, transactional when it has to be.
+
+        Outside a transaction the statement runs on the legacy in-place
+        path *unless* other transactions are open somewhere — then it
+        wraps itself in an implicit single-statement transaction so open
+        snapshots keep the versions they are entitled to.
+        """
+        txn = session.txn
+        implicit = False
+        if txn is None and self.txn.active_count:
+            txn = self.txn.begin()
+            implicit = True
+        snapshot = txn.snapshot if txn is not None else None
+        ctx = ExecContext(
+            params, self.profile, self.registry, self.catalog,
+            shard, guard, snapshot,
+        )
+        try:
+            if isinstance(statement, ast.Insert):
+                result = self._run_insert(statement, ctx, txn)
+            elif isinstance(statement, ast.Delete):
+                result = self._run_delete(statement, ctx, txn)
+            else:
+                result = self._run_update(statement, ctx, txn)
+            if implicit:
+                self.txn.commit(txn)
+            return result
+        except BaseException:
+            if implicit and txn.status is ACTIVE:
+                self.txn.rollback(txn)
+            raise
+
+    def _lock_row_for_write(
+        self, table: Table, row_id: int, txn: Transaction
+    ) -> None:
+        """Take the row write lock, then decide the write conflict.
+
+        First-updater-wins: after the lock is ours, a ``xmax`` stamped by
+        *another* transaction can only come from one that already
+        committed (an active writer would still hold the lock; an aborted
+        one clears its stamps during rollback) — so finding one means we
+        lost the race and must abort. While blocked on a contended lock
+        the database latch is released, letting the current owner commit
+        or roll back; timeouts surface as :class:`SerializationError`
+        (deadlock detection by timeout).
+        """
+        locks = self.txn.locks
+        key = (table.name, row_id)
+        if not locks.try_acquire(key, txn.txid):
+            self._latch.release_exclusive()
+            try:
+                try:
+                    waited = locks.acquire(
+                        key, txn.txid, self.txn.lock_timeout
+                    )
+                except SerializationError:
+                    self.txn.conflict_counter().inc()
+                    raise
+            finally:
+                self._latch.acquire_exclusive()
+            self.txn.lock_wait_histogram().observe(waited)
+        row = table.rows[row_id]
+        if row is None:
+            self.txn.conflict_counter().inc()
+            raise SerializationError(
+                f"row {row_id} of {table.name!r} was deleted by a "
+                f"concurrent transaction"
+            )
+        if table.mvcc_versions:
+            _xmin, xmax_arr = table.version_arrays()
+            xmax = xmax_arr[row_id]
+            if xmax and xmax != txn.txid:
+                self.txn.conflict_counter().inc()
+                raise SerializationError(
+                    f"write-write conflict on row {row_id} of "
+                    f"{table.name!r}: already written by committed "
+                    f"transaction {xmax}"
+                )
 
     def _run_analyze(self, stmt: ast.Analyze) -> ResultSet:
         """Recompute geometry-column statistics (bounds, sizes, histograms)
@@ -327,38 +577,36 @@ class Database:
             raise SqlPlanError("EXPLAIN ANALYZE supports SELECT statements only")
         plan, _names = self._planner.plan_select(statement)
         wrapped = SpanNode(plan)
-        ctx = ExecContext(
-            tuple(params), self.profile, self.registry, self.catalog,
-            self.stats,
-        )
-        emitted = sum(1 for _row in wrapped.rows(ctx))
+        shard = Stats()
+        with self._latch.shared():
+            ctx = ExecContext(
+                tuple(params), self.profile, self.registry, self.catalog,
+                shard, None, self._snapshot_for(self._session),
+            )
+            try:
+                emitted = sum(1 for _row in wrapped.rows(ctx))
+            finally:
+                self._merge_stats(shard)
         lines = wrapped.explain()
         lines.append(f"Total output rows: {emitted}")
         return "\n".join(lines)
 
     # -- statement runners -----------------------------------------------------
 
-    def _run_select(
-        self, stmt: ast.Select, params: Sequence[Any],
-        guard: Optional[ExecutionGuard] = None,
-    ) -> ResultSet:
+    def _run_select(self, stmt: ast.Select, ctx: ExecContext) -> ResultSet:
         plan, names = self._planner.plan_select(stmt)
-        ctx = ExecContext(
-            tuple(params), self.profile, self.registry, self.catalog,
-            self.stats, guard,
-        )
         return ResultSet(names, self._collect(plan, ctx))
 
-    def _run_insert(self, stmt: ast.Insert, params: Sequence[Any]) -> ResultSet:
+    def _run_insert(
+        self, stmt: ast.Insert, ctx: ExecContext,
+        txn: Optional[Transaction] = None,
+    ) -> ResultSet:
         table = self.catalog.table(stmt.table)
         if stmt.columns is None:
             positions = list(range(len(table.columns)))
         else:
             positions = [table.column_index(c) for c in stmt.columns]
         compiler = Compiler(Scope(), self.registry, self.profile)
-        ctx = ExecContext(
-            tuple(params), self.profile, self.registry, self.catalog, self.stats
-        )
         # statement atomicity: evaluate and type-check every row before
         # touching the heap, so a failure in row k leaves nothing behind
         pending: List[List[Any]] = []
@@ -377,27 +625,33 @@ class Database:
             tuple(_coerce(v, col) for v, col in zip(vals, table.columns))
             for vals in pending
         ]
+        xmin = txn.txid if txn is not None else 0
         for values in coerced:
-            self._insert_one(table, values)
+            row_id = self._insert_one(table, values, xmin=xmin)
+            if txn is not None:
+                txn.record_insert(table, row_id)
         return ResultSet([], [], len(coerced))
 
     def insert_rows(self, table_name: str, rows: Sequence[Sequence[Any]]) -> int:
         """Bulk insert of Python values (the fast path the loader uses)."""
         table = self.catalog.table(table_name)
         count = 0
-        for values in rows:
-            self._insert_one(table, values)
-            count += 1
+        with self._latch.exclusive():
+            for values in rows:
+                self._insert_one(table, values)
+                count += 1
         return count
 
-    def _insert_one(self, table: Table, values: Sequence[Any]) -> int:
+    def _insert_one(
+        self, table: Table, values: Sequence[Any], xmin: int = 0
+    ) -> int:
         """Heap insert + index maintenance; the heap row is rolled back if
         index maintenance fails, keeping heap and indexes consistent."""
-        row_id = table.insert_row(values)
+        row_id = table.insert_row(values, xmin=xmin)
         try:
             self._index_insert(table, row_id)
         except Exception:
-            table.delete_row(row_id)
+            table.rollback_insert(row_id)
             raise
         return row_id
 
@@ -414,42 +668,56 @@ class Database:
             if isinstance(geom, Geometry):
                 entry.index.insert(row_id, geom.envelope)
 
-    def _run_delete(self, stmt: ast.Delete, params: Sequence[Any]) -> ResultSet:
+    def _index_remove(self, table: Table, row_id: int) -> None:
+        """Drop one heap row's entries from every index on its table."""
+        row = table.rows[row_id]
+        if row is None:
+            return
+        for entry in self.catalog.indexes():
+            if entry.table_name != table.name:
+                continue
+            idx = table.column_index(entry.column_name)
+            geom = row[idx]
+            if isinstance(geom, Geometry):
+                entry.index.remove(row_id, geom.envelope)
+
+    def _run_delete(
+        self, stmt: ast.Delete, ctx: ExecContext,
+        txn: Optional[Transaction] = None,
+    ) -> ResultSet:
         table = self.catalog.table(stmt.table)
         scope = Scope()
         scope.add(stmt.table, table)
-        ctx = ExecContext(
-            tuple(params), self.profile, self.registry, self.catalog, self.stats
-        )
         predicate = None
         if stmt.where is not None:
             predicate = Compiler(scope, self.registry, self.profile).compile(
                 stmt.where
             )
         doomed: List[int] = []
-        for row_id, row in table.scan():
+        for row_id, row in table.scan(ctx.snapshot):
             if predicate is None or predicate({table.name: row}, ctx) is True:
                 doomed.append(row_id)
+        if txn is None:
+            for row_id in doomed:
+                self._index_remove(table, row_id)
+                table.delete_row(row_id)
+            return ResultSet([], [], len(doomed))
+        # MVCC delete: stamp xmax and keep the version (and its index
+        # entries) readable for older snapshots until vacuum
         for row_id in doomed:
-            row = table.get_row(row_id)
-            for entry in self.catalog.indexes():
-                if entry.table_name != table.name:
-                    continue
-                idx = table.column_index(entry.column_name)
-                geom = row[idx]
-                if isinstance(geom, Geometry):
-                    entry.index.remove(row_id, geom.envelope)
-            table.delete_row(row_id)
+            self._lock_row_for_write(table, row_id, txn)
+            table.mark_deleted(row_id, txn.txid)
+            txn.record_delete(table, row_id)
         return ResultSet([], [], len(doomed))
 
-    def _run_update(self, stmt: ast.Update, params: Sequence[Any]) -> ResultSet:
+    def _run_update(
+        self, stmt: ast.Update, ctx: ExecContext,
+        txn: Optional[Transaction] = None,
+    ) -> ResultSet:
         table = self.catalog.table(stmt.table)
         scope = Scope()
         scope.add(stmt.table, table)
         compiler = Compiler(scope, self.registry, self.profile)
-        ctx = ExecContext(
-            tuple(params), self.profile, self.registry, self.catalog, self.stats
-        )
         predicate = (
             compiler.compile(stmt.where) if stmt.where is not None else None
         )
@@ -463,13 +731,22 @@ class Database:
         # two-phase for statement atomicity: evaluate first, apply after
         pending: List[Tuple[int, list]] = []
         alias = table.name
-        for row_id, row in table.scan():
+        for row_id, row in table.scan(ctx.snapshot):
             if predicate is not None and predicate({alias: row}, ctx) is not True:
                 continue
             values = list(row)
             for position, value_fn in assignments:
                 values[position] = value_fn({alias: row}, ctx)
             pending.append((row_id, values))
+        if txn is not None:
+            # MVCC update = insert the new version + delete-stamp the old
+            # one; probes filter the superseded version by visibility
+            for row_id, values in pending:
+                self._lock_row_for_write(table, row_id, txn)
+                new_id = self._insert_one(table, values, xmin=txn.txid)
+                table.mark_deleted(row_id, txn.txid)
+                txn.record_update(table, row_id, new_id)
+            return ResultSet([], [], len(pending))
         for row_id, values in pending:
             old_row = table.get_row(row_id)
             table.update_row(row_id, values)

@@ -97,6 +97,17 @@ class InjectedFaultError(TransientError):
     """Raised by an armed :mod:`repro.faults` failure point."""
 
 
+class SerializationError(TransientError):
+    """A transaction lost a write-write conflict (first-updater-wins) or
+    timed out waiting for a row lock (the deadlock-detection fallback).
+
+    Subclasses :class:`TransientError` on purpose: aborting and retrying
+    the whole transaction is the standard client response under snapshot
+    isolation, and the benchmark harness's retry-with-backoff path picks
+    these up unchanged.
+    """
+
+
 class DumpCorruptionError(EngineError):
     """A dump file failed validation (bad checksum, torn record, ...)."""
 

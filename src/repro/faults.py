@@ -18,6 +18,7 @@ disarmed registry costs one attribute read per site.
 from __future__ import annotations
 
 import random
+import threading
 from contextlib import contextmanager
 from typing import Dict, Iterator, Optional, Tuple, Type
 
@@ -31,6 +32,7 @@ FAULT_POINTS: Dict[str, str] = {
     "geometry.refine": "EngineProfile.evaluate_predicate refinement",
     "dump.write": "per dump record written by dump_database",
     "dump.read": "per dump record parsed by restore_database",
+    "txn.commit": "TxnManager.commit, before any commit state changes",
 }
 
 
@@ -78,6 +80,9 @@ class FaultRegistry:
         #: precomputed "anything armed?" flag read by hot call sites
         self.active = False
         self.fired_total = 0
+        # serialises trigger state (call counts, rng draws) under the
+        # concurrent workload driver; disarmed call sites never take it
+        self._mutex = threading.Lock()
 
     # -- configuration -----------------------------------------------------
 
@@ -170,11 +175,12 @@ class FaultRegistry:
         """
         if not self.active:
             return
-        arm = self._arms.get(site)
-        if arm is None or not arm.should_fire():
-            return
-        arm.fired += 1
-        self.fired_total += 1
+        with self._mutex:
+            arm = self._arms.get(site)
+            if arm is None or not arm.should_fire():
+                return
+            arm.fired += 1
+            self.fired_total += 1
         from repro.obs.metrics import GLOBAL
 
         GLOBAL.counter(

@@ -13,7 +13,14 @@ cost (they are read live at render time).
 from __future__ import annotations
 
 import math
+import threading
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: one process-wide lock for metric mutation and get-or-create: metrics
+#: are updated from every workload client thread, and a plain ``+=`` on
+#: an int attribute is not atomic. Reentrant because updates cascade to
+#: parent registries under the same lock.
+_LOCK = threading.RLock()
 
 #: default latency buckets in seconds (10us .. 10s, roughly log-spaced)
 DEFAULT_BUCKETS: Tuple[float, ...] = (
@@ -36,9 +43,10 @@ class Counter:
         self._parent = parent
 
     def inc(self, amount: int = 1) -> None:
-        self.value += amount
-        if self._parent is not None:
-            self._parent.inc(amount)
+        with _LOCK:
+            self.value += amount
+            if self._parent is not None:
+                self._parent.inc(amount)
 
 
 class Gauge:
@@ -54,14 +62,16 @@ class Gauge:
         self._parent = parent
 
     def set(self, value: float) -> None:
-        self.value = float(value)
-        if self._parent is not None:
-            self._parent.set(value)
+        with _LOCK:
+            self.value = float(value)
+            if self._parent is not None:
+                self._parent.set(value)
 
     def inc(self, amount: float = 1.0) -> None:
-        self.value += amount
-        if self._parent is not None:
-            self._parent.inc(amount)
+        with _LOCK:
+            self.value += amount
+            if self._parent is not None:
+                self._parent.inc(amount)
 
 
 class Histogram:
@@ -90,20 +100,21 @@ class Histogram:
         self._parent = parent
 
     def observe(self, value: float) -> None:
-        self.count += 1
-        self.sum += value
-        if value < self.min:
-            self.min = value
-        if value > self.max:
-            self.max = value
-        for i, bound in enumerate(self.buckets):
-            if value <= bound:
-                self.counts[i] += 1
-                break
-        else:
-            self.counts[-1] += 1
-        if self._parent is not None:
-            self._parent.observe(value)
+        with _LOCK:
+            self.count += 1
+            self.sum += value
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    self.counts[i] += 1
+                    break
+            else:
+                self.counts[-1] += 1
+            if self._parent is not None:
+                self._parent.observe(value)
 
     @property
     def mean(self) -> float:
@@ -159,31 +170,45 @@ class MetricsRegistry:
     def counter(self, name: str, help: str = "") -> Counter:
         metric = self._counters.get(name)
         if metric is None:
-            parent = (
-                self.parent.counter(name, help) if self.parent else None
-            )
-            metric = Counter(name, help, parent=parent)
-            self._counters[name] = metric
+            with _LOCK:
+                metric = self._counters.get(name)
+                if metric is None:
+                    parent = (
+                        self.parent.counter(name, help)
+                        if self.parent else None
+                    )
+                    metric = Counter(name, help, parent=parent)
+                    self._counters[name] = metric
         return metric
 
     def gauge(self, name: str, help: str = "") -> Gauge:
         metric = self._gauges.get(name)
         if metric is None:
-            parent = self.parent.gauge(name, help) if self.parent else None
-            metric = Gauge(name, help, parent=parent)
-            self._gauges[name] = metric
+            with _LOCK:
+                metric = self._gauges.get(name)
+                if metric is None:
+                    parent = (
+                        self.parent.gauge(name, help) if self.parent else None
+                    )
+                    metric = Gauge(name, help, parent=parent)
+                    self._gauges[name] = metric
         return metric
 
     def histogram(self, name: str, help: str = "",
                   buckets: Optional[Sequence[float]] = None) -> Histogram:
         metric = self._histograms.get(name)
         if metric is None:
-            parent = (
-                self.parent.histogram(name, help, buckets)
-                if self.parent else None
-            )
-            metric = Histogram(name, help, buckets=buckets, parent=parent)
-            self._histograms[name] = metric
+            with _LOCK:
+                metric = self._histograms.get(name)
+                if metric is None:
+                    parent = (
+                        self.parent.histogram(name, help, buckets)
+                        if self.parent else None
+                    )
+                    metric = Histogram(
+                        name, help, buckets=buckets, parent=parent
+                    )
+                    self._histograms[name] = metric
         return metric
 
     # -- engine counter bridge ---------------------------------------------

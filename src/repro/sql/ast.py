@@ -125,6 +125,21 @@ class Analyze(Statement):
 
 
 @dataclass
+class Begin(Statement):
+    """BEGIN [WORK | TRANSACTION] / START TRANSACTION."""
+
+
+@dataclass
+class Commit(Statement):
+    """COMMIT [WORK | TRANSACTION] / END [WORK | TRANSACTION]."""
+
+
+@dataclass
+class Rollback(Statement):
+    """ROLLBACK [WORK | TRANSACTION]."""
+
+
+@dataclass
 class Insert(Statement):
     table: str
     columns: Optional[List[str]]  # None = all, in declaration order

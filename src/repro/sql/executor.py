@@ -91,15 +91,21 @@ class Stats:
             "degraded_results": self.degraded_results,
         }
 
+    def merge(self, other: "Stats") -> None:
+        """Fold a per-statement shard into this (shared) Stats object —
+        the caller serialises concurrent merges with a lock."""
+        for name in self.__slots__:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+
 
 class ExecContext:
     """Everything an operator needs at run time."""
 
     __slots__ = ("params", "profile", "registry", "catalog", "stats",
-                 "cache", "guard")
+                 "cache", "guard", "snapshot")
 
     def __init__(self, params, profile, registry: FunctionRegistry,
-                 catalog: Catalog, stats: Stats, guard=None):
+                 catalog: Catalog, stats: Stats, guard=None, snapshot=None):
         self.params = params
         self.profile = profile
         self.registry = registry
@@ -111,6 +117,10 @@ class ExecContext:
         #: armed :class:`repro.guard.ExecutionGuard` (None = no limits);
         #: operators skip all accounting when it is None
         self.guard = guard
+        #: MVCC :class:`repro.txn.Snapshot` (None = no open transactions
+        #: anywhere); scans skip visibility checks when it is None or the
+        #: scanned table carries no live version stamps
+        self.snapshot = snapshot
 
 
 class Scope:
@@ -572,8 +582,22 @@ class SeqScan(PlanNode):
         stats.pages_read += self.table.page_count
         alias = self.alias
         guard = ctx.guard
+        snapshot = ctx.snapshot
         scanned = 0
         try:
+            if snapshot is not None and self.table.mvcc_versions:
+                xmin, xmax = self.table.version_arrays()
+                row_visible = snapshot.row_visible
+                for row_id, row in enumerate(self.table.rows):
+                    if row is None:
+                        continue
+                    if not row_visible(xmin[row_id], xmax[row_id]):
+                        continue
+                    scanned += 1
+                    if guard is not None:
+                        guard.tick()
+                    yield {alias: row}
+                return
             for row in self.table.rows:
                 if row is not None:
                     scanned += 1
@@ -623,8 +647,23 @@ class IndexScan(PlanNode):
         alias = self.alias
         heap = self.table.rows
         guard = ctx.guard
+        snapshot = ctx.snapshot
         scanned = 0
         try:
+            if snapshot is not None and self.table.mvcc_versions:
+                # probes apply the same visibility rule as scans: the
+                # index keeps superseded versions until vacuum, and may
+                # hold uncommitted inserts from open transactions
+                row_visible = self.table.row_visible
+                for row_id in row_ids:
+                    row = heap[row_id]
+                    if row is None or not row_visible(row_id, snapshot):
+                        continue
+                    scanned += 1
+                    if guard is not None:
+                        guard.tick()
+                    yield {alias: row}
+                return
             for row_id in row_ids:
                 scanned += 1
                 if guard is not None:
@@ -686,7 +725,7 @@ class KNNScan(PlanNode):
             ranked = sorted(
                 (
                     (exact_distance(row[self.geom_index], probe_geom), row_id)
-                    for row_id, row in self.table.scan()
+                    for row_id, row in self.table.scan(ctx.snapshot)
                     if isinstance(row[self.geom_index], Geometry)
                 ),
             )
@@ -697,12 +736,16 @@ class KNNScan(PlanNode):
         cx, cy = probe_geom.x, probe_geom.y
         ctx.stats.index_probes += 1
         guard = ctx.guard
+        snapshot = ctx.snapshot
+        versioned = snapshot is not None and self.table.mvcc_versions
         emitted = 0
         pending: List[tuple] = []  # (exact_dist, seq, row_id)
         seq = 0
         for row_id, lower_bound in self.entry.index.nearest_iter(cx, cy):
             if guard is not None:
                 guard.tick()
+            if versioned and not self.table.row_visible(row_id, snapshot):
+                continue
             while pending and pending[0][0] <= lower_bound:
                 _d, _s, ready_id = heapq.heappop(pending)
                 yield {self.alias: self.table.get_row(ready_id)}
@@ -875,6 +918,11 @@ class IndexNestedLoopJoin(PlanNode):
         heap = self.table.rows
         stats = ctx.stats
         guard = ctx.guard
+        snapshot = ctx.snapshot
+        row_visible = (
+            self.table.row_visible
+            if snapshot is not None and self.table.mvcc_versions else None
+        )
         faults_hit = FAULTS.hit
         probes = 0
         candidates = 0
@@ -892,8 +940,14 @@ class IndexNestedLoopJoin(PlanNode):
                 for row_id in row_ids:
                     if guard is not None:
                         guard.tick()
+                    inner_row = heap[row_id]
+                    if inner_row is None or (
+                        row_visible is not None
+                        and not row_visible(row_id, snapshot)
+                    ):
+                        continue
                     merged = dict(outer_row)
-                    merged[alias] = heap[row_id]
+                    merged[alias] = inner_row
                     if residual is None or residual(merged, ctx) is True:
                         emitted += 1
                         yield merged
@@ -961,6 +1015,17 @@ class SpatialTreeJoin(PlanNode):
         refine = self.refine
         residual = self.residual
         guard = ctx.guard
+        snapshot = ctx.snapshot
+        outer_visible = (
+            self.outer_table.row_visible
+            if snapshot is not None and self.outer_table.mvcc_versions
+            else None
+        )
+        inner_visible = (
+            self.inner_table.row_visible
+            if snapshot is not None and self.inner_table.mvcc_versions
+            else None
+        )
         considered = 0
         emitted = 0
         try:
@@ -972,6 +1037,16 @@ class SpatialTreeJoin(PlanNode):
                     guard.tick()
                 outer_row = outer_heap[outer_id]
                 inner_row = inner_heap[inner_id]
+                if outer_row is None or inner_row is None:
+                    continue
+                if outer_visible is not None and not outer_visible(
+                    outer_id, snapshot
+                ):
+                    continue
+                if inner_visible is not None and not inner_visible(
+                    inner_id, snapshot
+                ):
+                    continue
                 if refine(
                     outer_row[outer_geom], inner_row[inner_geom], ctx
                 ) is not True:

@@ -114,6 +114,8 @@ class Parser:
             stmt = self.parse_drop()
         elif token.is_ident("analyze"):
             stmt = self.parse_analyze()
+        elif token.is_ident("begin", "start", "commit", "end", "rollback"):
+            stmt = self.parse_txn_control()
         else:
             raise SqlSyntaxError(
                 f"unsupported statement starting with {token.value!r}"
@@ -169,6 +171,22 @@ class Parser:
         if self.peek().type is TokenType.IDENT:
             table = self.identifier("table name")
         return ast.Analyze(table)
+
+    def parse_txn_control(self) -> ast.Statement:
+        """BEGIN/START TRANSACTION, COMMIT/END and ROLLBACK, with the
+        optional WORK/TRANSACTION noise words SQL allows."""
+        keyword = self.expect_ident(
+            "begin", "start", "commit", "end", "rollback"
+        ).value.lower()
+        if keyword == "start":
+            self.expect_ident("transaction")
+            return ast.Begin()
+        self.accept_ident("work", "transaction")
+        if keyword == "begin":
+            return ast.Begin()
+        if keyword == "rollback":
+            return ast.Rollback()
+        return ast.Commit()
 
     def parse_drop(self) -> ast.Statement:
         self.expect_ident("drop")

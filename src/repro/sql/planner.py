@@ -55,6 +55,15 @@ _INDEXABLE_PREDICATES = SPATIAL_PREDICATES - {"st_disjoint"}
 #: spatial join strategies the planner can be forced into
 JOIN_STRATEGIES = ("auto", "inlj", "tree", "pbsm", "nlj")
 
+#: transaction-control statements: no plan tree — the database routes
+#: them straight to the transaction manager (they still flow through the
+#: same lexer/parser/parse-cache pipeline as everything else)
+TXN_CONTROL = (ast.Begin, ast.Commit, ast.Rollback)
+
+
+def is_txn_control(stmt: ast.Statement) -> bool:
+    return isinstance(stmt, TXN_CONTROL)
+
 # -- cost model weights (abstract units per basic operation) ---------------
 # per outer row: one index descent of depth ~log2(n_inner)
 _COST_PROBE = 1.5

@@ -113,6 +113,14 @@ class Table:
         }
         self.rows: List[Optional[tuple]] = []
         self.live_count = 0
+        # MVCC version stamps, parallel to ``rows`` and materialised
+        # lazily on the first versioned write: 0 (FROZEN_XID) means
+        # "committed long ago" / "not deleted". ``mvcc_versions`` counts
+        # slots carrying a live stamp — when it is zero the table behaves
+        # exactly like the pre-MVCC heap and scans skip visibility checks.
+        self._xmin: Optional[List[int]] = None
+        self._xmax: Optional[List[int]] = None
+        self.mvcc_versions = 0
         # per-geometry-column envelope arrays, parallel to ``rows``, plus
         # incrementally maintained statistics for the cost-based planner
         self._geom_positions: Tuple[int, ...] = tuple(
@@ -145,7 +153,7 @@ class Table:
 
     # -- data --------------------------------------------------------------
 
-    def insert_row(self, values: Sequence[Any]) -> int:
+    def insert_row(self, values: Sequence[Any], xmin: int = 0) -> int:
         if FAULTS.active:
             # before any mutation: a fired fault leaves the heap untouched
             FAULTS.hit("storage.insert")
@@ -157,13 +165,22 @@ class Table:
         row = tuple(
             _coerce(value, col) for value, col in zip(values, self.columns)
         )
-        self.rows.append(row)
-        self.live_count += 1
+        # parallel arrays are appended *before* the heap slot so a
+        # concurrent snapshot scan never sees a row without its stamps
+        # (writers are serialised by the database latch; readers are not)
+        if xmin or self._xmin is not None:
+            self.ensure_versioned()
+            self._xmin.append(xmin)
+            self._xmax.append(0)
+            if xmin:
+                self.mvcc_versions += 1
         for position in self._geom_positions:
             geom = row[position]
             env = geom.envelope if isinstance(geom, Geometry) else None
             self._envelopes[position].append(env)
             self.stats.geometry[self.columns[position].name].add(env)
+        self.rows.append(row)
+        self.live_count += 1
         return len(self.rows) - 1
 
     def update_row(self, row_id: int, values: Sequence[Any]) -> None:
@@ -195,6 +212,81 @@ class Table:
             stats = self.stats.geometry[self.columns[position].name]
             stats.remove(self._envelopes[position][row_id])
             self._envelopes[position][row_id] = None
+        if self._xmin is not None and (
+            self._xmin[row_id] or self._xmax[row_id]
+        ):
+            self._xmin[row_id] = 0
+            self._xmax[row_id] = 0
+            self.mvcc_versions -= 1
+
+    # -- MVCC version stamps ------------------------------------------------
+
+    def ensure_versioned(self) -> None:
+        """Materialise the xmin/xmax arrays (all frozen) on first use."""
+        if self._xmin is None:
+            self._xmin = [0] * len(self.rows)
+            self._xmax = [0] * len(self.rows)
+
+    def version_arrays(self):
+        """The (xmin, xmax) arrays, parallel to ``rows``; call only when
+        :attr:`mvcc_versions` is non-zero (arrays exist by then)."""
+        return self._xmin, self._xmax
+
+    def mark_deleted(self, row_id: int, xid: int) -> None:
+        """MVCC delete: stamp ``xmax`` instead of removing the slot — the
+        version stays readable by snapshots that predate ``xid``."""
+        self.ensure_versioned()
+        if self.rows[row_id] is None:
+            raise EngineError(f"row {row_id} already deleted")
+        if not self._xmin[row_id] and not self._xmax[row_id]:
+            self.mvcc_versions += 1
+        self._xmax[row_id] = xid
+
+    def clear_deleted(self, row_id: int) -> None:
+        """Undo a :meth:`mark_deleted` (delete rolled back)."""
+        self._xmax[row_id] = 0
+        if not self._xmin[row_id]:
+            self.mvcc_versions -= 1
+
+    def freeze_row(self, row_id: int) -> None:
+        """A committed insert no open snapshot could miss: drop the stamp."""
+        if self._xmin[row_id]:
+            self._xmin[row_id] = 0
+            if not self._xmax[row_id]:
+                self.mvcc_versions -= 1
+
+    def rollback_insert(self, row_id: int) -> None:
+        """Physically remove a rolled-back insert.
+
+        Trailing slots are popped from every parallel array so a rolled
+        back transaction leaves the heap bit-identical to its pre-txn
+        state; non-trailing slots (later inserts survived) are nulled
+        like a normal delete.
+        """
+        if self.rows[row_id] is None:
+            raise EngineError(f"row {row_id} already deleted")
+        self.live_count -= 1
+        for position in self._geom_positions:
+            stats = self.stats.geometry[self.columns[position].name]
+            stats.remove(self._envelopes[position][row_id])
+        if self._xmin is not None and (
+            self._xmin[row_id] or self._xmax[row_id]
+        ):
+            self.mvcc_versions -= 1
+        if row_id == len(self.rows) - 1:
+            self.rows.pop()
+            for position in self._geom_positions:
+                self._envelopes[position].pop()
+            if self._xmin is not None:
+                self._xmin.pop()
+                self._xmax.pop()
+        else:
+            self.rows[row_id] = None
+            for position in self._geom_positions:
+                self._envelopes[position][row_id] = None
+            if self._xmin is not None:
+                self._xmin[row_id] = 0
+                self._xmax[row_id] = 0
 
     def get_row(self, row_id: int) -> tuple:
         row = self.rows[row_id]
@@ -202,10 +294,25 @@ class Table:
             raise EngineError(f"row {row_id} is deleted")
         return row
 
-    def scan(self) -> Iterator[Tuple[int, tuple]]:
+    def scan(self, snapshot=None) -> Iterator[Tuple[int, tuple]]:
+        """Live rows; with a snapshot, only the versions it may see."""
+        if snapshot is not None and self.mvcc_versions:
+            xmin, xmax = self._xmin, self._xmax
+            row_visible = snapshot.row_visible
+            for row_id, row in enumerate(self.rows):
+                if row is not None and row_visible(xmin[row_id], xmax[row_id]):
+                    yield row_id, row
+            return
         for row_id, row in enumerate(self.rows):
             if row is not None:
                 yield row_id, row
+
+    def row_visible(self, row_id: int, snapshot) -> bool:
+        """Visibility of one slot under ``snapshot`` (no-version fast path
+        answers True — the slot is frozen)."""
+        if not self.mvcc_versions:
+            return True
+        return snapshot.row_visible(self._xmin[row_id], self._xmax[row_id])
 
     def envelopes(self, column_name: str) -> List[Optional[Envelope]]:
         """Envelope array for one geometry column, parallel to ``rows``."""

@@ -1,0 +1,31 @@
+"""MVCC transaction subsystem: snapshot isolation for the embedded engines.
+
+See :mod:`repro.txn.manager` for the versioning/visibility design and
+:mod:`repro.txn.locks` for the locking primitives. The full design
+document is ``docs/CONCURRENCY.md``.
+"""
+
+from repro.txn.locks import RowLockTable, SharedExclusiveLock
+from repro.txn.manager import (
+    ABORTED,
+    ACTIVE,
+    COMMITTED,
+    FROZEN_XID,
+    Session,
+    Snapshot,
+    Transaction,
+    TxnManager,
+)
+
+__all__ = [
+    "ABORTED",
+    "ACTIVE",
+    "COMMITTED",
+    "FROZEN_XID",
+    "RowLockTable",
+    "Session",
+    "SharedExclusiveLock",
+    "Snapshot",
+    "Transaction",
+    "TxnManager",
+]

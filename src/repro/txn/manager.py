@@ -1,0 +1,258 @@
+"""Snapshot-isolation MVCC: transaction ids, snapshots, undo, vacuum.
+
+Row versioning follows the classic xmin/xmax design: every heap slot
+carries the id of the transaction that created it (``xmin``) and, once
+deleted or superseded, the id of the transaction that removed it
+(``xmax``). The sentinel :data:`FROZEN_XID` (0) means "committed before
+any live snapshot cares" — frozen rows are visible to everyone, and a
+table whose every slot is frozen skips visibility checks entirely, so
+the pre-MVCC single-user fast path is untouched.
+
+Visibility for a snapshot ``S`` taken by transaction ``T``:
+
+* ``xid == FROZEN_XID`` → treated as committed long ago (visible);
+* ``xid == T``          → T's own work (visible);
+* ``xid >= S.horizon``  → started after the snapshot (invisible);
+* ``xid ∈ S.in_flight`` → uncommitted when the snapshot was taken
+  (invisible — readers never see uncommitted writes);
+* otherwise             → committed before the snapshot (visible).
+
+A row is visible iff its ``xmin`` is visible and its ``xmax`` is not.
+Aborted transactions need no special casing: rollback physically
+reverses every stamp before the transaction leaves the active set, and
+while the rollback runs its id is still in-flight for every snapshot.
+
+Write-write conflicts are first-updater-wins: a writer locks each target
+row (:class:`~repro.txn.locks.RowLockTable`) and then checks for a
+committed ``xmax`` it did not see — finding one raises
+:class:`~repro.errors.SerializationError`. Cleanup (physically removing
+committed-dead versions, freezing committed inserts) is deferred until
+the active set drains, so open snapshots never lose the versions they
+may still need.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING, Dict, FrozenSet, List, Optional, Tuple
+
+from repro.errors import EngineError
+from repro.faults import FAULTS
+from repro.txn.locks import RowLockTable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.engines.database import Database
+    from repro.storage.table import Table
+
+#: xmin/xmax sentinel: "committed before any live snapshot" / "not deleted"
+FROZEN_XID = 0
+
+#: transaction states
+ACTIVE, COMMITTED, ABORTED = "active", "committed", "aborted"
+
+
+class Snapshot:
+    """An immutable visibility horizon: what one statement (or one whole
+    transaction) is allowed to see."""
+
+    __slots__ = ("txid", "horizon", "in_flight")
+
+    def __init__(self, txid: int, horizon: int,
+                 in_flight: FrozenSet[int]) -> None:
+        self.txid = txid
+        self.horizon = horizon
+        self.in_flight = in_flight
+
+    def xid_visible(self, xid: int) -> bool:
+        if xid == self.txid:
+            return True
+        if xid >= self.horizon:
+            return False
+        return xid not in self.in_flight
+
+    def row_visible(self, xmin: int, xmax: int) -> bool:
+        """The MVCC visibility rule over one slot's stamps."""
+        if xmin and not self.xid_visible(xmin):
+            return False
+        return not (xmax and self.xid_visible(xmax))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Snapshot(txid={self.txid}, horizon={self.horizon}, "
+            f"in_flight={sorted(self.in_flight)})"
+        )
+
+
+class Transaction:
+    """One open transaction: its snapshot plus the undo log that commit
+    and rollback replay."""
+
+    __slots__ = ("txid", "snapshot", "status", "undo")
+
+    def __init__(self, txid: int, snapshot: Snapshot) -> None:
+        self.txid = txid
+        self.snapshot = snapshot
+        self.status = ACTIVE
+        #: ("insert" | "delete", table, row_id) in execution order;
+        #: an UPDATE contributes one of each (delete old, insert new)
+        self.undo: List[Tuple[str, "Table", int]] = []
+
+    def record_insert(self, table: "Table", row_id: int) -> None:
+        self.undo.append(("insert", table, row_id))
+
+    def record_delete(self, table: "Table", row_id: int) -> None:
+        self.undo.append(("delete", table, row_id))
+
+    def record_update(self, table: "Table", old_id: int, new_id: int) -> None:
+        self.undo.append(("delete", table, old_id))
+        self.undo.append(("insert", table, new_id))
+
+
+class Session:
+    """Per-connection transaction state (the engine's default session
+    serves callers that use :class:`Database` directly)."""
+
+    __slots__ = ("txn",)
+
+    def __init__(self) -> None:
+        self.txn: Optional[Transaction] = None
+
+    @property
+    def in_transaction(self) -> bool:
+        return self.txn is not None
+
+
+class TxnManager:
+    """Issues transaction ids, tracks the active set, and applies
+    commit/rollback against the owning database's heap and indexes."""
+
+    #: default row-lock wait budget before declaring a deadlock
+    LOCK_TIMEOUT = 1.0
+
+    def __init__(self, database: "Database",
+                 lock_timeout: float = LOCK_TIMEOUT) -> None:
+        self._db = database
+        self._lock = threading.RLock()
+        self._next_txid = 1
+        self._active: Dict[int, Transaction] = {}
+        self.locks = RowLockTable()
+        self.lock_timeout = lock_timeout
+        # committed garbage, flushed when the active set drains: versions
+        # a still-open snapshot might need
+        self._pending_freeze: List[Tuple["Table", int]] = []
+        self._pending_vacuum: List[Tuple["Table", int]] = []
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def begin(self) -> Transaction:
+        with self._lock:
+            txid = self._next_txid
+            self._next_txid += 1
+            snapshot = Snapshot(txid, txid, frozenset(self._active))
+            txn = Transaction(txid, snapshot)
+            self._active[txid] = txn
+            return txn
+
+    def read_snapshot(self) -> Optional[Snapshot]:
+        """A single-statement snapshot for an auto-commit reader, or
+        ``None`` when no transaction is open anywhere — the fast path
+        where visibility checks are skipped entirely."""
+        with self._lock:
+            if not self._active:
+                return None
+            return Snapshot(-1, self._next_txid, frozenset(self._active))
+
+    def commit(self, txn: Transaction) -> None:
+        if txn.status is not ACTIVE:
+            raise EngineError(
+                f"cannot commit transaction {txn.txid}: {txn.status}"
+            )
+        if FAULTS.active:
+            # before any state changes: a fired fault leaves the
+            # transaction active, and the caller's rollback undoes it
+            FAULTS.hit("txn.commit")
+        with self._lock:
+            for op, table, row_id in txn.undo:
+                if op == "insert":
+                    self._pending_freeze.append((table, row_id))
+                else:
+                    self._pending_vacuum.append((table, row_id))
+            txn.status = COMMITTED
+            del self._active[txn.txid]
+            self.locks.release_all(txn.txid)
+            self._metrics_counter(
+                "txn_commits_total", "transactions committed"
+            ).inc()
+            if not self._active:
+                self._flush_garbage()
+
+    def rollback(self, txn: Transaction) -> None:
+        if txn.status is not ACTIVE:
+            raise EngineError(
+                f"cannot roll back transaction {txn.txid}: {txn.status}"
+            )
+        with self._lock:
+            # reverse order: an UPDATE's new version disappears before the
+            # old version's delete stamp is cleared
+            for op, table, row_id in reversed(txn.undo):
+                if op == "insert":
+                    self._db._index_remove(table, row_id)
+                    table.rollback_insert(row_id)
+                else:
+                    table.clear_deleted(row_id)
+            txn.status = ABORTED
+            del self._active[txn.txid]
+            self.locks.release_all(txn.txid)
+            self._metrics_counter(
+                "txn_aborts_total", "transactions rolled back"
+            ).inc()
+            if not self._active:
+                self._flush_garbage()
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def active_count(self) -> int:
+        with self._lock:
+            return len(self._active)
+
+    @property
+    def pending_garbage(self) -> int:
+        with self._lock:
+            return len(self._pending_freeze) + len(self._pending_vacuum)
+
+    # -- internals ---------------------------------------------------------
+
+    def _flush_garbage(self) -> None:
+        """No open snapshot can need old versions any more: physically
+        remove committed-dead rows and freeze committed inserts.
+
+        Called with the manager lock held, from a context that holds the
+        database's exclusive latch (COMMIT/ROLLBACK statements run
+        exclusively), so heap and index mutation is safe.
+        """
+        for table, row_id in self._pending_freeze:
+            if table.rows[row_id] is not None:
+                table.freeze_row(row_id)
+        for table, row_id in self._pending_vacuum:
+            if table.rows[row_id] is not None:
+                self._db._index_remove(table, row_id)
+                table.delete_row(row_id)
+        self._pending_freeze.clear()
+        self._pending_vacuum.clear()
+
+    def _metrics_counter(self, name: str, help_text: str):
+        return self._db.obs.metrics.counter(name, help_text)
+
+    def lock_wait_histogram(self):
+        return self._db.obs.metrics.histogram(
+            "txn_lock_wait_seconds",
+            "seconds spent waiting for row write locks",
+        )
+
+    def conflict_counter(self):
+        return self._metrics_counter(
+            "txn_conflicts_total",
+            "write-write conflicts (first-updater-wins losses and "
+            "lock-wait timeouts)",
+        )

@@ -1,0 +1,374 @@
+"""Concurrent workload driver: N client threads over DB-API connections.
+
+This is the throughput harness the transaction subsystem exists for.
+Each client gets its own :class:`~repro.dbapi.connection.Connection`
+(hence its own session/transaction) against one shared
+:class:`~repro.engines.Database`, replays operations from a
+:mod:`~repro.workload.mixes` mix for a fixed duration, and records
+per-client latency histograms plus commit/abort/retry counts. Lost
+write-write conflicts surface as
+:class:`~repro.errors.SerializationError`; the driver rolls back and
+retries with the same full-jitter backoff the benchmark harness uses for
+every other transient error.
+
+Two loop disciplines:
+
+- **closed** (default): each client issues its next operation as soon as
+  the previous one finishes — classic saturation throughput.
+- **open**: operations arrive on a fixed schedule (``rate`` per second
+  per client) regardless of completions, the way real load does; when
+  the engine falls behind, latency — not throughput — absorbs it.
+
+The engines are pure Python, so the GIL serialises CPU work: aggregate
+numbers measure contention behaviour and abort dynamics, not parallel
+speedup (the J-X2/J-X4 reports say so).
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.core.stats import backoff_delay
+from repro.datagen import generate
+from repro.dbapi import connect
+from repro.engines import Database
+from repro.errors import ReproError, SerializationError
+from repro.obs.metrics import Histogram
+from repro.obs.telemetry import SCHEMA
+from repro.workload.mixes import MIXES, Operation, get_mix
+
+
+@dataclass
+class WorkloadConfig:
+    clients: int = 4
+    duration: float = 2.0          # seconds per round
+    mix: str = "mixed"             # one of repro.workload.mixes.MIXES
+    engine: str = "greenwood"
+    mode: str = "closed"           # "closed" | "open"
+    rate: float = 8.0              # open loop: arrivals/sec per client
+    seed: int = 42
+    scale: float = 0.25
+    max_retries: int = 5           # per operation, on SerializationError
+    lock_timeout: float = 0.25     # row-lock wait budget (deadlock bound)
+
+    def validate(self) -> None:
+        if self.clients < 1:
+            raise ValueError("clients must be >= 1")
+        if self.duration <= 0:
+            raise ValueError("duration must be positive")
+        if self.mix not in MIXES:
+            raise ValueError(
+                f"unknown mix {self.mix!r}; expected one of {MIXES}"
+            )
+        if self.mode not in ("closed", "open"):
+            raise ValueError("mode must be 'closed' or 'open'")
+        if self.mode == "open" and self.rate <= 0:
+            raise ValueError("open-loop mode needs a positive rate")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+
+
+@dataclass
+class ClientReport:
+    """What one client thread did, with its own latency histogram."""
+
+    client_id: int
+    ops: int = 0          # operations finished (committed or given up)
+    reads: int = 0
+    writes: int = 0
+    commits: int = 0      # committed write transactions
+    aborts: int = 0       # serialization aborts (each one rolled back)
+    retries: int = 0      # aborts that were retried (rest were given up)
+    errors: int = 0       # non-transient ReproErrors (should stay 0)
+    latency: Histogram = field(default_factory=lambda: Histogram(
+        "workload_op_seconds", "per-operation latency for one client"
+    ))
+
+
+@dataclass
+class WorkloadReport:
+    config: WorkloadConfig
+    wall_seconds: float
+    clients: List[ClientReport]
+
+    def _total(self, name: str) -> int:
+        return sum(getattr(report, name) for report in self.clients)
+
+    @property
+    def total_ops(self) -> int:
+        return self._total("ops")
+
+    @property
+    def total_reads(self) -> int:
+        return self._total("reads")
+
+    @property
+    def total_writes(self) -> int:
+        return self._total("writes")
+
+    @property
+    def total_commits(self) -> int:
+        return self._total("commits")
+
+    @property
+    def total_aborts(self) -> int:
+        return self._total("aborts")
+
+    @property
+    def total_retries(self) -> int:
+        return self._total("retries")
+
+    @property
+    def total_errors(self) -> int:
+        return self._total("errors")
+
+    @property
+    def queries_per_minute(self) -> float:
+        if not self.wall_seconds:
+            return 0.0
+        return 60.0 * self.total_ops / self.wall_seconds
+
+    @property
+    def abort_rate(self) -> float:
+        """Aborted commit attempts over all commit attempts."""
+        attempts = self.total_commits + self.total_aborts
+        return self.total_aborts / attempts if attempts else 0.0
+
+    def telemetry_document(self) -> Dict[str, Any]:
+        """Same envelope schema as ``jackpine run --telemetry``."""
+        config = self.config
+        records: List[Dict[str, Any]] = []
+        for report in self.clients:
+            record: Dict[str, Any] = {
+                "query_id": f"workload.client_{report.client_id}",
+                "engine": config.engine,
+                "suite": "workload",
+                "supported": True,
+                "ops": report.ops,
+                "reads": report.reads,
+                "writes": report.writes,
+                "commits": report.commits,
+                "aborts": report.aborts,
+                "retries": report.retries,
+                "errors": report.errors,
+            }
+            if report.latency.count:
+                record.update(
+                    p50=report.latency.p50,
+                    p95=report.latency.p95,
+                    p99=report.latency.p99,
+                    mean=report.latency.mean,
+                    min=report.latency.min,
+                    max=report.latency.max,
+                )
+            records.append(record)
+        return {
+            "schema": SCHEMA,
+            "engine": config.engine,
+            "config": {
+                "clients": config.clients,
+                "duration": config.duration,
+                "mix": config.mix,
+                "mode": config.mode,
+                "rate": config.rate,
+                "seed": config.seed,
+                "scale": config.scale,
+                "max_retries": config.max_retries,
+                "lock_timeout": config.lock_timeout,
+            },
+            "wall_seconds": self.wall_seconds,
+            "totals": {
+                "ops": self.total_ops,
+                "commits": self.total_commits,
+                "aborts": self.total_aborts,
+                "retries": self.total_retries,
+                "errors": self.total_errors,
+                "queries_per_minute": self.queries_per_minute,
+                "abort_rate": self.abort_rate,
+            },
+            "records": records,
+        }
+
+
+def run_client_threads(
+    database: Database,
+    clients: int,
+    body: Callable[[Any, ClientReport], None],
+) -> "tuple[float, List[ClientReport]]":
+    """Run ``body(connection, report)`` on ``clients`` threads, each with
+    its own DB-API connection to the shared ``database``.
+
+    A barrier lines every client up before the clock starts, so the wall
+    time excludes connection setup. The first exception raised by any
+    client is re-raised in the caller after all threads finish.
+    """
+    reports = [ClientReport(client_id=slot) for slot in range(clients)]
+    barrier = threading.Barrier(clients + 1)
+    failures: List[BaseException] = []
+
+    def runner(slot: int) -> None:
+        connection = connect(database=database)
+        try:
+            barrier.wait()
+            body(connection, reports[slot])
+        except BaseException as exc:  # noqa: BLE001 - reported to caller
+            failures.append(exc)
+        finally:
+            connection.close()
+
+    threads = [
+        threading.Thread(target=runner, args=(slot,), daemon=True)
+        for slot in range(clients)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    start = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - start
+    if failures:
+        raise failures[0]
+    return wall, reports
+
+
+def _run_operation(
+    cursor: Any,
+    connection: Any,
+    op: Operation,
+    report: ClientReport,
+    config: WorkloadConfig,
+    rng: random.Random,
+) -> None:
+    """Execute one operation, retrying serialization aborts with backoff."""
+    start = time.perf_counter()
+    try:
+        if op.kind == "read":
+            for sql, params in op.statements:
+                cursor.execute(sql, params)
+                cursor.fetchall()
+            report.reads += 1
+        else:
+            attempt = 0
+            while True:
+                try:
+                    cursor.execute("BEGIN")
+                    for sql, params in op.statements:
+                        cursor.execute(sql, params)
+                    connection.commit()
+                    report.commits += 1
+                    break
+                except SerializationError:
+                    # the engine already rolled the transaction back;
+                    # rollback() here just clears any session residue
+                    connection.rollback()
+                    report.aborts += 1
+                    if attempt >= config.max_retries:
+                        break  # give up on this operation
+                    report.retries += 1
+                    time.sleep(backoff_delay(attempt, rng=rng))
+                    attempt += 1
+            report.writes += 1
+    except ReproError:
+        connection.rollback()
+        report.errors += 1
+    finally:
+        report.ops += 1
+        report.latency.observe(time.perf_counter() - start)
+
+
+def run_workload(
+    config: WorkloadConfig,
+    database: Optional[Database] = None,
+    dataset: Any = None,
+) -> WorkloadReport:
+    """Run one workload round and return the aggregated report.
+
+    Pass ``database`` to reuse a loaded datastore across rounds (the
+    client-count sweeps do); otherwise the synthetic TIGER dataset is
+    generated and loaded first.
+    """
+    config.validate()
+    if database is None:
+        if dataset is None:
+            dataset = generate(seed=config.seed, scale=config.scale)
+        database = Database(config.engine)
+        dataset.load_into(database)
+    database.txn.lock_timeout = config.lock_timeout
+    mix = get_mix(config.mix, database)
+    interval = (
+        1.0 / config.rate if config.mode == "open" and config.rate > 0
+        else 0.0
+    )
+
+    def body(connection: Any, report: ClientReport) -> None:
+        rng = random.Random(
+            (config.seed << 16) ^ (0x9E3779B1 * (report.client_id + 1))
+        )
+        cursor = connection.cursor()
+        deadline = time.perf_counter() + config.duration
+        next_arrival = time.perf_counter()
+        while True:
+            now = time.perf_counter()
+            if now >= deadline:
+                break
+            if interval:
+                if now < next_arrival:
+                    time.sleep(min(next_arrival - now, deadline - now))
+                    if time.perf_counter() >= deadline:
+                        break
+                next_arrival += interval
+            op = mix.next_operation(rng, report.client_id)
+            _run_operation(cursor, connection, op, report, config, rng)
+
+    wall, reports = run_client_threads(database, config.clients, body)
+    return WorkloadReport(config=config, wall_seconds=wall, clients=reports)
+
+
+def render_workload(report: WorkloadReport) -> str:
+    """Human-readable summary (the ``jackpine workload`` output)."""
+    config = report.config
+    lines = [
+        f"== workload: {config.mix} mix, {config.clients} clients, "
+        f"{config.mode} loop on {config.engine} ==",
+        "(pure-Python engines: the GIL serialises CPU work, so this shows",
+        " contention and abort dynamics, not parallel speedup)",
+        f"wall: {report.wall_seconds:.2f}s   ops: {report.total_ops}   "
+        f"agg q/min: {report.queries_per_minute:.0f}",
+        f"commits: {report.total_commits}   aborts: {report.total_aborts} "
+        f"(abort rate {report.abort_rate:.1%})   "
+        f"retries: {report.total_retries}   errors: {report.total_errors}",
+        f"{'client':>7s} {'ops':>6s} {'reads':>6s} {'writes':>7s} "
+        f"{'p50':>9s} {'p95':>9s} {'p99':>9s}",
+    ]
+    for client in report.clients:
+        hist = client.latency
+        p50 = f"{hist.p50 * 1e3:8.2f}m" if hist.count else "      --"
+        p95 = f"{hist.p95 * 1e3:8.2f}m" if hist.count else "      --"
+        p99 = f"{hist.p99 * 1e3:8.2f}m" if hist.count else "      --"
+        lines.append(
+            f"{client.client_id:>7d} {client.ops:>6d} {client.reads:>6d} "
+            f"{client.writes:>7d} {p50:>9s} {p95:>9s} {p99:>9s}"
+        )
+    return "\n".join(lines)
+
+
+def write_workload_telemetry(report: WorkloadReport, out_dir: str) -> str:
+    """Write ``telemetry_<engine>.json`` (same schema family as
+    ``jackpine run --telemetry``); returns the path."""
+    import json
+    import os
+
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(
+        out_dir, f"telemetry_{report.config.engine}.json"
+    )
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report.telemetry_document(), handle, indent=2,
+                  sort_keys=True)
+        handle.write("\n")
+    return path

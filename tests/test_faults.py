@@ -39,7 +39,7 @@ def _fresh(profile: str, rows: int = 30) -> Database:
 
 
 def _exercise_every_site(db: Database) -> int:
-    """A workload that visits all six fault points; returns faults caught."""
+    """A workload that visits every fault point; returns faults caught."""
     caught = 0
     statements = (
         ("INSERT INTO pts VALUES (?, ?)", (1000, "POINT(3 3)")),
@@ -54,6 +54,15 @@ def _exercise_every_site(db: Database) -> int:
             db.execute(sql, params)
         except ReproError:
             caught += 1
+    # an explicit transaction visits the txn.commit site; a commit fault
+    # aborts the whole transaction, leaving nothing behind
+    try:
+        db.execute("BEGIN")
+        db.execute("INSERT INTO pts VALUES (?, ?)", (2000, "POINT(5 5)"))
+        db.execute("COMMIT")
+    except ReproError:
+        db.execute("ROLLBACK")
+        caught += 1
     buf = io.StringIO()
     try:
         dump_database(db, buf)

@@ -1,0 +1,435 @@
+"""Snapshot-isolation semantics of the MVCC transaction subsystem.
+
+The contracts under test, in the vocabulary of docs/CONCURRENCY.md:
+
+- **Snapshot visibility** — a transaction sees the database as of its
+  BEGIN: concurrent commits that land after the snapshot stay invisible
+  until the reader's own COMMIT; uncommitted writes are never visible to
+  anyone but their own transaction.
+- **First-updater-wins** — two transactions writing the same row cannot
+  both commit; the later writer aborts with
+  :class:`~repro.errors.SerializationError` (either on seeing a
+  committed ``xmax`` after taking the row lock, or by lock-wait
+  timeout, the deadlock-detection fallback).
+- **Rollback restores everything** — heap, live counts and every
+  spatial index structure are bit-identical after ROLLBACK, whatever
+  mix of inserts/updates/deletes the transaction ran.
+- **Serial-replay equivalence** — replaying only the *committed*
+  transactions serially (in commit order) on a fresh database produces
+  the same table state as the interleaved run. (Holds here because
+  committed transactions have disjoint write sets under
+  first-updater-wins and the workload's writes don't read.)
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dbapi import OperationalError, ProgrammingError, connect
+from repro.engines import Database
+from repro.errors import SerializationError, TransientError
+
+
+
+def _db(index_kind: str | None = "rtree", rows: int = 20) -> Database:
+    db = Database("greenwood")
+    db.execute("CREATE TABLE pts (gid INTEGER, name TEXT, g GEOMETRY)")
+    db.insert_rows(
+        "pts",
+        [(i, f"seed{i}", f"POINT({i} {i % 5})") for i in range(rows)],
+    )
+    if index_kind is not None:
+        db.execute(
+            f"CREATE SPATIAL INDEX idx_pts ON pts (g) USING {index_kind}"
+        )
+    return db
+
+
+def _cursor(db: Database):
+    return connect(database=db).cursor()
+
+
+def _count(cursor) -> int:
+    cursor.execute("SELECT COUNT(*) FROM pts")
+    return cursor.fetchone()[0]
+
+
+class TestSnapshotVisibility:
+    def test_reader_opened_before_commit_sees_old_state(self):
+        db = _db()
+        reader, writer = _cursor(db), _cursor(db)
+        reader.execute("BEGIN")
+        assert _count(reader) == 20
+        writer.execute("BEGIN")
+        writer.execute(
+            "INSERT INTO pts VALUES (?, ?, ?)", (100, "new", "POINT(3 3)")
+        )
+        writer.execute("COMMIT")
+        # the commit landed after the reader's snapshot: invisible
+        assert _count(reader) == 20
+        reader.execute("COMMIT")
+        assert _count(reader) == 21
+
+    def test_reader_opened_after_commit_sees_new_state(self):
+        db = _db()
+        reader, writer = _cursor(db), _cursor(db)
+        writer.execute("BEGIN")
+        writer.execute(
+            "INSERT INTO pts VALUES (?, ?, ?)", (100, "new", "POINT(3 3)")
+        )
+        writer.execute("COMMIT")
+        reader.execute("BEGIN")
+        assert _count(reader) == 21
+        reader.execute("COMMIT")
+
+    def test_uncommitted_writes_invisible_to_others(self):
+        db = _db()
+        reader, writer = _cursor(db), _cursor(db)
+        writer.execute("BEGIN")
+        writer.execute("DELETE FROM pts WHERE gid = 0")
+        writer.execute(
+            "INSERT INTO pts VALUES (?, ?, ?)", (100, "new", "POINT(3 3)")
+        )
+        # auto-commit reader: fresh single-statement snapshot, writer
+        # still in flight -> sees none of it (readers never block)
+        assert _count(reader) == 20
+        reader.execute("SELECT name FROM pts WHERE gid = 0")
+        assert reader.fetchall() == [("seed0",)]
+        writer.execute("ROLLBACK")
+
+    def test_own_writes_visible_within_transaction(self):
+        db = _db()
+        cur = _cursor(db)
+        cur.execute("BEGIN")
+        cur.execute("UPDATE pts SET name = ? WHERE gid = 1", ("mine",))
+        cur.execute("DELETE FROM pts WHERE gid = 2")
+        cur.execute("SELECT name FROM pts WHERE gid = 1")
+        assert cur.fetchall() == [("mine",)]
+        assert _count(cur) == 19
+        cur.execute("ROLLBACK")
+        cur.execute("SELECT name FROM pts WHERE gid = 1")
+        assert cur.fetchall() == [("seed1",)]
+
+    def test_update_invisible_through_index_probe(self):
+        db = _db(index_kind="rtree")
+        reader, writer = _cursor(db), _cursor(db)
+        reader.execute("BEGIN")
+        writer.execute("BEGIN")
+        writer.execute(
+            "UPDATE pts SET g = ? WHERE gid = 1", ("POINT(500 500)",)
+        )
+        writer.execute("COMMIT")
+        # index probe near the new location: the reader's snapshot
+        # predates the move, so the relocated version must stay hidden
+        reader.execute(
+            "SELECT COUNT(*) FROM pts WHERE ST_Intersects(g, "
+            "ST_MakeEnvelope(499, 499, 501, 501))"
+        )
+        assert reader.fetchone()[0] == 0
+        reader.execute("COMMIT")
+        reader.execute(
+            "SELECT COUNT(*) FROM pts WHERE ST_Intersects(g, "
+            "ST_MakeEnvelope(499, 499, 501, 501))"
+        )
+        assert reader.fetchone()[0] == 1
+
+
+class TestFirstUpdaterWins:
+    def test_loser_aborts_after_winner_commits(self):
+        db = _db()
+        a, b = _cursor(db), _cursor(db)
+        a.execute("BEGIN")
+        b.execute("BEGIN")
+        a.execute("UPDATE pts SET name = ? WHERE gid = 1", ("a-wins",))
+        a.execute("COMMIT")
+        # the row lock is free again, but gid=1 carries a committed
+        # xmax that b's snapshot cannot see: b lost the race
+        with pytest.raises(SerializationError):
+            b.execute("UPDATE pts SET name = ? WHERE gid = 1", ("b-loses",))
+        b.execute("ROLLBACK")
+        b.execute("SELECT name FROM pts WHERE gid = 1")
+        assert b.fetchall() == [("a-wins",)]
+
+    def test_lock_wait_timeout_is_serialization_error(self):
+        db = _db()
+        db.txn.lock_timeout = 0.02
+        a, b = _cursor(db), _cursor(db)
+        a.execute("BEGIN")
+        b.execute("BEGIN")
+        a.execute("UPDATE pts SET name = ? WHERE gid = 1", ("held",))
+        with pytest.raises(SerializationError):
+            b.execute("UPDATE pts SET name = ? WHERE gid = 1", ("blocked",))
+        # the winner is unaffected by the loser's abort
+        a.execute("COMMIT")
+        b.execute("ROLLBACK")
+        b.execute("SELECT name FROM pts WHERE gid = 1")
+        assert b.fetchall() == [("held",)]
+
+    def test_delete_delete_conflict(self):
+        db = _db()
+        a, b = _cursor(db), _cursor(db)
+        a.execute("BEGIN")
+        b.execute("BEGIN")
+        a.execute("DELETE FROM pts WHERE gid = 3")
+        a.execute("COMMIT")
+        with pytest.raises(SerializationError):
+            b.execute("DELETE FROM pts WHERE gid = 3")
+        b.execute("ROLLBACK")
+
+    def test_conflict_metrics_move(self):
+        db = _db()
+        before = db.txn.conflict_counter().value
+        a, b = _cursor(db), _cursor(db)
+        a.execute("BEGIN")
+        b.execute("BEGIN")
+        a.execute("UPDATE pts SET name = ? WHERE gid = 1", ("x",))
+        a.execute("COMMIT")
+        with pytest.raises(SerializationError):
+            b.execute("UPDATE pts SET name = ? WHERE gid = 1", ("y",))
+        b.execute("ROLLBACK")
+        assert db.txn.conflict_counter().value == before + 1
+
+    def test_serialization_error_is_transient_operational(self):
+        # the harness retry path keys on TransientError; PEP 249 callers
+        # catch OperationalError
+        assert issubclass(SerializationError, TransientError)
+        assert issubclass(SerializationError, OperationalError)
+
+
+class TestTransactionControl:
+    def test_nested_begin_rejected(self):
+        cur = _cursor(_db(index_kind=None))
+        cur.execute("BEGIN")
+        with pytest.raises(ProgrammingError):
+            cur.execute("BEGIN")
+        cur.execute("ROLLBACK")
+
+    def test_commit_rollback_without_txn_are_noops(self):
+        conn = connect(database=_db(index_kind=None))
+        cur = conn.cursor()
+        cur.execute("COMMIT")
+        cur.execute("ROLLBACK")
+        conn.commit()
+        conn.rollback()
+        assert conn.in_transaction is False
+
+    def test_syntax_variants_parse(self):
+        cur = _cursor(_db(index_kind=None))
+        for begin, end in (
+            ("BEGIN", "COMMIT"),
+            ("BEGIN WORK", "COMMIT WORK"),
+            ("BEGIN TRANSACTION", "END"),
+            ("START TRANSACTION", "END TRANSACTION"),
+        ):
+            cur.execute(begin)
+            cur.execute(end)
+
+    def test_connection_close_rolls_back(self):
+        db = _db(index_kind=None)
+        conn = connect(database=db)
+        cur = conn.cursor()
+        cur.execute("BEGIN")
+        cur.execute("DELETE FROM pts WHERE gid = 0")
+        conn.close()
+        assert db.txn.active_count == 0
+        assert _cursor(db).execute(
+            "SELECT COUNT(*) FROM pts"
+        ).fetchone()[0] == 20
+
+    def test_guard_deadline_aborts_transaction_cleanly(self):
+        db = _db()
+        conn = connect(database=db)
+        cur = conn.cursor()
+        cur.execute("BEGIN")
+        cur.execute(
+            "INSERT INTO pts VALUES (?, ?, ?)", (100, "doomed", "POINT(1 1)")
+        )
+        with pytest.raises(OperationalError):
+            cur.execute("SELECT COUNT(*) FROM pts", timeout=1e-9)
+        # the deadline mid-transaction rolled the whole transaction back
+        assert conn.in_transaction is False
+        assert db.txn.active_count == 0
+        assert _count(cur) == 20
+        # and the connection is immediately usable again
+        cur.execute("BEGIN")
+        cur.execute(
+            "INSERT INTO pts VALUES (?, ?, ?)", (101, "kept", "POINT(1 1)")
+        )
+        cur.execute("COMMIT")
+        assert _count(cur) == 21
+
+    def test_implicit_txn_for_autocommit_write_alongside_open_txn(self):
+        db = _db()
+        reader, writer = _cursor(db), _cursor(db)
+        reader.execute("BEGIN")
+        assert _count(reader) == 20
+        # auto-commit write while the reader's snapshot is open: the
+        # engine versions it via an implicit single-statement txn
+        writer.execute(
+            "INSERT INTO pts VALUES (?, ?, ?)", (100, "auto", "POINT(2 2)")
+        )
+        assert _count(reader) == 20
+        assert _count(writer) == 21
+        reader.execute("COMMIT")
+        assert _count(reader) == 21
+
+
+def _index_state(db: Database):
+    entries = list(db.catalog.indexes())
+    return {
+        entry.name: sorted(
+            (item_id, env.min_x, env.min_y, env.max_x, env.max_y)
+            for item_id, env in entry.index.items()
+        )
+        for entry in entries
+    }
+
+
+def _heap_state(db: Database):
+    # unallocated version arrays are equivalent to all-frozen ones, so
+    # normalize: rollback may leave the (all-zero) arrays allocated
+    table = db.catalog.table("pts")
+    n = len(table.rows)
+    xmin = [0] * n if table._xmin is None else list(table._xmin)
+    xmax = [0] * n if table._xmax is None else list(table._xmax)
+    return (
+        list(table.rows),
+        table.live_count,
+        xmin,
+        xmax,
+        table.mvcc_versions,
+    )
+
+
+@pytest.mark.parametrize("kind", ["rtree", "quadtree", "grid"])
+class TestRollbackRestores:
+    def test_rollback_is_bit_identical(self, kind):
+        db = _db(index_kind=kind)
+        cur = _cursor(db)
+        before_heap = _heap_state(db)
+        before_index = _index_state(db)
+        cur.execute("BEGIN")
+        cur.execute(
+            "INSERT INTO pts VALUES (?, ?, ?)", (100, "n1", "POINT(7 7)")
+        )
+        cur.execute("UPDATE pts SET g = ? WHERE gid = 1", ("POINT(40 40)",))
+        cur.execute("DELETE FROM pts WHERE gid = 2")
+        cur.execute(
+            "INSERT INTO pts VALUES (?, ?, ?)", (101, "n2", "POINT(8 8)")
+        )
+        cur.execute("ROLLBACK")
+        assert _heap_state(db) == before_heap
+        assert _index_state(db) == before_index
+        # probes still agree with the heap after the rollback
+        via_index = cur.execute(
+            "SELECT COUNT(*) FROM pts WHERE ST_Intersects(g, "
+            "ST_MakeEnvelope(-5, -5, 100, 100))"
+        ).fetchone()[0]
+        assert via_index == 20
+
+    def test_commit_then_vacuum_keeps_index_consistent(self, kind):
+        db = _db(index_kind=kind)
+        cur = _cursor(db)
+        cur.execute("BEGIN")
+        cur.execute("DELETE FROM pts WHERE gid = 2")
+        cur.execute("UPDATE pts SET g = ? WHERE gid = 3", ("POINT(60 60)",))
+        cur.execute("COMMIT")
+        # no other txns: garbage flushed, superseded versions vacuumed
+        assert db.txn.pending_garbage == 0
+        table = db.catalog.table("pts")
+        live = {row_id for row_id, _row in table.scan()}
+        for state in _index_state(db).values():
+            assert {entry[0] for entry in state} <= live
+        count = cur.execute("SELECT COUNT(*) FROM pts").fetchone()[0]
+        via_index = cur.execute(
+            "SELECT COUNT(*) FROM pts WHERE ST_Intersects(g, "
+            "ST_MakeEnvelope(-5, -5, 100, 100))"
+        ).fetchone()[0]
+        assert count == 19
+        assert via_index == 19
+
+
+# -- serial-replay equivalence (hypothesis) ---------------------------------
+
+_SEED_GIDS = tuple(range(6))
+
+
+@st.composite
+def _txn_ops(draw, session_id: int):
+    count = draw(st.integers(min_value=1, max_value=3))
+    ops = []
+    for k in range(count):
+        kind = draw(st.sampled_from(("update", "delete", "insert")))
+        if kind == "update":
+            gid = draw(st.sampled_from(_SEED_GIDS))
+            ops.append((
+                "UPDATE pts SET name = ? WHERE gid = ?",
+                (f"s{session_id}o{k}", gid),
+            ))
+        elif kind == "delete":
+            gid = draw(st.sampled_from(_SEED_GIDS))
+            ops.append(("DELETE FROM pts WHERE gid = ?", (gid,)))
+        else:
+            gid = 100 * session_id + k
+            ops.append((
+                "INSERT INTO pts VALUES (?, ?, ?)",
+                (gid, f"i{session_id}o{k}", f"POINT({gid % 50} {gid % 7})"),
+            ))
+    return ops
+
+
+@given(data=st.data())
+@settings(max_examples=25, deadline=None)
+def test_serial_replay_of_committed_txns_matches(data):
+    """Interleaved SI execution == serial replay of the committed txns.
+
+    Updates/deletes target only the seeded rows and inserts use disjoint
+    per-session gid ranges, so committed transactions have disjoint
+    write sets (first-updater-wins aborts any overlap) and their effects
+    commute — the regime where snapshot isolation is serializable.
+    """
+    ops = {1: data.draw(_txn_ops(1)), 2: data.draw(_txn_ops(2))}
+    # interleaving: a shuffle of which session issues its next statement
+    schedule = data.draw(
+        st.permutations([1] * len(ops[1]) + [2] * len(ops[2]))
+    )
+    commit_order = data.draw(st.permutations([1, 2]))
+
+    db = _db(index_kind="rtree", rows=len(_SEED_GIDS))
+    db.txn.lock_timeout = 0.01  # single-threaded: blocked == deadlocked
+    cursors = {1: _cursor(db), 2: _cursor(db)}
+    status = {1: "active", 2: "active"}
+    pending = {1: list(ops[1]), 2: list(ops[2])}
+    for sid in (1, 2):
+        cursors[sid].execute("BEGIN")
+    for sid in schedule:
+        if status[sid] != "active":
+            pending[sid].pop(0)
+            continue
+        sql, params = pending[sid].pop(0)
+        try:
+            cursors[sid].execute(sql, params)
+        except SerializationError:
+            cursors[sid].execute("ROLLBACK")
+            status[sid] = "aborted"
+    committed = []
+    for sid in commit_order:
+        if status[sid] == "active":
+            cursors[sid].execute("COMMIT")
+            status[sid] = "committed"
+            committed.append(sid)
+
+    replay = _db(index_kind="rtree", rows=len(_SEED_GIDS))
+    cur = _cursor(replay)
+    for sid in committed:
+        cur.execute("BEGIN")
+        for sql, params in ops[sid]:
+            cur.execute(sql, params)
+        cur.execute("COMMIT")
+
+    probe = "SELECT gid, name FROM pts ORDER BY gid, name"
+    assert db.execute(probe).rows == replay.execute(probe).rows
+    # both databases drained their version garbage
+    assert db.txn.active_count == 0 and db.txn.pending_garbage == 0

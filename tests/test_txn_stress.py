@@ -1,0 +1,124 @@
+"""Concurrency stress tests: shared-state thread safety + chaos rounds.
+
+Two regression families the single-threaded suite cannot catch:
+
+- ``test_eight_thread_read_hammer`` — eight threads hammer one
+  :class:`Database` through the plan/parse LRU caches, the per-statement
+  stats shards and the metrics registry. Before those structures were
+  locked this would corrupt cache dicts or drop stats merges.
+- ``TestChaosRounds`` — the mixed workload driver runs with every fault
+  point armed at low probability (including ``txn.commit``). The
+  acceptance bar: no exception other than :class:`ReproError` ever
+  escapes, aborted transactions roll back completely, and the engine
+  drains to a quiescent state afterwards.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.datagen.tiger import generate
+from repro.engines import Database
+from repro.faults import FAULTS
+from repro.workload import WorkloadConfig, run_workload
+
+THREADS = 8
+ITERATIONS = 40
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate(scale=0.05, seed=13)
+
+
+def test_eight_thread_read_hammer(dataset):
+    db = Database("greenwood")
+    dataset.load_into(db)
+    queries = [
+        "SELECT COUNT(*) FROM pointlm WHERE ST_Intersects(geom, "
+        "ST_MakeEnvelope(?, ?, ?, ?))",
+        "SELECT COUNT(*) FROM counties WHERE ST_Contains(geom, "
+        "ST_Point(?, ?))",
+        "SELECT COUNT(*) FROM edges WHERE ST_Intersects(geom, "
+        "ST_MakeEnvelope(?, ?, ?, ?))",
+    ]
+    world = dataset.world_size
+    # single-threaded reference answers, computed up front
+    args = [
+        (queries[0], (0.1 * world, 0.1 * world, 0.4 * world, 0.4 * world)),
+        (queries[1], (0.5 * world, 0.5 * world)),
+        (queries[2], (0.2 * world, 0.6 * world, 0.5 * world, 0.9 * world)),
+    ]
+    expected = [db.execute(sql, params).rows for sql, params in args]
+
+    failures = []
+    barrier = threading.Barrier(THREADS)
+
+    def hammer(thread_id: int) -> None:
+        try:
+            barrier.wait()
+            for i in range(ITERATIONS):
+                pick = (thread_id + i) % len(args)
+                sql, params = args[pick]
+                rows = db.execute(sql, params).rows
+                if rows != expected[pick]:
+                    failures.append(
+                        (thread_id, pick, rows, expected[pick])
+                    )
+        except BaseException as exc:  # noqa: BLE001 - report, don't hang
+            failures.append((thread_id, exc))
+
+    threads = [
+        threading.Thread(target=hammer, args=(t,), daemon=True)
+        for t in range(THREADS)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120)
+    assert not failures, failures
+    # the stats merge under load kept counters coherent: every execute
+    # records exactly one plan-cache lookup (hit or miss)
+    snap = db.stats.snapshot()
+    lookups = snap["plan_cache_hits"] + snap["plan_cache_misses"]
+    assert lookups >= THREADS * ITERATIONS
+
+
+class TestChaosRounds:
+    ROUNDS = 2
+    CLIENTS = 4
+
+    def test_mixed_workload_survives_fault_injection(self, dataset):
+        db = Database("greenwood")
+        dataset.load_into(db)
+        baseline = db.execute("SELECT COUNT(*) FROM pointlm").rows[0][0]
+        try:
+            for round_no in range(self.ROUNDS):
+                # arm AFTER loading so faults only hit workload traffic
+                FAULTS.arm_all(probability=0.01, seed=round_no + 1)
+                config = WorkloadConfig(
+                    clients=self.CLIENTS,
+                    duration=0.6,
+                    mix="mixed",
+                    seed=100 + round_no,
+                    lock_timeout=0.05,
+                )
+                report = run_workload(config, database=db, dataset=dataset)
+                # ReproError subclasses are contained by the driver as
+                # aborts/errors; anything else would have propagated out
+                # of run_workload and failed this test
+                assert len(report.clients) == self.CLIENTS
+                assert report.total_ops > 0
+        finally:
+            FAULTS.disarm_all()
+
+        # quiescent afterwards: no dangling txns, garbage drained, and
+        # the heap agrees with the index-backed count
+        assert db.txn.active_count == 0
+        assert db.txn.pending_garbage == 0
+        count = db.execute("SELECT COUNT(*) FROM pointlm").rows[0][0]
+        assert count >= baseline
+        table = db.catalog.table("pointlm")
+        assert count == table.live_count

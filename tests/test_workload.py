@@ -1,0 +1,148 @@
+"""Tests for the concurrent workload driver (repro.workload)."""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.datagen.tiger import generate
+from repro.engines import Database
+from repro.obs.telemetry import SCHEMA
+from repro.workload import (
+    MIXES,
+    WorkloadConfig,
+    get_mix,
+    render_workload,
+    run_workload,
+    write_workload_telemetry,
+)
+from repro.workload.mixes import (
+    INSERT_GID_BASE,
+    MixedMix,
+    ReadOnlyMix,
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate(scale=0.05, seed=7)
+
+
+@pytest.fixture(scope="module")
+def database(dataset):
+    db = Database("greenwood")
+    dataset.load_into(db)
+    return db
+
+
+class TestConfig:
+    def test_defaults_validate(self):
+        WorkloadConfig().validate()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"clients": 0},
+            {"duration": 0.0},
+            {"mix": "nope"},
+            {"mode": "sideways"},
+            {"rate": 0.0, "mode": "open"},
+            {"max_retries": -1},
+        ],
+    )
+    def test_bad_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            WorkloadConfig(**kwargs).validate()
+
+
+class TestMixes:
+    def test_registry(self):
+        assert set(MIXES) == {"read_only", "mixed"}
+
+    def test_read_only_never_writes(self):
+        mix = ReadOnlyMix()
+        rng = random.Random(1)
+        for _ in range(200):
+            op = mix.next_operation(rng, client_id=0)
+            assert op.kind == "read"
+            assert len(op.statements) == 1
+            assert op.statements[0][0].lstrip().startswith("SELECT")
+
+    def test_mixed_stream_is_deterministic(self):
+        a, b = MixedMix([1, 2, 3]), MixedMix([1, 2, 3])
+        rng_a, rng_b = random.Random(9), random.Random(9)
+        ops_a = [a.next_operation(rng_a, 0) for _ in range(50)]
+        ops_b = [b.next_operation(rng_b, 0) for _ in range(50)]
+        assert ops_a == ops_b
+
+    def test_mixed_insert_gids_disjoint_across_clients(self):
+        mix = MixedMix([1, 2, 3])
+        gids = {0: set(), 1: set()}
+        rng = random.Random(3)
+        for client in (0, 1):
+            for _ in range(100):
+                op = mix.next_operation(rng, client)
+                if op.label == "insert":
+                    gids[client].add(op.statements[0][1][0])
+        assert gids[0] and gids[1]
+        assert not (gids[0] & gids[1])
+        assert all(g >= INSERT_GID_BASE for g in gids[0] | gids[1])
+
+    def test_get_mix_samples_hot_pool(self, database):
+        mix = get_mix("mixed", database)
+        assert mix.hot_gids
+        with pytest.raises(ValueError):
+            get_mix("bogus", database)
+
+
+class TestRunWorkload:
+    def test_read_only_round(self, database, dataset):
+        config = WorkloadConfig(
+            clients=2, duration=0.3, mix="read_only", seed=11
+        )
+        report = run_workload(config, database=database, dataset=dataset)
+        assert len(report.clients) == 2
+        assert report.total_ops > 0
+        assert report.total_writes == 0
+        assert report.total_errors == 0
+        assert report.wall_seconds > 0
+        assert report.queries_per_minute > 0
+
+    def test_mixed_round_commits_and_contains_errors(self, database, dataset):
+        config = WorkloadConfig(
+            clients=2, duration=0.4, mix="mixed", seed=11, lock_timeout=0.05
+        )
+        report = run_workload(config, database=database, dataset=dataset)
+        assert report.total_commits > 0
+        assert report.total_errors == 0
+        assert 0.0 <= report.abort_rate < 1.0
+        # nothing leaked: the engine is back to a quiescent state
+        assert database.txn.active_count == 0
+
+    def test_open_loop_paces_arrivals(self, database, dataset):
+        config = WorkloadConfig(
+            clients=1, duration=0.5, mix="read_only", mode="open", rate=10.0,
+            seed=5,
+        )
+        report = run_workload(config, database=database, dataset=dataset)
+        # ~rate*duration arrivals; allow wide slack for scheduling jitter
+        assert 1 <= report.total_ops <= 20
+
+    def test_render_and_telemetry(self, database, dataset, tmp_path):
+        config = WorkloadConfig(
+            clients=2, duration=0.3, mix="mixed", seed=11
+        )
+        report = run_workload(config, database=database, dataset=dataset)
+        text = render_workload(report)
+        assert "clients" in text and "q/min" in text
+        path = write_workload_telemetry(report, tmp_path)
+        with open(path, encoding="utf-8") as handle:
+            doc = json.load(handle)
+        assert doc["schema"] == SCHEMA
+        assert doc["config"]["mix"] == "mixed"
+        assert len(doc["records"]) == 2
+        assert all(r["suite"] == "workload" for r in doc["records"])
+        assert sum(r["ops"] for r in doc["records"]) == report.total_ops
+        assert doc["totals"]["ops"] == report.total_ops
