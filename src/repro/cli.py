@@ -99,6 +99,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="statement(s) to run instead of the default probe workload "
              "(repeatable)",
     )
+    stats.add_argument(
+        "--waits", action="store_true",
+        help="also record wait events and print the per-event summary",
+    )
 
     experiment = sub.add_parser(
         "experiment", help="run one of the standalone experiments"
@@ -119,6 +123,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--distribution", choices=["uniform", "clustered"],
         default="uniform",
         help="landmark placement for ja2 (clustered = urban skew)",
+    )
+    experiment.add_argument(
+        "--waits", action="store_true",
+        help="jx2/jx4: record wait events and append the wall-time "
+             "decomposition per client count",
     )
 
     workload = sub.add_parser(
@@ -153,6 +162,63 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the workload telemetry JSON artifact into DIR "
              "(same schema family as 'jackpine run --telemetry')",
     )
+    workload.add_argument(
+        "--waits", action="store_true",
+        help="record wait events + ASH samples; print the wall-time "
+             "decomposition and hottest rows, and export both in the "
+             "telemetry artifact",
+    )
+
+    top = sub.add_parser(
+        "top",
+        help="live active-session view (pg_stat_activity style) over a "
+             "workload driven in the background",
+    )
+    top.add_argument("--engine", default="greenwood",
+                     choices=list(ENGINE_NAMES))
+    top.add_argument("--clients", type=int, default=4)
+    top.add_argument(
+        "--duration", type=float, default=5.0, metavar="SECONDS",
+        help="how long the background workload runs",
+    )
+    top.add_argument(
+        "--mix", choices=["read_only", "mixed"], default="mixed",
+    )
+    top.add_argument("--seed", type=int, default=42)
+    top.add_argument("--scale", type=float, default=0.25)
+    top.add_argument(
+        "--refresh", type=float, default=0.5, metavar="SECONDS",
+        help="screen refresh period",
+    )
+    top.add_argument(
+        "--plain", action="store_true",
+        help="print each frame instead of redrawing in place "
+             "(for logs, pipes and tests)",
+    )
+
+    bench = sub.add_parser(
+        "bench",
+        help="record or compare the benchmark trajectory "
+             "(median join latencies + J-X4 abort rates over time)",
+    )
+    bench.add_argument("--engine", default="greenwood",
+                       choices=list(ENGINE_NAMES))
+    bench.add_argument("--seed", type=int, default=42)
+    bench.add_argument("--scale", type=float, default=0.1)
+    bench.add_argument(
+        "--record", default=None, metavar="FILE",
+        help="append a dated trajectory record to FILE (created if absent)",
+    )
+    bench.add_argument(
+        "--compare", default=None, metavar="BASELINE",
+        help="compare a fresh measurement against the last record in "
+             "BASELINE and print per-metric deltas",
+    )
+    bench.add_argument(
+        "--threshold", type=float, default=0.25, metavar="FRACTION",
+        help="with --compare: exit nonzero when any latency regresses "
+             "by more than this fraction (default 0.25)",
+    )
     return parser
 
 
@@ -184,11 +250,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             ))
         elif args.which == "jx2":
             print(exp.render_concurrency(
-                exp.run_concurrency(seed=args.seed, scale=args.scale)
+                exp.run_concurrency(seed=args.seed, scale=args.scale,
+                                    waits=args.waits)
             ))
         elif args.which == "jx4":
             print(exp.render_mixed_workload(
-                exp.run_mixed_workload(seed=args.seed, scale=args.scale)
+                exp.run_mixed_workload(seed=args.seed, scale=args.scale,
+                                       waits=args.waits)
             ))
         else:
             print(exp.render_spatial_join(
@@ -207,6 +275,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_stats(args)
     if args.command == "workload":
         return _run_workload(args)
+    if args.command == "top":
+        return _run_top(args)
+    if args.command == "bench":
+        return _run_bench(args)
 
     return _run_suites(args)
 
@@ -246,6 +318,11 @@ def _run_stats(args) -> int:
     generate(seed=args.seed, scale=args.scale).load_into(db)
     db.obs.enable_metrics()
     db.obs.enable_tracing()
+    if args.waits:
+        from repro.obs.waits import WAITS
+
+        WAITS.enable()
+        WAITS.reset()
     for name, help_text in _RESILIENCE_COUNTERS:
         db.obs.metrics.counter(name, help_text)
     for sql in args.sql or _STATS_PROBES:
@@ -272,6 +349,22 @@ def _run_stats(args) -> int:
     if hist.count:
         print(f"jackpine_txn_lock_wait_seconds_sum {hist.sum:.6f}")
         print(f"jackpine_txn_lock_wait_seconds_p95 {hist.p95:.6f}")
+    if args.waits:
+        from repro.obs.waits import WAITS
+
+        print()
+        print("-- wait events (count, seconds, p95)")
+        summary = WAITS.summary()
+        if not summary:
+            print("(none recorded)")
+        for event, entry in sorted(summary.items()):
+            p95 = entry.get("p95")
+            p95_text = f" p95={p95 * 1e3:.3f}ms" if p95 is not None else ""
+            print(
+                f"{event:<28s} count={entry['count']:<7d} "
+                f"seconds={entry['seconds']:.6f}{p95_text}"
+            )
+        WAITS.disable()
     return 0
 
 
@@ -292,12 +385,121 @@ def _run_workload(args) -> int:
         rate=args.rate,
         seed=args.seed,
         scale=args.scale,
+        waits=args.waits,
     )
     report = run_workload(config)
     print(render_workload(report))
     if args.telemetry:
         print(f"wrote {write_workload_telemetry(report, args.telemetry)}")
     return 0
+
+
+def _run_top(args) -> int:
+    """``jackpine top``: drive a workload on a background thread and
+    live-render the active-session table from ASH snapshots.
+
+    The engine is embedded (no server process to attach to), so the
+    workload and the view share this process — exactly how the other
+    experiments run, but with the monitor's ``pg_stat_activity`` view
+    refreshed on screen while they do.
+    """
+    import threading
+    import time as time_mod
+
+    from repro.obs.ash import AshSampler, render_sessions
+    from repro.obs.waits import WAITS, WaitAttribution
+    from repro.workload import WorkloadConfig, run_workload
+
+    config = WorkloadConfig(
+        clients=args.clients,
+        duration=args.duration,
+        mix=args.mix,
+        engine=args.engine,
+        seed=args.seed,
+        scale=args.scale,
+    )
+    config.validate()
+    print(f"loading {args.engine} at scale {args.scale} ...")
+    WAITS.enable()
+    WAITS.reset()
+    sampler = AshSampler(monitor=WAITS)
+    sampler.start()
+    reports = {}
+    failures = []
+
+    def drive() -> None:
+        try:
+            reports["report"] = run_workload(config)
+        except BaseException as exc:  # noqa: BLE001 - reported below
+            failures.append(exc)
+
+    worker = threading.Thread(target=drive, name="jackpine-top-workload",
+                              daemon=True)
+    worker.start()
+    started = time_mod.perf_counter()
+    try:
+        while worker.is_alive():
+            sessions = WAITS.active_sessions()
+            elapsed = time_mod.perf_counter() - started
+            frame = render_sessions(sessions, now_label=f"{elapsed:.1f}s")
+            if args.plain:
+                print(frame)
+            else:
+                # ANSI clear + home, then the frame — a live refresh
+                print(f"\x1b[2J\x1b[H{frame}", flush=True)
+            worker.join(timeout=args.refresh)
+        worker.join()
+    finally:
+        sampler.stop()
+        attribution = WaitAttribution.capture(
+            WAITS, busy_seconds=args.duration * args.clients
+        )
+        WAITS.disable()
+    if failures:
+        raise failures[0]
+    print()
+    print(attribution.render(title="wall-time decomposition (all clients)"))
+    states = sampler.wait_state_counts()
+    if states:
+        top_states = ", ".join(
+            f"{state}={count}" for state, count in sorted(
+                states.items(), key=lambda item: -item[1]
+            )[:4]
+        )
+        print(f"ash: {len(sampler.samples())} samples   "
+              f"top states: {top_states}")
+    return 0
+
+
+def _run_bench(args) -> int:
+    from repro.core.trajectory import (
+        collect_record,
+        compare_against,
+        record_to,
+        render_comparison,
+        render_record,
+    )
+
+    if not args.record and not args.compare:
+        print("jackpine bench: pass --record FILE and/or --compare BASELINE",
+              file=sys.stderr)
+        return 2
+    record = collect_record(
+        engine=args.engine, seed=args.seed, scale=args.scale
+    )
+    print(render_record(record))
+    status = 0
+    if args.compare:
+        comparison = compare_against(args.compare, record,
+                                     threshold=args.threshold)
+        print()
+        print(render_comparison(comparison))
+        if comparison.regressed:
+            status = 1
+    if args.record:
+        path = record_to(args.record, record)
+        print(f"\nrecorded to {path}")
+    return status
 
 
 def _run_suites(args) -> int:

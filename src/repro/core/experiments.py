@@ -388,6 +388,8 @@ class ConcurrencyResult:
     engine: str
     # [(clients, wall_seconds, total_queries, aggregate_qpm)]
     points: List[Tuple[int, float, int, float]] = field(default_factory=list)
+    #: one wall-time decomposition per point, when run with ``waits=True``
+    attributions: List[Any] = field(default_factory=list)
 
 
 def run_concurrency(
@@ -396,6 +398,7 @@ def run_concurrency(
     clients_series: Sequence[int] = (1, 2, 4),
     seed: int = 42,
     scale: float = 0.25,
+    waits: bool = False,
 ) -> ConcurrencyResult:
     """J-X2: read-only throughput with N concurrent clients (extension).
 
@@ -428,7 +431,20 @@ def run_concurrency(
                 if not step.skipped:
                     report.latency.observe(step.seconds)
 
-        wall, reports = run_client_threads(db, clients, body)
+        if waits:
+            from repro.obs.waits import WAITS, WaitAttribution
+
+            WAITS.enable()
+            WAITS.reset()
+            try:
+                wall, reports = run_client_threads(db, clients, body)
+                result.attributions.append(WaitAttribution.capture(
+                    WAITS, busy_seconds=wall * clients
+                ))
+            finally:
+                WAITS.disable()
+        else:
+            wall, reports = run_client_threads(db, clients, body)
         total_queries = sum(report.ops for report in reports)
         qpm = 60.0 * total_queries / wall if wall else 0.0
         result.points.append((clients, wall, total_queries, qpm))
@@ -447,6 +463,13 @@ def render_concurrency(result: ConcurrencyResult) -> str:
         lines.append(
             f"{clients:>8d} {wall:>9.2f}s {total:>9d} {qpm:>10.0f}"
         )
+    for (clients, _wall, _total, _qpm), attribution in zip(
+        result.points, result.attributions
+    ):
+        lines.append("")
+        lines.append(attribution.render(
+            title=f"wall-time decomposition @ {clients} client(s)"
+        ))
     return "\n".join(lines)
 
 
@@ -463,6 +486,10 @@ class MixedThroughputResult:
     points: List[Tuple[int, float, int, float, int, int, int, float]] = field(
         default_factory=list
     )
+    #: one wall-time decomposition per point, when run with ``waits=True``
+    attributions: List[Any] = field(default_factory=list)
+    #: per-lock-key hot-row tables matching ``attributions``
+    hottest: List[List[Dict[str, Any]]] = field(default_factory=list)
 
 
 def run_mixed_workload(
@@ -472,6 +499,7 @@ def run_mixed_workload(
     scale: float = 0.25,
     duration: float = 2.0,
     mix: str = "mixed",
+    waits: bool = False,
 ) -> MixedThroughputResult:
     """J-X4: mixed read/write throughput and abort rate vs client count.
 
@@ -492,9 +520,12 @@ def run_mixed_workload(
     for clients in clients_series:
         config = WorkloadConfig(
             clients=clients, duration=duration, mix=mix, engine=engine,
-            seed=seed, scale=scale,
+            seed=seed, scale=scale, waits=waits,
         )
         report = run_workload(config, database=db)
+        if report.attribution is not None:
+            result.attributions.append(report.attribution)
+            result.hottest.append(report.hottest_rows)
         result.points.append((
             clients,
             report.wall_seconds,
@@ -525,6 +556,11 @@ def render_mixed_workload(result: MixedThroughputResult) -> str:
             f"{commits:>8d} {aborts:>7d} {retries:>8d} "
             f"{abort_rate:>7.1%}"
         )
+    for point, attribution in zip(result.points, result.attributions):
+        lines.append("")
+        lines.append(attribution.render(
+            title=f"wall-time decomposition @ {point[0]} client(s)"
+        ))
     return "\n".join(lines)
 
 

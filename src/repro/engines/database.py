@@ -37,6 +37,7 @@ from repro.guard import CancelToken, ExecutionGuard, Guardrails
 from repro.index import make_index
 from repro.index.base import SpatialIndex
 from repro.obs import Observability, Trace
+from repro.obs.waits import WAITS, WaitAttribution, summary_delta
 from repro.sql import ast
 from repro.sql.executor import Compiler, ExecContext, Scope, SpanNode, Stats
 from repro.sql.functions import FunctionRegistry
@@ -170,18 +171,32 @@ class Database:
             cancel=cancel,
         )
         statement = self._parse_statement(sql)
-        if is_txn_control(statement):
-            with self._latch.exclusive():
-                return self._run_txn_control(statement, session)
+        waits_on = WAITS.enabled
+        if waits_on:
+            txn = session.txn
+            WAITS.begin_statement(
+                sql, self.profile.name,
+                txn.txid if txn is not None else None,
+                session.session_id,
+            )
         try:
-            if self.obs.active:
-                return self._execute_observed(
+            if is_txn_control(statement):
+                with self._latch.exclusive():
+                    return self._run_txn_control(statement, session)
+            try:
+                if self.obs.active:
+                    return self._execute_observed(
+                        sql, statement, params, guard, session
+                    )
+                return self._execute_plain(
                     sql, statement, params, guard, session
                 )
-            return self._execute_plain(sql, statement, params, guard, session)
-        except ReproError:
-            self._abort_session(session)
-            raise
+            except ReproError:
+                self._abort_session(session)
+                raise
+        finally:
+            if waits_on:
+                WAITS.end_statement()
 
     def _execute_plain(
         self,
@@ -193,6 +208,9 @@ class Database:
     ) -> ResultSet:
         if isinstance(statement, ast.Select):
             shard = Stats()
+            if WAITS.enabled:
+                # the live shard is the ASH rows-processed progress counter
+                WAITS.attach_shard(shard)
             with self._latch.shared():
                 plan, names = self._cached_plan(sql, statement, shard)
                 ctx = ExecContext(
@@ -320,6 +338,8 @@ class Database:
         if obs.hooks.query_start:
             obs.hooks.fire_query_start(sql, params_tuple)
         shard = Stats()
+        if WAITS.enabled:
+            WAITS.attach_shard(shard)
         started_at = _time.time()
         start = _time.perf_counter()
         root = None
@@ -517,15 +537,15 @@ class Database:
             self._latch.release_exclusive()
             try:
                 try:
-                    waited = locks.acquire(
-                        key, txn.txid, self.txn.lock_timeout
-                    )
+                    # acquire records the LockManager:RowLock wait event
+                    # and feeds the lock-wait histogram via the manager's
+                    # on_wait callback (one measurement, two views)
+                    locks.acquire(key, txn.txid, self.txn.lock_timeout)
                 except SerializationError:
                     self.txn.conflict_counter().inc()
                     raise
             finally:
                 self._latch.acquire_exclusive()
-            self.txn.lock_wait_histogram().observe(waited)
         row = table.rows[row_id]
         if row is None:
             self.txn.conflict_counter().inc()
@@ -578,17 +598,45 @@ class Database:
         plan, _names = self._planner.plan_select(statement)
         wrapped = SpanNode(plan)
         shard = Stats()
-        with self._latch.shared():
-            ctx = ExecContext(
-                tuple(params), self.profile, self.registry, self.catalog,
-                shard, None, self._snapshot_for(self._session),
-            )
-            try:
-                emitted = sum(1 for _row in wrapped.rows(ctx))
-            finally:
-                self._merge_stats(shard)
+        waits_on = WAITS.enabled
+        waits_before = WAITS.summary() if waits_on else None
+        if waits_on:
+            WAITS.begin_statement(sql, self.profile.name, None,
+                                  self._session.session_id)
+            WAITS.attach_shard(shard)
+        import time as _time
+
+        started = _time.perf_counter()
+        try:
+            with self._latch.shared():
+                ctx = ExecContext(
+                    tuple(params), self.profile, self.registry, self.catalog,
+                    shard, None, self._snapshot_for(self._session),
+                )
+                try:
+                    emitted = sum(1 for _row in wrapped.rows(ctx))
+                finally:
+                    self._merge_stats(shard)
+        finally:
+            if waits_on:
+                WAITS.end_statement()
+        elapsed = _time.perf_counter() - started
         lines = wrapped.explain()
         lines.append(f"Total output rows: {emitted}")
+        if waits_on:
+            delta = summary_delta(waits_before, WAITS.summary())
+            lines.append("Waits (this statement):")
+            if delta:
+                for event, entry in sorted(delta.items()):
+                    share = (
+                        100.0 * entry["seconds"] / elapsed if elapsed else 0.0
+                    )
+                    lines.append(
+                        f"  {event:<26s} count={entry['count']:<7d} "
+                        f"seconds={entry['seconds']:.6f} ({share:.1f}%)"
+                    )
+            else:
+                lines.append("  (none recorded)")
         return "\n".join(lines)
 
     # -- statement runners -----------------------------------------------------

@@ -28,6 +28,7 @@ work:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, FrozenSet, Optional
 
@@ -35,6 +36,7 @@ from repro.algorithms import de9im
 from repro.errors import TopologyError, UnsupportedFeatureError
 from repro.faults import FAULTS
 from repro.geometry.base import Envelope, Geometry
+from repro.obs.waits import CPU_REFINE, WAITS
 
 #: predicate name -> DE-9IM pattern(s) used by full-matrix refinement
 _PREDICATE_PATTERNS = {
@@ -176,6 +178,17 @@ class EngineProfile:
         count a degraded result on ``stats`` — mirroring how the paper's
         engines differ in what they do with numerically hostile input.
         """
+        if WAITS.enabled:
+            # attribute refinement as on-CPU time (CPU:Refine); one bool
+            # check when the monitor is off, matching the FAULTS contract
+            started = time.perf_counter()
+            try:
+                return self._refine_fallback(name, ga, gb, stats)
+            finally:
+                WAITS.record(CPU_REFINE, time.perf_counter() - started)
+        return self._refine_fallback(name, ga, gb, stats)
+
+    def _refine_fallback(self, name, ga, gb, stats=None) -> bool:
         try:
             return self.evaluate_predicate(name, ga, gb)
         except TopologyError:

@@ -29,6 +29,7 @@ from repro.errors import (
     QueryCancelledError,
     QueryTimeoutError,
 )
+from repro.obs.waits import GUARD_TICK, WAITS
 
 #: rows processed between two full guard checks (amortisation window)
 CHECK_EVERY = 256
@@ -95,7 +96,18 @@ class ExecutionGuard:
         self._countdown -= n
         if self._countdown <= 0:
             self._countdown = CHECK_EVERY
-            self.check()
+            if WAITS.enabled:
+                # the full check is already amortised to every CHECK_EVERY
+                # rows, so timing it here costs nothing on the row path
+                started = time.perf_counter()
+                try:
+                    self.check()
+                finally:
+                    WAITS.record(
+                        GUARD_TICK, time.perf_counter() - started
+                    )
+            else:
+                self.check()
 
     def check(self) -> None:
         """The unamortised check: cancellation first, then the deadline."""

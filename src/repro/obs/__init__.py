@@ -22,18 +22,25 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Callable, Deque, Optional
 
+from repro.obs.ash import AshSampler
 from repro.obs.hooks import Hooks
 from repro.obs.metrics import GLOBAL, Histogram, MetricsRegistry, percentile_of
 from repro.obs.span import Span
 from repro.obs.trace import Trace
+from repro.obs.waits import WAIT_EVENTS, WAITS, WaitAttribution, WaitMonitor
 
 __all__ = [
     "GLOBAL",
+    "AshSampler",
     "Hooks",
     "MetricsRegistry",
     "Observability",
     "Span",
     "Trace",
+    "WAIT_EVENTS",
+    "WAITS",
+    "WaitAttribution",
+    "WaitMonitor",
     "percentile_of",
 ]
 

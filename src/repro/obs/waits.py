@@ -1,0 +1,570 @@
+"""Wait-event instrumentation: where threads spend their time.
+
+Modeled on Postgres's ``pg_stat_activity`` wait-event taxonomy: every
+place the engine can block — row locks, the statement latch, dump I/O,
+client-side retry/backoff — plus the attributed on-CPU hot paths
+(refinement, index probes, sorts) and the guardrail tick, is a *wait
+event* from a closed taxonomy (:data:`WAIT_EVENTS`). When the process-
+wide :data:`WAITS` monitor is enabled, each site records a timed
+:class:`WaitRecord` into a per-thread ring buffer (no cross-thread locks
+on the record path beyond the histogram's) and bumps per-event
+aggregates; when it is disabled, every site costs exactly one attribute
+read and a branch — the same contract as :data:`~repro.faults.FAULTS`
+and the observability switchboard, pinned by
+``benchmarks/test_bench_waits_overhead.py``.
+
+Three consumers sit on top:
+
+- the ASH sampler (:mod:`repro.obs.ash`) snapshots each thread's
+  *current* statement and wait state at a fixed interval;
+- :class:`WaitAttribution` decomposes wall time into wait classes and
+  on-CPU buckets with p50/p95/p99 per event (``EXPLAIN ANALYZE``,
+  ``jackpine stats``, the J-X2/J-X4 reports);
+- the per-lock-key "hottest rows" table names the rows contended
+  workloads actually fight over.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs.metrics import Histogram
+
+__all__ = [
+    "WAIT_EVENTS",
+    "WAIT_CLASSES",
+    "CPU_CLASS",
+    "WAITS",
+    "WaitMonitor",
+    "WaitRecord",
+    "WaitRing",
+    "WaitAttribution",
+    "LOCK_ROW",
+    "LATCH_SHARED",
+    "LATCH_EXCLUSIVE",
+    "IO_DUMP_READ",
+    "IO_DUMP_WRITE",
+    "CPU_REFINE",
+    "CPU_INDEX_PROBE",
+    "CPU_SORT",
+    "CLIENT_RETRY",
+    "CLIENT_BACKOFF",
+    "GUARD_TICK",
+]
+
+# -- the closed taxonomy ----------------------------------------------------
+
+LOCK_ROW = "LockManager:RowLock"
+LATCH_SHARED = "Latch:StatementShared"
+LATCH_EXCLUSIVE = "Latch:StatementExclusive"
+IO_DUMP_READ = "IO:DumpRead"
+IO_DUMP_WRITE = "IO:DumpWrite"
+CPU_REFINE = "CPU:Refine"
+CPU_INDEX_PROBE = "CPU:IndexProbe"
+CPU_SORT = "CPU:Sort"
+CLIENT_RETRY = "Client:Retry"
+CLIENT_BACKOFF = "Client:Backoff"
+GUARD_TICK = "Guard:Tick"
+
+#: every wait event compiled into the engine, event -> the site that
+#: emits it. The taxonomy is *closed*: recording an unknown event raises.
+WAIT_EVENTS: Dict[str, str] = {
+    LOCK_ROW: "RowLockTable.acquire — blocked on a row write lock",
+    LATCH_SHARED: "SharedExclusiveLock.acquire_shared — statement latch",
+    LATCH_EXCLUSIVE: "SharedExclusiveLock.acquire_exclusive — statement latch",
+    IO_DUMP_READ: "restore/load_database — reading a dump stream",
+    IO_DUMP_WRITE: "dump/save_database — writing a dump stream",
+    CPU_REFINE: "EngineProfile.refine_predicate — exact geometry refinement",
+    CPU_INDEX_PROBE: "IndexScan / IndexNestedLoopJoin — spatial index search",
+    CPU_SORT: "Sort operator — materialise + multi-key sort",
+    CLIENT_RETRY: "workload driver — rolling back an aborted transaction",
+    CLIENT_BACKOFF: "workload driver — jittered backoff sleep before retry",
+    GUARD_TICK: "ExecutionGuard — amortised deadline/cancellation check",
+}
+
+#: event-name prefix identifying attributed on-CPU work (not off-CPU waits)
+CPU_CLASS = "CPU"
+
+#: every class in the taxonomy, in report order (waits first, CPU last)
+WAIT_CLASSES: Tuple[str, ...] = (
+    "LockManager", "Latch", "IO", "Client", "Guard", CPU_CLASS,
+)
+
+
+class WaitRecord:
+    """One finished timed wait (or attributed on-CPU stretch)."""
+
+    __slots__ = ("event", "seconds", "detail", "thread_id", "ended_at")
+
+    def __init__(self, event: str, seconds: float, detail: Any,
+                 thread_id: int, ended_at: float):
+        self.event = event
+        self.seconds = seconds
+        self.detail = detail
+        self.thread_id = thread_id
+        self.ended_at = ended_at
+
+    def as_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "event": self.event,
+            "seconds": self.seconds,
+            "thread_id": self.thread_id,
+            "ended_at": self.ended_at,
+        }
+        if self.detail is not None:
+            out["detail"] = (
+                list(self.detail) if isinstance(self.detail, tuple)
+                else self.detail
+            )
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"WaitRecord({self.event}, {self.seconds * 1e3:.3f}ms, "
+            f"detail={self.detail!r})"
+        )
+
+
+class WaitRing:
+    """Fixed-capacity overwrite-oldest ring of :class:`WaitRecord`.
+
+    Owned by exactly one thread; appends are plain index arithmetic (no
+    locks). Readers from other threads (the ASH sampler, reports) get a
+    best-effort snapshot — records are immutable once appended, so the
+    worst race is seeing a slot mid-overwrite, never a torn record.
+    """
+
+    __slots__ = ("capacity", "_slots", "_next", "appended")
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError("ring capacity must be >= 1")
+        self.capacity = capacity
+        self._slots: List[Optional[WaitRecord]] = [None] * capacity
+        self._next = 0
+        self.appended = 0
+
+    def append(self, record: WaitRecord) -> None:
+        self._slots[self._next] = record
+        self._next = (self._next + 1) % self.capacity
+        self.appended += 1
+
+    def __len__(self) -> int:
+        return min(self.appended, self.capacity)
+
+    @property
+    def dropped(self) -> int:
+        """Records overwritten before anyone could read them."""
+        return max(0, self.appended - self.capacity)
+
+    def snapshot(self) -> List[WaitRecord]:
+        """Records oldest -> newest (at most ``capacity`` of them)."""
+        if self.appended <= self.capacity:
+            return [r for r in self._slots[: self._next] if r is not None]
+        head = self._next
+        out = self._slots[head:] + self._slots[:head]
+        return [r for r in out if r is not None]
+
+
+class _ThreadState:
+    """Everything the monitor tracks for one thread."""
+
+    __slots__ = (
+        "thread_id", "ring", "totals",
+        "current_wait", "current_wait_detail", "current_wait_since",
+        "statement", "engine", "txid", "session_id", "statement_since",
+        "shard",
+    )
+
+    def __init__(self, thread_id: int, ring_capacity: int):
+        self.thread_id = thread_id
+        self.ring = WaitRing(ring_capacity)
+        #: event -> [count, total_seconds]
+        self.totals: Dict[str, List[float]] = {}
+        self.current_wait: Optional[str] = None
+        self.current_wait_detail: Any = None
+        self.current_wait_since = 0.0
+        self.statement: Optional[str] = None
+        self.engine: Optional[str] = None
+        self.txid: Optional[int] = None
+        self.session_id: Optional[int] = None
+        self.statement_since = 0.0
+        #: live per-statement Stats shard (rows-processed progress)
+        self.shard: Any = None
+
+
+class _WaitToken:
+    """In-flight wait handed out by :meth:`WaitMonitor.begin_wait`."""
+
+    __slots__ = ("event", "detail", "state", "started")
+
+    def __init__(self, event: str, detail: Any, state: _ThreadState,
+                 started: float):
+        self.event = event
+        self.detail = detail
+        self.state = state
+        self.started = started
+
+
+class WaitMonitor:
+    """Process-wide wait-event switchboard (see module docstring)."""
+
+    #: per-thread ring capacity when :meth:`enable` is given none
+    DEFAULT_RING_CAPACITY = 4096
+
+    def __init__(self) -> None:
+        #: the one flag every instrumented site reads on its hot path
+        self.enabled = False
+        self._ring_capacity = self.DEFAULT_RING_CAPACITY
+        self._mutex = threading.Lock()
+        self._states: Dict[int, _ThreadState] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        #: LockManager:RowLock detail -> [count, total_seconds]
+        self._lock_keys: Dict[Any, List[float]] = {}
+
+    # -- switches ----------------------------------------------------------
+
+    def enable(self, ring_capacity: Optional[int] = None) -> "WaitMonitor":
+        if ring_capacity is not None:
+            self._ring_capacity = int(ring_capacity)
+        self.enabled = True
+        return self
+
+    def disable(self) -> "WaitMonitor":
+        self.enabled = False
+        return self
+
+    def reset(self) -> None:
+        """Forget every record, aggregate and thread state."""
+        with self._mutex:
+            self._states.clear()
+            self._histograms.clear()
+            self._lock_keys.clear()
+
+    # -- per-thread state --------------------------------------------------
+
+    def state(self) -> _ThreadState:
+        tid = threading.get_ident()
+        state = self._states.get(tid)
+        if state is None:
+            with self._mutex:
+                state = self._states.get(tid)
+                if state is None:
+                    state = _ThreadState(tid, self._ring_capacity)
+                    self._states[tid] = state
+        return state
+
+    def thread_states(self) -> List[_ThreadState]:
+        with self._mutex:
+            return list(self._states.values())
+
+    # -- recording ---------------------------------------------------------
+
+    def begin_wait(self, event: str, detail: Any = None) -> _WaitToken:
+        """Mark this thread as waiting on ``event`` (visible to ASH)."""
+        state = self.state()
+        started = time.perf_counter()
+        state.current_wait = event
+        state.current_wait_detail = detail
+        state.current_wait_since = started
+        return _WaitToken(event, detail, state, started)
+
+    def end_wait(self, token: _WaitToken) -> float:
+        """Finish an in-flight wait; records it and returns its seconds."""
+        seconds = time.perf_counter() - token.started
+        state = token.state
+        state.current_wait = None
+        state.current_wait_detail = None
+        self._record(state, token.event, seconds, token.detail)
+        return seconds
+
+    def record(self, event: str, seconds: float, detail: Any = None) -> None:
+        """Record an already-measured wait on the calling thread."""
+        self._record(self.state(), event, seconds, detail)
+
+    def _record(self, state: _ThreadState, event: str, seconds: float,
+                detail: Any) -> None:
+        if event not in WAIT_EVENTS:
+            raise KeyError(
+                f"unknown wait event {event!r}; the taxonomy is closed "
+                f"(see repro.obs.waits.WAIT_EVENTS)"
+            )
+        state.ring.append(WaitRecord(
+            event, seconds, detail, state.thread_id, time.time()
+        ))
+        totals = state.totals.get(event)
+        if totals is None:
+            totals = state.totals[event] = [0, 0.0]
+        totals[0] += 1
+        totals[1] += seconds
+        self._histogram(event).observe(seconds)
+        if detail is not None and event == LOCK_ROW:
+            with self._mutex:
+                entry = self._lock_keys.get(detail)
+                if entry is None:
+                    entry = self._lock_keys[detail] = [0, 0.0]
+                entry[0] += 1
+                entry[1] += seconds
+
+    def _histogram(self, event: str) -> Histogram:
+        hist = self._histograms.get(event)
+        if hist is None:
+            with self._mutex:
+                hist = self._histograms.get(event)
+                if hist is None:
+                    hist = self._histograms[event] = Histogram(
+                        f"wait_{event}", WAIT_EVENTS[event]
+                    )
+        return hist
+
+    def histogram(self, event: str) -> Histogram:
+        """The per-event latency histogram (existing metrics type)."""
+        return self._histogram(event)
+
+    # -- statement tracking (feeds the ASH sampler) ------------------------
+
+    def begin_statement(self, sql: str, engine: Optional[str] = None,
+                        txid: Optional[int] = None,
+                        session_id: Optional[int] = None) -> None:
+        state = self.state()
+        state.statement = sql
+        state.engine = engine
+        state.txid = txid
+        state.session_id = session_id
+        state.statement_since = time.perf_counter()
+        state.shard = None
+
+    def attach_shard(self, shard: Any) -> None:
+        """Expose the live per-statement Stats shard as the progress
+        counter (read racily by the sampler; ints never tear)."""
+        self.state().shard = shard
+
+    def set_txid(self, txid: Optional[int]) -> None:
+        self.state().txid = txid
+
+    def end_statement(self) -> None:
+        state = self.state()
+        state.statement = None
+        state.txid = None
+        state.shard = None
+
+    def active_sessions(self) -> List[Dict[str, Any]]:
+        """One snapshot row per thread with a statement in flight —
+        the ``pg_stat_activity`` view the ASH sampler polls."""
+        now = time.perf_counter()
+        out: List[Dict[str, Any]] = []
+        for state in self.thread_states():
+            sql = state.statement
+            wait = state.current_wait
+            if sql is None and wait is None:
+                continue
+            shard = state.shard
+            rows = shard.rows_scanned if shard is not None else 0
+            out.append({
+                "thread_id": state.thread_id,
+                "session_id": state.session_id,
+                "engine": state.engine,
+                "sql": sql,
+                "txid": state.txid,
+                "wait_event": wait,
+                "wait_seconds": (
+                    now - state.current_wait_since if wait is not None
+                    else 0.0
+                ),
+                "statement_seconds": (
+                    now - state.statement_since if sql is not None else 0.0
+                ),
+                "rows_processed": rows,
+            })
+        return out
+
+    # -- aggregate views ---------------------------------------------------
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        """Per-event totals merged across threads:
+        ``{event: {count, seconds, p50, p95, p99}}``."""
+        merged: Dict[str, List[float]] = {}
+        for state in self.thread_states():
+            for event, (count, seconds) in state.totals.items():
+                entry = merged.setdefault(event, [0, 0.0])
+                entry[0] += count
+                entry[1] += seconds
+        out: Dict[str, Dict[str, float]] = {}
+        for event, (count, seconds) in sorted(merged.items()):
+            hist = self._histograms.get(event)
+            entry: Dict[str, float] = {
+                "count": int(count), "seconds": seconds,
+            }
+            if hist is not None and hist.count:
+                entry.update(p50=hist.p50, p95=hist.p95, p99=hist.p99)
+            out[event] = entry
+        return out
+
+    def records(self) -> List[WaitRecord]:
+        """Every buffered record across threads, oldest first per thread."""
+        out: List[WaitRecord] = []
+        for state in self.thread_states():
+            out.extend(state.ring.snapshot())
+        return out
+
+    def dropped(self) -> int:
+        return sum(state.ring.dropped for state in self.thread_states())
+
+    def hottest_rows(self, limit: int = 10) -> List[Dict[str, Any]]:
+        """The lock keys threads waited on most (by total wait seconds)."""
+        with self._mutex:
+            items = list(self._lock_keys.items())
+        items.sort(key=lambda kv: kv[1][1], reverse=True)
+        out = []
+        for key, (count, seconds) in items[:limit]:
+            table, row_id = key if isinstance(key, tuple) else (key, None)
+            out.append({
+                "table": table,
+                "row_id": row_id,
+                "waits": int(count),
+                "seconds": seconds,
+            })
+        return out
+
+
+#: the process-wide monitor every instrumented site reads
+WAITS = WaitMonitor()
+
+
+# -- contention attribution -------------------------------------------------
+
+
+class WaitAttribution:
+    """Wall-time decomposition: off-CPU wait classes + on-CPU buckets.
+
+    ``busy_seconds`` is the total thread-time being decomposed (wall
+    seconds x concurrent clients for a workload; plain wall seconds for
+    one statement). Off-CPU classes subtract from it; the attributed
+    ``CPU:*`` buckets and the remainder ("other on-CPU") split what is
+    left, so the decomposition always sums to ``busy_seconds`` unless
+    recorded waits exceed it (overlap — reported as ``overcount``).
+    """
+
+    def __init__(self, summary: Dict[str, Dict[str, float]],
+                 busy_seconds: float,
+                 hottest: Optional[List[Dict[str, Any]]] = None):
+        self.summary = summary
+        self.busy_seconds = busy_seconds
+        self.hottest = hottest or []
+
+    @classmethod
+    def capture(cls, monitor: WaitMonitor, busy_seconds: float,
+                hottest_limit: int = 10) -> "WaitAttribution":
+        return cls(
+            monitor.summary(), busy_seconds,
+            monitor.hottest_rows(hottest_limit),
+        )
+
+    # -- derived figures ---------------------------------------------------
+
+    def class_seconds(self) -> Dict[str, float]:
+        """Per-class total seconds, including zero-valued classes."""
+        out = {cls_name: 0.0 for cls_name in WAIT_CLASSES}
+        for event, entry in self.summary.items():
+            out[event.split(":", 1)[0]] += entry["seconds"]
+        return out
+
+    @property
+    def off_cpu_seconds(self) -> float:
+        return sum(
+            seconds for cls_name, seconds in self.class_seconds().items()
+            if cls_name != CPU_CLASS
+        )
+
+    @property
+    def attributed_cpu_seconds(self) -> float:
+        return self.class_seconds()[CPU_CLASS]
+
+    @property
+    def other_cpu_seconds(self) -> float:
+        """on-CPU time not covered by an attributed CPU bucket."""
+        return max(
+            0.0,
+            self.busy_seconds - self.off_cpu_seconds
+            - self.attributed_cpu_seconds,
+        )
+
+    @property
+    def overcount_seconds(self) -> float:
+        """Recorded time beyond ``busy_seconds`` (overlapping records)."""
+        recorded = self.off_cpu_seconds + self.attributed_cpu_seconds
+        return max(0.0, recorded - self.busy_seconds)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "busy_seconds": self.busy_seconds,
+            "off_cpu_seconds": self.off_cpu_seconds,
+            "attributed_cpu_seconds": self.attributed_cpu_seconds,
+            "other_cpu_seconds": self.other_cpu_seconds,
+            "overcount_seconds": self.overcount_seconds,
+            "classes": self.class_seconds(),
+            "events": self.summary,
+            "hottest_rows": self.hottest,
+        }
+
+    # -- rendering ---------------------------------------------------------
+
+    def render(self, title: str = "wait-event attribution") -> str:
+        busy = self.busy_seconds or 1e-12
+        lines = [
+            f"-- {title} (busy {self.busy_seconds:.2f}s) --",
+            f"{'event':<28s} {'count':>8s} {'seconds':>9s} {'%busy':>7s} "
+            f"{'p50':>9s} {'p95':>9s} {'p99':>9s}",
+        ]
+
+        def pct(seconds: float) -> str:
+            return f"{100.0 * seconds / busy:6.1f}%"
+
+        def ms(entry: Dict[str, float], key: str) -> str:
+            value = entry.get(key)
+            return f"{value * 1e3:8.3f}m" if value is not None else "      --"
+
+        for event in sorted(self.summary):
+            entry = self.summary[event]
+            lines.append(
+                f"{event:<28s} {entry['count']:>8d} "
+                f"{entry['seconds']:>8.3f}s {pct(entry['seconds'])} "
+                f"{ms(entry, 'p50')} {ms(entry, 'p95')} {ms(entry, 'p99')}"
+            )
+        lines.append(
+            f"{'on-CPU (other)':<28s} {'':>8s} "
+            f"{self.other_cpu_seconds:>8.3f}s {pct(self.other_cpu_seconds)}"
+        )
+        if self.overcount_seconds > 0.0:
+            lines.append(
+                f"{'(overlap overcount)':<28s} {'':>8s} "
+                f"{self.overcount_seconds:>8.3f}s"
+            )
+        if self.hottest:
+            lines.append("-- hottest rows (by lock-wait seconds) --")
+            lines.append(
+                f"{'table':<16s} {'row':>8s} {'waits':>7s} {'seconds':>9s}"
+            )
+            for row in self.hottest:
+                lines.append(
+                    f"{str(row['table']):<16s} {str(row['row_id']):>8s} "
+                    f"{row['waits']:>7d} {row['seconds']:>8.3f}s"
+                )
+        return "\n".join(lines)
+
+
+def summary_delta(before: Dict[str, Dict[str, float]],
+                  after: Dict[str, Dict[str, float]],
+                  ) -> Dict[str, Dict[str, float]]:
+    """Per-event ``after - before`` (counts and seconds only — the
+    histograms are cumulative, so percentile columns are omitted)."""
+    out: Dict[str, Dict[str, float]] = {}
+    for event, entry in after.items():
+        base = before.get(event, {"count": 0, "seconds": 0.0})
+        count = int(entry["count"] - base["count"])
+        seconds = entry["seconds"] - base["seconds"]
+        if count or seconds > 0.0:
+            out[event] = {"count": count, "seconds": seconds}
+    return out

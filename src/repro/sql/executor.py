@@ -11,11 +11,13 @@ from __future__ import annotations
 
 import math
 import re
+import time
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import SqlPlanError
 from repro.faults import FAULTS
 from repro.geometry.base import Envelope, Geometry
+from repro.obs.waits import CPU_INDEX_PROBE, CPU_SORT, WAITS
 from repro.sql import ast
 from repro.sql.functions import (
     AGGREGATES,
@@ -640,7 +642,12 @@ class IndexScan(PlanNode):
             FAULTS.hit("index.probe")
         stats = ctx.stats
         stats.index_probes += 1
-        row_ids = self.entry.index.search(envelope)
+        if WAITS.enabled:
+            _started = time.perf_counter()
+            row_ids = self.entry.index.search(envelope)
+            WAITS.record(CPU_INDEX_PROBE, time.perf_counter() - _started)
+        else:
+            row_ids = self.entry.index.search(envelope)
         stats.index_candidates += len(row_ids)
         per_page = self.table.ROWS_PER_PAGE
         stats.pages_read += len({rid // per_page for rid in row_ids})
@@ -924,6 +931,9 @@ class IndexNestedLoopJoin(PlanNode):
             if snapshot is not None and self.table.mvcc_versions else None
         )
         faults_hit = FAULTS.hit
+        # read once per execution: per-probe timing only when the wait
+        # monitor was on as the loop started
+        waits_on = WAITS.enabled
         probes = 0
         candidates = 0
         emitted = 0
@@ -935,7 +945,14 @@ class IndexNestedLoopJoin(PlanNode):
                 if FAULTS.active:
                     faults_hit("index.probe")
                 probes += 1
-                row_ids = search(envelope)
+                if waits_on:
+                    _started = time.perf_counter()
+                    row_ids = search(envelope)
+                    WAITS.record(
+                        CPU_INDEX_PROBE, time.perf_counter() - _started
+                    )
+                else:
+                    row_ids = search(envelope)
                 candidates += len(row_ids)
                 for row_id in row_ids:
                     if guard is not None:
@@ -1342,13 +1359,23 @@ class Sort(PlanNode):
         guard = ctx.guard
         if guard is not None and materialised:
             guard.reserve(len(materialised), materialised[0])
+        if WAITS.enabled:
+            _started = time.perf_counter()
+            try:
+                self._sort(materialised, ctx)
+            finally:
+                WAITS.record(CPU_SORT, time.perf_counter() - _started)
+        else:
+            self._sort(materialised, ctx)
+        yield from materialised
+
+    def _sort(self, materialised: List[Row], ctx: ExecContext) -> None:
         # stable multi-key sort: apply keys right-to-left
         for evaluator, descending in reversed(self.keys):
             materialised.sort(
                 key=lambda row: _sort_key(evaluator(row, ctx)),
                 reverse=descending,
             )
-        yield from materialised
 
     def describe(self) -> str:
         return f"Sort ({len(self.keys)} keys)"

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import json
 import os
+import time
 import zlib
 from dataclasses import dataclass, field
 from typing import IO, Any, Dict, List, Optional, Tuple
@@ -35,6 +36,7 @@ from typing import IO, Any, Dict, List, Optional, Tuple
 from repro.errors import DumpCorruptionError, EngineError
 from repro.faults import FAULTS
 from repro.geometry import Geometry, wkb_dumps, wkb_loads
+from repro.obs.waits import IO_DUMP_READ, IO_DUMP_WRITE, WAITS
 
 FORMAT_NAME = "jackpine-dump"
 FORMAT_VERSION = 2
@@ -60,6 +62,16 @@ def _write_record(stream: IO[str], record: dict) -> None:
     """One checksummed record line: ``%08x <json>``."""
     if FAULTS.active:
         FAULTS.hit("dump.write")
+    if WAITS.enabled:
+        # one IO:DumpWrite wait per record, mirroring the fault site
+        started = time.perf_counter()
+        try:
+            payload = json.dumps(record)
+            crc = zlib.crc32(payload.encode("utf-8")) & 0xFFFFFFFF
+            stream.write(f"{crc:08x} {payload}\n")
+        finally:
+            WAITS.record(IO_DUMP_WRITE, time.perf_counter() - started)
+        return
     payload = json.dumps(record)
     crc = zlib.crc32(payload.encode("utf-8")) & 0xFFFFFFFF
     stream.write(f"{crc:08x} {payload}\n")
@@ -178,6 +190,17 @@ def _parse_record(line: str, line_no: int, version: int) -> dict:
     """Decode (and for v2, checksum-verify) one record line."""
     if FAULTS.active:
         FAULTS.hit("dump.read")
+    if WAITS.enabled:
+        # one IO:DumpRead wait per record, mirroring the fault site
+        started = time.perf_counter()
+        try:
+            return _parse_record_payload(line, line_no, version)
+        finally:
+            WAITS.record(IO_DUMP_READ, time.perf_counter() - started)
+    return _parse_record_payload(line, line_no, version)
+
+
+def _parse_record_payload(line: str, line_no: int, version: int) -> dict:
     if version >= 2:
         prefix, sep, payload = line.partition(" ")
         if not sep or len(prefix) != 8:

@@ -25,6 +25,7 @@ import time
 from typing import Dict, Optional, Set, Tuple
 
 from repro.errors import SerializationError
+from repro.obs.waits import LATCH_EXCLUSIVE, LATCH_SHARED, LOCK_ROW, WAITS
 
 LockKey = Tuple[str, int]
 
@@ -36,13 +37,21 @@ class RowLockTable:
     condition sharing that mutex. Locks are reentrant per owner and
     released all at once at transaction end (strict two-phase locking
     on the write set).
+
+    Every blocked :meth:`acquire` is a ``LockManager:RowLock`` wait
+    event, and the *same* measurement is what reaches the ``on_wait``
+    callback (the transaction manager feeds its lock-wait histogram from
+    it) — one recording point, so the two views cannot drift.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, on_wait=None) -> None:
         self._mutex = threading.Lock()
         self._owners: Dict[LockKey, int] = {}
         self._conds: Dict[LockKey, threading.Condition] = {}
         self._held: Dict[int, Set[LockKey]] = {}
+        #: ``on_wait(key, txid, waited_seconds, timed_out)`` after every
+        #: blocked acquire, successful or not
+        self.on_wait = on_wait
 
     def try_acquire(self, key: LockKey, txid: int) -> bool:
         """Take the lock if free (or already ours); never blocks."""
@@ -63,24 +72,37 @@ class RowLockTable:
         """
         deadline = time.monotonic() + timeout
         started = time.monotonic()
-        with self._mutex:
-            while True:
-                owner = self._owners.get(key)
-                if owner is None or owner == txid:
-                    self._owners[key] = txid
-                    self._held.setdefault(txid, set()).add(key)
-                    return time.monotonic() - started
-                remaining = deadline - time.monotonic()
-                if remaining <= 0:
-                    raise SerializationError(
-                        f"transaction {txid} timed out after {timeout:.3g}s "
-                        f"waiting for row lock {key} held by "
-                        f"transaction {owner} (possible deadlock)"
-                    )
-                cond = self._conds.get(key)
-                if cond is None:
-                    cond = self._conds[key] = threading.Condition(self._mutex)
-                cond.wait(remaining)
+        token = WAITS.begin_wait(LOCK_ROW, key) if WAITS.enabled else None
+        timed_out = False
+        try:
+            with self._mutex:
+                while True:
+                    owner = self._owners.get(key)
+                    if owner is None or owner == txid:
+                        self._owners[key] = txid
+                        self._held.setdefault(txid, set()).add(key)
+                        return time.monotonic() - started
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        timed_out = True
+                        raise SerializationError(
+                            f"transaction {txid} timed out after "
+                            f"{timeout:.3g}s waiting for row lock {key} "
+                            f"held by transaction {owner} "
+                            f"(possible deadlock)"
+                        )
+                    cond = self._conds.get(key)
+                    if cond is None:
+                        cond = self._conds[key] = threading.Condition(
+                            self._mutex
+                        )
+                    cond.wait(remaining)
+        finally:
+            waited = time.monotonic() - started
+            if token is not None:
+                WAITS.end_wait(token)
+            if self.on_wait is not None:
+                self.on_wait(key, txid, waited, timed_out)
 
     def release_all(self, txid: int) -> None:
         """Drop every lock the transaction holds and wake its waiters."""
@@ -127,9 +149,20 @@ class SharedExclusiveLock:
                 # exclusive covers shared; nothing extra to take
                 self._writer_depth += 1
                 return
+            if self._writer is not None or self._waiting_writers:
+                self._wait_shared()
+            self._readers += 1
+
+    def _wait_shared(self) -> None:
+        """Blocked-path wait loop (caller holds ``self._cond``); timed as
+        a ``Latch:StatementShared`` wait event when the monitor is on."""
+        token = WAITS.begin_wait(LATCH_SHARED) if WAITS.enabled else None
+        try:
             while self._writer is not None or self._waiting_writers:
                 self._cond.wait()
-            self._readers += 1
+        finally:
+            if token is not None:
+                WAITS.end_wait(token)
 
     def release_shared(self) -> None:
         me = threading.get_ident()
@@ -149,12 +182,23 @@ class SharedExclusiveLock:
                 return
             self._waiting_writers += 1
             try:
-                while self._writer is not None or self._readers:
-                    self._cond.wait()
+                if self._writer is not None or self._readers:
+                    self._wait_exclusive()
             finally:
                 self._waiting_writers -= 1
             self._writer = me
             self._writer_depth = 1
+
+    def _wait_exclusive(self) -> None:
+        """Blocked-path wait loop (caller holds ``self._cond``); timed as
+        a ``Latch:StatementExclusive`` wait event when the monitor is on."""
+        token = WAITS.begin_wait(LATCH_EXCLUSIVE) if WAITS.enabled else None
+        try:
+            while self._writer is not None or self._readers:
+                self._cond.wait()
+        finally:
+            if token is not None:
+                WAITS.end_wait(token)
 
     def release_exclusive(self) -> None:
         with self._cond:

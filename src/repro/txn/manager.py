@@ -33,6 +33,7 @@ may still need.
 
 from __future__ import annotations
 
+import itertools
 import threading
 from typing import TYPE_CHECKING, Dict, FrozenSet, List, Optional, Tuple
 
@@ -112,10 +113,14 @@ class Session:
     """Per-connection transaction state (the engine's default session
     serves callers that use :class:`Database` directly)."""
 
-    __slots__ = ("txn",)
+    __slots__ = ("txn", "session_id")
+
+    #: process-wide id source so ASH samples can name sessions
+    _next_id = itertools.count(1)
 
     def __init__(self) -> None:
         self.txn: Optional[Transaction] = None
+        self.session_id = next(Session._next_id)
 
     @property
     def in_transaction(self) -> bool:
@@ -135,7 +140,7 @@ class TxnManager:
         self._lock = threading.RLock()
         self._next_txid = 1
         self._active: Dict[int, Transaction] = {}
-        self.locks = RowLockTable()
+        self.locks = RowLockTable(on_wait=self._on_row_lock_wait)
         self.lock_timeout = lock_timeout
         # committed garbage, flushed when the active set drains: versions
         # a still-open snapshot might need
@@ -249,6 +254,15 @@ class TxnManager:
             "txn_lock_wait_seconds",
             "seconds spent waiting for row write locks",
         )
+
+    def _on_row_lock_wait(self, key, txid, waited: float,
+                          timed_out: bool) -> None:
+        """The single recording point for row-lock waits: the histogram
+        is fed from the same measurement as the ``LockManager:RowLock``
+        wait-event records (see :class:`~repro.txn.locks.RowLockTable`),
+        so the two views cannot drift. Timed-out waits count too — the
+        blocked time was spent either way."""
+        self.lock_wait_histogram().observe(waited)
 
     def conflict_counter(self):
         return self._metrics_counter(

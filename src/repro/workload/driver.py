@@ -37,8 +37,15 @@ from repro.datagen import generate
 from repro.dbapi import connect
 from repro.engines import Database
 from repro.errors import ReproError, SerializationError
+from repro.obs.ash import AshSampler
 from repro.obs.metrics import Histogram
 from repro.obs.telemetry import SCHEMA
+from repro.obs.waits import (
+    CLIENT_BACKOFF,
+    CLIENT_RETRY,
+    WAITS,
+    WaitAttribution,
+)
 from repro.workload.mixes import MIXES, Operation, get_mix
 
 
@@ -54,6 +61,9 @@ class WorkloadConfig:
     scale: float = 0.25
     max_retries: int = 5           # per operation, on SerializationError
     lock_timeout: float = 0.25     # row-lock wait budget (deadlock bound)
+    waits: bool = False            # record wait events + ASH samples
+    ash_interval: float = 0.01     # ASH sampling period (seconds)
+    ash_capacity: int = 4096       # bounded ASH history (samples kept)
 
     def validate(self) -> None:
         if self.clients < 1:
@@ -70,6 +80,11 @@ class WorkloadConfig:
             raise ValueError("open-loop mode needs a positive rate")
         if self.max_retries < 0:
             raise ValueError("max_retries must be >= 0")
+        if self.waits:
+            if self.ash_interval <= 0:
+                raise ValueError("ash_interval must be positive")
+            if self.ash_capacity < 1:
+                raise ValueError("ash_capacity must be >= 1")
 
 
 @dataclass
@@ -94,6 +109,12 @@ class WorkloadReport:
     config: WorkloadConfig
     wall_seconds: float
     clients: List[ClientReport]
+    #: populated only when ``config.waits`` is set — the contention
+    #: attribution over the whole round, the per-lock-key hot rows, and
+    #: the ASH export (all absent from old telemetry readers' view)
+    attribution: Optional[WaitAttribution] = None
+    hottest_rows: List[Dict[str, Any]] = field(default_factory=list)
+    ash: Optional[Dict[str, Any]] = None
 
     def _total(self, name: str) -> int:
         return sum(getattr(report, name) for report in self.clients)
@@ -166,7 +187,7 @@ class WorkloadReport:
                     max=report.latency.max,
                 )
             records.append(record)
-        return {
+        document: Dict[str, Any] = {
             "schema": SCHEMA,
             "engine": config.engine,
             "config": {
@@ -192,6 +213,15 @@ class WorkloadReport:
             },
             "records": records,
         }
+        # additive sections: present only when the round ran with waits
+        # on, so documents from older configs (and older readers) are
+        # unchanged
+        if self.attribution is not None:
+            document["waits"] = self.attribution.as_dict()
+            document["waits"]["hottest_rows"] = self.hottest_rows
+        if self.ash is not None:
+            document["ash"] = self.ash
+        return document
 
 
 def run_client_threads(
@@ -264,13 +294,33 @@ def _run_operation(
                     break
                 except SerializationError:
                     # the engine already rolled the transaction back;
-                    # rollback() here just clears any session residue
-                    connection.rollback()
+                    # rollback() here just clears any session residue.
+                    # Client:Retry covers only the rollback itself (the
+                    # failed attempt's lock/latch waits were already
+                    # recorded by their own sites), Client:Backoff the
+                    # sleep — the two are disjoint, so attribution never
+                    # double-counts this path.
+                    if WAITS.enabled:
+                        token = WAITS.begin_wait(CLIENT_RETRY)
+                        try:
+                            connection.rollback()
+                        finally:
+                            WAITS.end_wait(token)
+                    else:
+                        connection.rollback()
                     report.aborts += 1
                     if attempt >= config.max_retries:
                         break  # give up on this operation
                     report.retries += 1
-                    time.sleep(backoff_delay(attempt, rng=rng))
+                    delay = backoff_delay(attempt, rng=rng)
+                    if WAITS.enabled:
+                        token = WAITS.begin_wait(CLIENT_BACKOFF)
+                        try:
+                            time.sleep(delay)
+                        finally:
+                            WAITS.end_wait(token)
+                    else:
+                        time.sleep(delay)
                     attempt += 1
             report.writes += 1
     except ReproError:
@@ -325,8 +375,42 @@ def run_workload(
             op = mix.next_operation(rng, report.client_id)
             _run_operation(cursor, connection, op, report, config, rng)
 
-    wall, reports = run_client_threads(database, config.clients, body)
-    return WorkloadReport(config=config, wall_seconds=wall, clients=reports)
+    attribution: Optional[WaitAttribution] = None
+    hottest: List[Dict[str, Any]] = []
+    ash_export: Optional[Dict[str, Any]] = None
+    if config.waits:
+        WAITS.enable()
+        WAITS.reset()
+        sampler = AshSampler(
+            monitor=WAITS,
+            interval=config.ash_interval,
+            capacity=config.ash_capacity,
+        )
+        sampler.start()
+        try:
+            wall, reports = run_client_threads(
+                database, config.clients, body
+            )
+            # busy time is wall * clients: each client thread was either
+            # on-CPU or in one of the wait classes for the whole round
+            attribution = WaitAttribution.capture(
+                WAITS, busy_seconds=wall * config.clients
+            )
+            hottest = WAITS.hottest_rows()
+            ash_export = sampler.export()
+        finally:
+            sampler.stop()
+            WAITS.disable()
+    else:
+        wall, reports = run_client_threads(database, config.clients, body)
+    return WorkloadReport(
+        config=config,
+        wall_seconds=wall,
+        clients=reports,
+        attribution=attribution,
+        hottest_rows=hottest,
+        ash=ash_export,
+    )
 
 
 def render_workload(report: WorkloadReport) -> str:
@@ -353,6 +437,24 @@ def render_workload(report: WorkloadReport) -> str:
         lines.append(
             f"{client.client_id:>7d} {client.ops:>6d} {client.reads:>6d} "
             f"{client.writes:>7d} {p50:>9s} {p95:>9s} {p99:>9s}"
+        )
+    if report.attribution is not None:
+        lines.append("")
+        lines.append(report.attribution.render(
+            title="wall-time decomposition (all clients)"
+        ))
+    if report.ash is not None and report.ash.get("samples"):
+        states = report.ash.get("wait_state_counts", {})
+        top = ", ".join(
+            f"{state}={count}"
+            for state, count in sorted(
+                states.items(), key=lambda item: -item[1]
+            )[:4]
+        )
+        lines.append(
+            f"ash: {len(report.ash['samples'])} samples over "
+            f"{report.ash['sample_instants']} instants @ "
+            f"{report.ash['interval'] * 1e3:.0f}ms   top states: {top}"
         )
     return "\n".join(lines)
 

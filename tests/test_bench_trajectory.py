@@ -1,0 +1,127 @@
+"""Benchmark trajectory: record format, append semantics, and the
+regression gate of ``jackpine bench --record/--compare``."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.trajectory import (
+    SCHEMA,
+    collect_record,
+    compare_against,
+    load_trajectory,
+    record_to,
+    render_comparison,
+    render_record,
+)
+
+
+def _fake_record(latency_scale: float = 1.0):
+    return {
+        "recorded_at": "2026-01-01T00:00:00Z",
+        "engine": "greenwood",
+        "seed": 42,
+        "scale": 0.1,
+        "repeats": 3,
+        "join_median_seconds": {
+            "arealm x areawater (overlaps)": 0.010 * latency_scale,
+            "edges x areawater (crosses)": 0.020 * latency_scale,
+        },
+        "abort_rates": {"1": 0.0, "4": 0.05},
+    }
+
+
+def test_record_to_appends(tmp_path):
+    path = str(tmp_path / "BENCH_trajectory.json")
+    record_to(path, _fake_record())
+    document = load_trajectory(path)
+    assert document["schema"] == SCHEMA
+    assert len(document["records"]) == 1
+    record_to(path, _fake_record(1.1))
+    document = load_trajectory(path)
+    assert len(document["records"]) == 2
+    # the newest record is the appended one
+    newest = document["records"][-1]
+    assert newest["join_median_seconds"][
+        "arealm x areawater (overlaps)"
+    ] == pytest.approx(0.011)
+
+
+def test_load_rejects_foreign_documents(tmp_path):
+    path = tmp_path / "other.json"
+    path.write_text(json.dumps({"schema": "something-else/1"}))
+    with pytest.raises(ValueError):
+        load_trajectory(str(path))
+
+
+def test_compare_flags_regressions(tmp_path):
+    path = str(tmp_path / "BENCH_trajectory.json")
+    record_to(path, _fake_record(1.0))
+    # 10% slower: within the 25% default threshold
+    ok = compare_against(path, _fake_record(1.10), threshold=0.25)
+    assert ok.regressed == []
+    # 60% slower: both joins regress
+    bad = compare_against(path, _fake_record(1.60), threshold=0.25)
+    assert len(bad.regressed) == 2
+    text = render_comparison(bad)
+    assert "REGRESSED" in text
+    assert "abort rate" in text
+
+
+def test_compare_ignores_unknown_joins(tmp_path):
+    path = str(tmp_path / "BENCH_trajectory.json")
+    record_to(path, _fake_record())
+    new = _fake_record()
+    new["join_median_seconds"]["brand new join"] = 1.0
+    comparison = compare_against(path, new)
+    labels = [label for label, *_rest in comparison.joins]
+    assert "brand new join" not in labels
+    assert comparison.regressed == []
+
+
+def test_compare_empty_trajectory_raises(tmp_path):
+    path = tmp_path / "empty.json"
+    path.write_text(json.dumps({"schema": SCHEMA, "records": []}))
+    with pytest.raises(ValueError):
+        compare_against(str(path), _fake_record())
+
+
+def test_render_record_lists_everything():
+    text = render_record(_fake_record())
+    assert "arealm x areawater (overlaps)" in text
+    assert "abort rate" in text
+    assert "greenwood" in text
+
+
+def test_collect_record_measures():
+    record = collect_record(
+        engine="greenwood", seed=7, scale=0.05, repeats=1,
+        clients_series=(1,), duration=0.2,
+    )
+    assert record["engine"] == "greenwood"
+    assert record["recorded_at"]
+    assert len(record["join_median_seconds"]) == 4
+    assert all(v >= 0.0 for v in record["join_median_seconds"].values())
+    assert set(record["abort_rates"]) == {"1"}
+    json.dumps(record)
+
+
+def test_cli_bench_requires_a_mode(capsys):
+    assert main(["bench"]) == 2
+    assert "bench" in capsys.readouterr().err
+
+
+def test_committed_trajectory_is_valid():
+    """The seeded BENCH_trajectory.json must stay loadable."""
+    import os
+
+    path = os.path.join(os.path.dirname(__file__), "..",
+                        "BENCH_trajectory.json")
+    document = load_trajectory(path)
+    assert document["records"], "seeded trajectory must hold >= 1 record"
+    newest = document["records"][-1]
+    assert newest["join_median_seconds"]
+    assert newest["abort_rates"]
