@@ -1,0 +1,115 @@
+"""Statement-store overhead guard.
+
+The statement store follows the engine's one-bool discipline: with
+``obs.statements.enabled`` False (the default), ``Database.execute``
+takes the plain path and never touches fingerprinting, plan capture or
+the store lock — the only cost is the pre-existing ``obs.active`` check.
+This module pins that contract the way ``test_bench_waits_overhead.py``
+pins the wait monitor: time the jx3 topology-join matrix through
+``db.execute`` with statements disabled against the direct-plan baseline
+and assert the medians stay within 5%.
+
+Wall-clock comparisons at single-digit-percent resolution are noisy, so
+the guard measures median-of-repeats per query, sums across the matrix,
+and retries the whole comparison a few times — it fails only when
+*every* attempt exceeds the budget. Run standalone::
+
+    pytest benchmarks/test_bench_statements_overhead.py --benchmark-disable -q
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.experiments import JOIN_MATRIX
+from repro.datagen import generate
+from repro.engines import Database
+from repro.sql.executor import ExecContext
+
+from _bench_utils import BENCH_SCALE, BENCH_SEED
+
+#: allowed slowdown of statements-disabled execute over the direct path
+OVERHEAD_BUDGET = 1.05
+REPEATS = 5
+ATTEMPTS = 3
+
+
+def _fresh_db() -> Database:
+    db = Database("greenwood")
+    generate(seed=BENCH_SEED, scale=BENCH_SCALE).load_into(db)
+    db.execute("ANALYZE")
+    return db
+
+
+def _run_plan_directly(db: Database, sql: str):
+    """The seed-era fast path: cached plan, no instrumentation branch."""
+    statement = db._parse_statement(sql)
+    cached = db._plan_cache.get(sql)
+    if cached is None:
+        cached = db._planner.plan_select(statement)
+        db._plan_cache[sql] = cached
+    plan, names = cached
+    ctx = ExecContext(
+        (), db.profile, db.registry, db.catalog, db.stats,
+    )
+    return [row["__out__"] for row in plan.rows(ctx)]
+
+
+def _median_seconds(call, repeats: int = REPEATS) -> float:
+    call()  # warm caches (parse, plan, index) outside the timed window
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        call()
+        times.append(time.perf_counter() - start)
+    times.sort()
+    return times[len(times) // 2]
+
+
+def test_statements_disabled_by_default():
+    db = Database("greenwood")
+    assert db.obs.statements.enabled is False
+    assert db.obs.active is False
+
+
+def test_disabled_execute_matches_direct_plan_answers():
+    db = _fresh_db()
+    assert db.obs.statements.enabled is False
+    for _label, sql in JOIN_MATRIX:
+        via_execute = db.execute(sql).scalar()
+        direct = _run_plan_directly(db, sql)[0][0]
+        assert via_execute == direct
+
+
+def test_enabled_records_every_matrix_statement():
+    db = _fresh_db()
+    db.obs.enable_statements()
+    try:
+        for _label, sql in JOIN_MATRIX:
+            db.execute(sql)
+        entries = db.obs.statements.statements()
+        assert len(entries) == len(JOIN_MATRIX)
+    finally:
+        db.obs.disable_statements()
+
+
+def test_disabled_overhead_within_budget():
+    db = _fresh_db()
+    assert db.obs.statements.enabled is False
+    ratios = []
+    for _ in range(ATTEMPTS):
+        guarded = 0.0
+        baseline = 0.0
+        for _label, sql in JOIN_MATRIX:
+            guarded += _median_seconds(lambda s=sql: db.execute(s))
+            baseline += _median_seconds(
+                lambda s=sql: _run_plan_directly(db, s)
+            )
+        ratio = guarded / baseline
+        ratios.append(ratio)
+        if ratio <= OVERHEAD_BUDGET:
+            break
+    assert min(ratios) <= OVERHEAD_BUDGET, (
+        f"statements-disabled execute exceeded the {OVERHEAD_BUDGET:.0%} "
+        f"budget on every attempt: ratios={[f'{r:.3f}' for r in ratios]}"
+    )

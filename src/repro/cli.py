@@ -103,6 +103,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--waits", action="store_true",
         help="also record wait events and print the per-event summary",
     )
+    stats.add_argument(
+        "--statements", action="store_true",
+        help="record per-statement fingerprint aggregates and print the "
+             "pg_stat_statements-style table (plus any plan flips)",
+    )
+    stats.add_argument(
+        "--reset", action="store_true",
+        help="zero every counter family first (metrics registries, wait "
+             "events, statement store, engine counters)",
+    )
 
     experiment = sub.add_parser(
         "experiment", help="run one of the standalone experiments"
@@ -167,6 +177,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="record wait events + ASH samples; print the wall-time "
              "decomposition and hottest rows, and export both in the "
              "telemetry artifact",
+    )
+    workload.add_argument(
+        "--statements", action="store_true",
+        help="record per-statement fingerprint aggregates and export the "
+             "additive 'statements' telemetry section",
     )
 
     top = sub.add_parser(
@@ -316,8 +331,20 @@ _RESILIENCE_COUNTERS = (
 def _run_stats(args) -> int:
     db = Database(args.engine)
     generate(seed=args.seed, scale=args.scale).load_into(db)
+    if args.reset:
+        from repro.obs.metrics import GLOBAL
+        from repro.obs.waits import WAITS
+
+        GLOBAL.reset()
+        db.obs.metrics.reset()
+        db.obs.statements.reset()
+        db.stats.reset()
+        WAITS.reset()
+        print("-- counters reset (metrics, waits, statements, engine) --")
     db.obs.enable_metrics()
     db.obs.enable_tracing()
+    if args.statements:
+        db.obs.enable_statements()
     if args.waits:
         from repro.obs.waits import WAITS
 
@@ -365,6 +392,10 @@ def _run_stats(args) -> int:
                 f"seconds={entry['seconds']:.6f}{p95_text}"
             )
         WAITS.disable()
+    if args.statements:
+        print()
+        print(db.obs.statements.render())
+        db.obs.disable_statements()
     return 0
 
 
@@ -386,6 +417,7 @@ def _run_workload(args) -> int:
         seed=args.seed,
         scale=args.scale,
         waits=args.waits,
+        statements=args.statements,
     )
     report = run_workload(config)
     print(render_workload(report))

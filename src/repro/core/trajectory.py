@@ -64,6 +64,21 @@ def collect_record(
             db.execute(sql)
             times.append(time.perf_counter() - started)
         joins[label] = median(times)
+    # separate untimed pass with the statement store on: each join's
+    # current plan fingerprint lands in the record, so --compare can
+    # tell a latency delta caused by a plan flip from execution drift.
+    # Kept outside the timed loop — recording overhead must never move
+    # the medians the trajectory gates on.
+    plans: Dict[str, str] = {}
+    db.obs.enable_statements()
+    try:
+        for label, sql in JOIN_MATRIX:
+            db.execute(sql)
+            plan = db.obs.statements.current_plan(sql)
+            if plan is not None:
+                plans[label] = plan.plan_fingerprint
+    finally:
+        db.obs.disable_statements()
     mixed = run_mixed_workload(
         engine=engine, clients_series=clients_series, seed=seed,
         scale=scale, duration=duration,
@@ -79,6 +94,7 @@ def collect_record(
         "scale": scale,
         "repeats": repeats,
         "join_median_seconds": joins,
+        "plan_fingerprints": plans,
         "abort_rates": abort_rates,
     }
 
@@ -121,6 +137,8 @@ class Comparison:
     aborts: List[Tuple[str, float, float]] = field(default_factory=list)
     #: join labels whose ratio exceeded 1 + threshold
     regressed: List[str] = field(default_factory=list)
+    #: join labels whose recorded plan fingerprint changed vs baseline
+    plan_changed: List[str] = field(default_factory=list)
 
 
 def compare_against(path: str, record: Dict[str, Any],
@@ -147,6 +165,11 @@ def compare_against(path: str, record: Dict[str, Any],
         comparison.joins.append((label, old_seconds, new_seconds, ratio))
         if ratio > 1.0 + threshold:
             comparison.regressed.append(label)
+    base_plans = baseline.get("plan_fingerprints", {})
+    for label, new_plan in record.get("plan_fingerprints", {}).items():
+        old_plan = base_plans.get(label)
+        if old_plan is not None and old_plan != new_plan:
+            comparison.plan_changed.append(label)
     base_aborts = baseline.get("abort_rates", {})
     for clients, new_rate in record.get("abort_rates", {}).items():
         old_rate = base_aborts.get(clients)
@@ -180,9 +203,16 @@ def render_comparison(comparison: Comparison) -> str:
     ]
     for label, old, new, ratio in comparison.joins:
         marker = "  << REGRESSED" if label in comparison.regressed else ""
+        if label in comparison.plan_changed:
+            marker += "  [plan flip]"
         lines.append(
             f"{label:<36s} {old * 1e3:>8.2f}ms {new * 1e3:>8.2f}ms "
             f"{ratio - 1.0:>+7.1%}{marker}"
+        )
+    if comparison.plan_changed:
+        lines.append(
+            f"plan flips vs baseline: "
+            f"{', '.join(comparison.plan_changed)}"
         )
     for clients, old_rate, new_rate in comparison.aborts:
         lines.append(

@@ -22,6 +22,7 @@ from collections import OrderedDict
 from typing import Any, List, Optional, Sequence, Tuple
 
 from repro.engines.profiles import EngineProfile, get_profile
+from repro.engines.sysviews import install_system_views
 from repro.errors import (
     GuardrailError,
     QueryCancelledError,
@@ -108,6 +109,9 @@ class Database:
         # folded in under _stats_lock when the statement finishes
         self._cache_lock = threading.Lock()
         self._stats_lock = threading.Lock()
+        # jackpine_* system views: SQL-queryable windows onto this
+        # database's own statistics (scanned like any other table)
+        install_system_views(self)
 
     # -- public API --------------------------------------------------------
 
@@ -334,49 +338,99 @@ class Database:
         import time as _time
 
         obs = self.obs
+        store = obs.statements
+        record_stmt = store.enabled
         params_tuple = tuple(params)
         if obs.hooks.query_start:
             obs.hooks.fire_query_start(sql, params_tuple)
         shard = Stats()
         if WAITS.enabled:
             WAITS.attach_shard(shard)
+        # per-thread wait totals before the statement: the after/before
+        # delta is this statement's per-wait-class time attribution
+        waits_before = (
+            {e: t[1] for e, t in WAITS.state().totals.items()}
+            if record_stmt and WAITS.enabled else None
+        )
         started_at = _time.time()
         start = _time.perf_counter()
         root = None
+        result: Optional[ResultSet] = None
+        outcome = "ok"
         try:
-            if isinstance(statement, ast.Select) and obs.capture_spans:
-                with self._latch.shared():
-                    plan, names = self._planner.plan_select(statement)
-                    on_close = (
-                        obs.hooks.fire_operator_close
-                        if obs.hooks.operator_close else None
-                    )
-                    wrapped = SpanNode(plan, on_close)
-                    ctx = ExecContext(
-                        params_tuple, self.profile, self.registry,
-                        self.catalog, shard, guard,
-                        self._snapshot_for(session),
-                    )
-                    result = ResultSet(names, self._collect(wrapped, ctx))
-                    root = wrapped.span
-            elif isinstance(statement, ast.Select):
-                with self._latch.shared():
-                    plan, names = self._cached_plan(sql, statement, shard)
-                    ctx = ExecContext(
-                        params_tuple, self.profile, self.registry,
-                        self.catalog, shard, guard,
-                        self._snapshot_for(session),
-                    )
-                    result = ResultSet(names, self._collect(plan, ctx))
-            else:
-                with self._latch.exclusive():
-                    with self._cache_lock:
-                        self._plan_cache.clear()
-                    result = self._dispatch_statement(
-                        statement, params_tuple, guard, session, shard
-                    )
+            try:
+                if isinstance(statement, ast.Select) and obs.capture_spans:
+                    with self._latch.shared():
+                        plan, names = self._planner.plan_select(statement)
+                        if record_stmt:
+                            store.record_plan(sql, plan)
+                        on_close = (
+                            obs.hooks.fire_operator_close
+                            if obs.hooks.operator_close else None
+                        )
+                        wrapped = SpanNode(plan, on_close)
+                        ctx = ExecContext(
+                            params_tuple, self.profile, self.registry,
+                            self.catalog, shard, guard,
+                            self._snapshot_for(session),
+                        )
+                        result = ResultSet(names, self._collect(wrapped, ctx))
+                        root = wrapped.span
+                elif isinstance(statement, ast.Select):
+                    with self._latch.shared():
+                        plan, names = self._cached_plan(sql, statement, shard)
+                        if record_stmt:
+                            store.record_plan(sql, plan)
+                        ctx = ExecContext(
+                            params_tuple, self.profile, self.registry,
+                            self.catalog, shard, guard,
+                            self._snapshot_for(session),
+                        )
+                        result = ResultSet(names, self._collect(plan, ctx))
+                else:
+                    with self._latch.exclusive():
+                        with self._cache_lock:
+                            self._plan_cache.clear()
+                        result = self._dispatch_statement(
+                            statement, params_tuple, guard, session, shard
+                        )
+            finally:
+                self._merge_stats(shard)
+        except SerializationError:
+            outcome = "abort"
+            raise
+        except QueryTimeoutError:
+            outcome = "timeout"
+            raise
+        except ReproError:
+            outcome = "error"
+            raise
         finally:
-            self._merge_stats(shard)
+            if record_stmt:
+                if result is None and outcome == "ok":
+                    outcome = "error"
+                wait_deltas = None
+                if waits_before is not None:
+                    wait_deltas = {}
+                    for event, totals in WAITS.state().totals.items():
+                        delta = totals[1] - waits_before.get(event, 0.0)
+                        if delta > 0.0:
+                            cls = event.split(":", 1)[0]
+                            wait_deltas[cls] = (
+                                wait_deltas.get(cls, 0.0) + delta
+                            )
+                store.record(
+                    sql,
+                    _time.perf_counter() - start,
+                    result.rowcount if result is not None else 0,
+                    counters={
+                        key: value
+                        for key, value in shard.snapshot().items()
+                        if value
+                    },
+                    outcome=outcome,
+                    wait_class_seconds=wait_deltas,
+                )
         elapsed = _time.perf_counter() - start
         trace = Trace(
             sql=sql,

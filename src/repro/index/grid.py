@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import heapq
 import math
+from itertools import islice
 from typing import Dict, Iterable, List, Set, Tuple
 
 from repro.geometry.base import Envelope
@@ -38,6 +39,28 @@ class GridIndex(SpatialIndex):
             for gy in range(y0, y1 + 1):
                 yield (gx, gy)
 
+    def _overlapping_cells(self, env: Envelope):
+        """Occupied-aware variant of :meth:`_cell_range` for lookups.
+
+        When the envelope's cell range is larger than the occupied cell
+        count — a large query window over a tiny cell size can span
+        astronomically many coordinates — probe the occupied cells
+        against the range instead of enumerating it. Lookups only ever
+        need cells that exist."""
+        c = self.cell_size
+        x0 = math.floor(env.min_x / c)
+        x1 = math.floor(env.max_x / c)
+        y0 = math.floor(env.min_y / c)
+        y1 = math.floor(env.max_y / c)
+        if (x1 - x0 + 1) * (y1 - y0 + 1) > len(self._cells):
+            for gx, gy in self._cells:
+                if x0 <= gx <= x1 and y0 <= gy <= y1:
+                    yield (gx, gy)
+            return
+        for gx in range(x0, x1 + 1):
+            for gy in range(y0, y1 + 1):
+                yield (gx, gy)
+
     def insert(self, item_id: int, envelope: Envelope) -> None:
         for cell in self._cell_range(envelope):
             self._cells.setdefault(cell, []).append((item_id, envelope))
@@ -45,7 +68,8 @@ class GridIndex(SpatialIndex):
 
     def remove(self, item_id: int, envelope: Envelope) -> bool:
         found = False
-        for cell in self._cell_range(envelope):
+        # materialised: empty buckets are deleted mid-loop
+        for cell in list(self._overlapping_cells(envelope)):
             bucket = self._cells.get(cell)
             if not bucket:
                 continue
@@ -64,7 +88,7 @@ class GridIndex(SpatialIndex):
     def search(self, envelope: Envelope) -> List[int]:
         seen: Set[int] = set()
         hits: List[int] = []
-        for cell in self._cell_range(envelope):
+        for cell in self._overlapping_cells(envelope):
             for item_id, env in self._cells.get(cell, ()):
                 if item_id not in seen and env.intersects(envelope):
                     seen.add(item_id)
@@ -80,13 +104,30 @@ class GridIndex(SpatialIndex):
                     seen.add(item_id)
                     yield item_id, env
 
+    def _ring_cells(self, cx: int, cy: int, radius: int):
+        """Cell coordinates on the Chebyshev ring of ``radius``."""
+        if radius == 0:
+            yield (cx, cy)
+            return
+        for gx in range(cx - radius, cx + radius + 1):
+            yield (gx, cy - radius)
+            yield (gx, cy + radius)
+        for gy in range(cy - radius + 1, cy + radius):
+            yield (cx - radius, gy)
+            yield (cx + radius, gy)
+
     def nearest(self, x: float, y: float, k: int = 1) -> List[int]:
         """Expanding ring search over grid cells.
 
-        Rings are scanned outward until the k-th best candidate distance is
-        certified (no unscanned cell can be closer) or the occupied grid
-        extent is exhausted — the extent bound guarantees termination even
-        when ``k`` exceeds the item count.
+        Rings are scanned outward until the k-th best candidate distance
+        is certified (no unscanned cell can be closer) or the occupied
+        grid extent is exhausted. The enumerated area is capped at a
+        small multiple of the occupied cell count: with a tiny cell size
+        or a faraway query point the certification radius can dwarf the
+        occupied extent by many orders of magnitude, and enumerating
+        empty coordinates up to it would never finish. Past the cap the
+        search falls back to the materialised full ranking — same
+        answers, work bounded by the table size.
         """
         if self._size == 0 or k <= 0 or not self._cells:
             return []
@@ -98,21 +139,27 @@ class GridIndex(SpatialIndex):
             abs(cx - min(gxs)), abs(cx - max(gxs)),
             abs(cy - min(gys)), abs(cy - max(gys)),
         )
+        # (2r+1)^2 cells lie within radius r; invert the cell budget to
+        # a radius cap
+        budget = 4 * len(self._cells) + 64
+        capped = min(max_radius, (math.isqrt(budget) - 1) // 2)
         best: Dict[int, float] = {}
-        for radius in range(max_radius + 1):
-            for gx in range(cx - radius, cx + radius + 1):
-                for gy in range(cy - radius, cy + radius + 1):
-                    if max(abs(gx - cx), abs(gy - cy)) != radius:
-                        continue  # ring only
-                    for item_id, env in self._cells.get((gx, gy), ()):
-                        d = env.distance_to_point(x, y)
-                        if item_id not in best or d < best[item_id]:
-                            best[item_id] = d
+        certified = False
+        for radius in range(capped + 1):
+            for cell in self._ring_cells(cx, cy, radius):
+                for item_id, env in self._cells.get(cell, ()):
+                    d = env.distance_to_point(x, y)
+                    if item_id not in best or d < best[item_id]:
+                        best[item_id] = d
             if len(best) >= k:
                 # every unscanned cell is at least radius*c away
                 kth = heapq.nsmallest(k, best.values())[-1]
                 if radius * c >= kth:
+                    certified = True
                     break
+        if not certified and capped < max_radius:
+            ranked_iter = self.nearest_iter(x, y)
+            return [item_id for item_id, _d in islice(ranked_iter, k)]
         ranked = sorted(best.items(), key=lambda kv: kv[1])
         return [item_id for item_id, _d in ranked[:k]]
 

@@ -29,6 +29,10 @@ from repro.obs.span import Span
 from repro.obs.trace import Trace
 from repro.obs.waits import WAIT_EVENTS, WAITS, WaitAttribution, WaitMonitor
 
+# imported after waits: statements pulls in the SQL lexer, whose package
+# init transitively re-enters repro.obs for the wait monitor
+from repro.obs.statements import StatementStore  # noqa: E402
+
 __all__ = [
     "GLOBAL",
     "AshSampler",
@@ -36,6 +40,7 @@ __all__ = [
     "MetricsRegistry",
     "Observability",
     "Span",
+    "StatementStore",
     "Trace",
     "WAIT_EVENTS",
     "WAITS",
@@ -61,6 +66,10 @@ class Observability:
         self._tracing = False
         self._metrics_enabled = False
         self._slow_query_threshold: Optional[float] = None
+        #: per-fingerprint statement/plan aggregates (pg_stat_statements
+        #: style); enabling it routes statements through the observed path
+        self.statements = StatementStore()
+        self.statements.on_flip = self._count_plan_flip
         #: the one flag the engine hot path reads; kept in sync by every
         #: mutator below so the disabled path never recomputes it
         self.active = False
@@ -73,6 +82,7 @@ class Observability:
             or self._metrics_enabled
             or self._slow_query_threshold is not None
             or self.hooks
+            or self.statements.enabled
         )
 
     @property
@@ -102,6 +112,26 @@ class Observability:
         self._metrics_enabled = False
         self._refresh()
         return self
+
+    @property
+    def statements_enabled(self) -> bool:
+        return self.statements.enabled
+
+    def enable_statements(self) -> "Observability":
+        self.statements.enable()
+        self._refresh()
+        return self
+
+    def disable_statements(self) -> "Observability":
+        self.statements.disable()
+        self._refresh()
+        return self
+
+    def _count_plan_flip(self) -> None:
+        self.metrics.counter(
+            "plan_flips_total",
+            "statements whose captured plan shape changed",
+        ).inc()
 
     @property
     def slow_query_threshold(self) -> Optional[float]:

@@ -24,7 +24,33 @@ from typing import Any, Deque, Dict, List, Optional
 
 from repro.obs.waits import WAITS, WaitMonitor
 
-__all__ = ["AshSample", "AshSampler"]
+__all__ = [
+    "AshSample",
+    "AshSampler",
+    "active_samplers",
+    "registered_samples",
+    "render_sessions",
+]
+
+#: samplers currently running, so the ``jackpine_ash`` system view can
+#: find their histories without holding a reference to any one sampler
+_REGISTRY_LOCK = threading.Lock()
+_ACTIVE_SAMPLERS: List["AshSampler"] = []
+
+
+def active_samplers() -> List["AshSampler"]:
+    """Every sampler between ``start()`` and ``stop()`` right now."""
+    with _REGISTRY_LOCK:
+        return list(_ACTIVE_SAMPLERS)
+
+
+def registered_samples() -> List["AshSample"]:
+    """All buffered samples across running samplers, oldest first per
+    sampler — the row source of the ``jackpine_ash`` system view."""
+    out: List[AshSample] = []
+    for sampler in active_samplers():
+        out.extend(sampler.samples())
+    return out
 
 
 class AshSample:
@@ -93,6 +119,9 @@ class AshSampler:
                 target=self._run, name="jackpine-ash", daemon=True
             )
             self._thread.start()
+        with _REGISTRY_LOCK:
+            if self not in _ACTIVE_SAMPLERS:
+                _ACTIVE_SAMPLERS.append(self)
         return self
 
     def stop(self) -> "AshSampler":
@@ -103,6 +132,9 @@ class AshSampler:
             self._stop.set()
             thread.join(timeout=5.0)
             self._thread = None
+        with _REGISTRY_LOCK:
+            if self in _ACTIVE_SAMPLERS:
+                _ACTIVE_SAMPLERS.remove(self)
         return self
 
     def _run(self) -> None:
@@ -162,6 +194,13 @@ def render_sessions(sessions: List[Dict[str, Any]],
         f"{'thread':>14s} {'sess':>5s} {'txid':>6s} {'state':<26s} "
         f"{'in state':>9s} {'rows':>8s}  statement",
     ]
+    if not sessions:
+        reason = (
+            "no activity" if WAITS.enabled
+            else "wait monitor disabled / sampler not running"
+        )
+        lines.append(f"(no active sessions — {reason})")
+        return "\n".join(lines)
     for session in sessions:
         state = session["wait_event"] or "on CPU"
         in_state = (

@@ -582,6 +582,7 @@ class SeqScan(PlanNode):
     def rows(self, ctx: ExecContext) -> Iterator[Row]:
         stats = ctx.stats
         stats.pages_read += self.table.page_count
+        self.table.seq_scans += 1
         alias = self.alias
         guard = ctx.guard
         snapshot = ctx.snapshot
@@ -642,6 +643,7 @@ class IndexScan(PlanNode):
             FAULTS.hit("index.probe")
         stats = ctx.stats
         stats.index_probes += 1
+        self.entry.probes += 1
         if WAITS.enabled:
             _started = time.perf_counter()
             row_ids = self.entry.index.search(envelope)
@@ -742,6 +744,7 @@ class KNNScan(PlanNode):
             return
         cx, cy = probe_geom.x, probe_geom.y
         ctx.stats.index_probes += 1
+        self.entry.probes += 1
         guard = ctx.guard
         snapshot = ctx.snapshot
         versioned = snapshot is not None and self.table.mvcc_versions
@@ -974,6 +977,7 @@ class IndexNestedLoopJoin(PlanNode):
             stats.rows_scanned += candidates
             stats.join_pairs_considered += candidates
             stats.join_pairs_emitted += emitted
+            self.entry.probes += probes
 
     def describe(self) -> str:
         return (
@@ -1023,6 +1027,8 @@ class SpatialTreeJoin(PlanNode):
 
     def rows(self, ctx: ExecContext) -> Iterator[Row]:
         stats = ctx.stats
+        self.outer_entry.probes += 1
+        self.inner_entry.probes += 1
         outer_heap = self.outer_table.rows
         inner_heap = self.inner_table.rows
         outer_alias = self.outer_alias

@@ -12,7 +12,7 @@ from repro.storage.table import Column, Table
 class IndexEntry:
     """A spatial index over one geometry column of one table."""
 
-    __slots__ = ("name", "table_name", "column_name", "index")
+    __slots__ = ("name", "table_name", "column_name", "index", "probes")
 
     def __init__(
         self, name: str, table_name: str, column_name: str, index: SpatialIndex
@@ -21,6 +21,8 @@ class IndexEntry:
         self.table_name = table_name.lower()
         self.column_name = column_name.lower()
         self.index = index
+        #: usage counter surfaced by the ``jackpine_tables`` system view
+        self.probes = 0
 
 
 class Catalog:
@@ -29,6 +31,10 @@ class Catalog:
     def __init__(self) -> None:
         self._tables: Dict[str, Table] = {}
         self._indexes: Dict[str, IndexEntry] = {}
+        #: read-only virtual tables (``jackpine_*``), resolved by
+        #: :meth:`table` after real tables; never listed by :meth:`tables`
+        #: so ANALYZE-all, dumps and loaders keep seeing the heap only
+        self._system_views: Dict[str, Table] = {}
 
     # -- tables ----------------------------------------------------------
 
@@ -36,12 +42,18 @@ class Catalog:
         key = name.lower()
         if key in self._tables:
             raise SqlPlanError(f"table {name!r} already exists")
+        if key in self._system_views:
+            raise SqlPlanError(
+                f"{name!r} is a reserved system view name"
+            )
         table = Table(name, columns)
         self._tables[key] = table
         return table
 
     def drop_table(self, name: str, if_exists: bool = False) -> None:
         key = name.lower()
+        if key in self._system_views:
+            raise SqlPlanError(f"cannot drop system view {name!r}")
         if key not in self._tables:
             if if_exists:
                 return
@@ -53,13 +65,27 @@ class Catalog:
             del self._indexes[idx_name]
 
     def table(self, name: str) -> Table:
+        key = name.lower()
         try:
-            return self._tables[name.lower()]
+            return self._tables[key]
         except KeyError:
+            view = self._system_views.get(key)
+            if view is not None:
+                return view
             raise SqlPlanError(f"no table {name!r}")
 
     def has_table(self, name: str) -> bool:
-        return name.lower() in self._tables
+        key = name.lower()
+        return key in self._tables or key in self._system_views
+
+    # -- system views ------------------------------------------------------
+
+    def register_system_view(self, view: Table) -> None:
+        """Install one read-only virtual table (idempotent per name)."""
+        self._system_views[view.name] = view
+
+    def system_views(self) -> List[Table]:
+        return list(self._system_views.values())
 
     def tables(self) -> List[Table]:
         return list(self._tables.values())

@@ -133,6 +133,12 @@ class Table:
         self.stats = TableStats(
             [self.columns[i].name for i in self._geom_positions]
         )
+        # usage counters surfaced by the ``jackpine_tables`` system view:
+        # sequential scans of this heap, rows physically removed by
+        # vacuum, and committed inserts frozen by the garbage flush
+        self.seq_scans = 0
+        self.vacuumed_rows = 0
+        self.frozen_rows = 0
 
     # -- schema ------------------------------------------------------------
 

@@ -239,10 +239,12 @@ class TxnManager:
         for table, row_id in self._pending_freeze:
             if table.rows[row_id] is not None:
                 table.freeze_row(row_id)
+                table.frozen_rows += 1
         for table, row_id in self._pending_vacuum:
             if table.rows[row_id] is not None:
                 self._db._index_remove(table, row_id)
                 table.delete_row(row_id)
+                table.vacuumed_rows += 1
         self._pending_freeze.clear()
         self._pending_vacuum.clear()
 

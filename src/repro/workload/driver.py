@@ -64,6 +64,7 @@ class WorkloadConfig:
     waits: bool = False            # record wait events + ASH samples
     ash_interval: float = 0.01     # ASH sampling period (seconds)
     ash_capacity: int = 4096       # bounded ASH history (samples kept)
+    statements: bool = False       # record per-fingerprint statement stats
 
     def validate(self) -> None:
         if self.clients < 1:
@@ -115,6 +116,9 @@ class WorkloadReport:
     attribution: Optional[WaitAttribution] = None
     hottest_rows: List[Dict[str, Any]] = field(default_factory=list)
     ash: Optional[Dict[str, Any]] = None
+    #: populated only when ``config.statements`` is set — the statement
+    #: store export (fingerprint aggregates + plans + flips)
+    statements: Optional[Dict[str, Any]] = None
 
     def _total(self, name: str) -> int:
         return sum(getattr(report, name) for report in self.clients)
@@ -221,6 +225,8 @@ class WorkloadReport:
             document["waits"]["hottest_rows"] = self.hottest_rows
         if self.ash is not None:
             document["ash"] = self.ash
+        if self.statements is not None:
+            document["statements"] = self.statements
         return document
 
 
@@ -312,6 +318,14 @@ def _run_operation(
                     if attempt >= config.max_retries:
                         break  # give up on this operation
                     report.retries += 1
+                    database = getattr(connection, "database", None)
+                    if database is not None and op.statements:
+                        store = database.obs.statements
+                        if store.enabled:
+                            # charge the retry to the transaction's first
+                            # statement: the fingerprint the flow is
+                            # known by
+                            store.record_retry(op.statements[0][0])
                     delay = backoff_delay(attempt, rng=rng)
                     if WAITS.enabled:
                         token = WAITS.begin_wait(CLIENT_BACKOFF)
@@ -378,31 +392,44 @@ def run_workload(
     attribution: Optional[WaitAttribution] = None
     hottest: List[Dict[str, Any]] = []
     ash_export: Optional[Dict[str, Any]] = None
-    if config.waits:
-        WAITS.enable()
-        WAITS.reset()
-        sampler = AshSampler(
-            monitor=WAITS,
-            interval=config.ash_interval,
-            capacity=config.ash_capacity,
-        )
-        sampler.start()
-        try:
+    statements_export: Optional[Dict[str, Any]] = None
+    if config.statements:
+        database.obs.statements.reset()
+        database.obs.enable_statements()
+    try:
+        if config.waits:
+            WAITS.enable()
+            WAITS.reset()
+            sampler = AshSampler(
+                monitor=WAITS,
+                interval=config.ash_interval,
+                capacity=config.ash_capacity,
+            )
+            sampler.start()
+            try:
+                wall, reports = run_client_threads(
+                    database, config.clients, body
+                )
+                # busy time is wall * clients: each client thread was
+                # either on-CPU or in one of the wait classes for the
+                # whole round
+                attribution = WaitAttribution.capture(
+                    WAITS, busy_seconds=wall * config.clients
+                )
+                hottest = WAITS.hottest_rows()
+                ash_export = sampler.export()
+            finally:
+                sampler.stop()
+                WAITS.disable()
+        else:
             wall, reports = run_client_threads(
                 database, config.clients, body
             )
-            # busy time is wall * clients: each client thread was either
-            # on-CPU or in one of the wait classes for the whole round
-            attribution = WaitAttribution.capture(
-                WAITS, busy_seconds=wall * config.clients
-            )
-            hottest = WAITS.hottest_rows()
-            ash_export = sampler.export()
-        finally:
-            sampler.stop()
-            WAITS.disable()
-    else:
-        wall, reports = run_client_threads(database, config.clients, body)
+    finally:
+        if config.statements:
+            database.obs.disable_statements()
+    if config.statements:
+        statements_export = database.obs.statements.export()
     return WorkloadReport(
         config=config,
         wall_seconds=wall,
@@ -410,6 +437,7 @@ def run_workload(
         attribution=attribution,
         hottest_rows=hottest,
         ash=ash_export,
+        statements=statements_export,
     )
 
 
@@ -455,6 +483,13 @@ def render_workload(report: WorkloadReport) -> str:
             f"ash: {len(report.ash['samples'])} samples over "
             f"{report.ash['sample_instants']} instants @ "
             f"{report.ash['interval'] * 1e3:.0f}ms   top states: {top}"
+        )
+    if report.statements is not None:
+        fingerprints = report.statements.get("by_total_time", [])
+        flips = report.statements.get("plan_flips_total", 0)
+        lines.append(
+            f"statements: {len(fingerprints)} fingerprint(s) recorded   "
+            f"plan flips: {flips}"
         )
     return "\n".join(lines)
 

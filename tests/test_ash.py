@@ -119,6 +119,43 @@ def test_render_sessions_frame(monitor):
     assert "..." in frame  # long SQL truncated
 
 
+def test_render_sessions_empty_explains_why():
+    """Zero sessions renders an explicit line, never a bare header —
+    and the line says whether the monitor was even on."""
+    from repro.obs.waits import WAITS
+
+    was_enabled = WAITS.enabled
+    try:
+        WAITS.disable()
+        frame = render_sessions([], now_label="0.0s")
+        assert "0 active session(s)" in frame
+        assert "no active sessions" in frame
+        assert "wait monitor disabled / sampler not running" in frame
+        WAITS.enable()
+        frame = render_sessions([], now_label="0.0s")
+        assert "no active sessions — no activity" in frame
+    finally:
+        WAITS.disable()
+        if was_enabled:
+            WAITS.enable()
+
+
+def test_registered_samples_follow_sampler_lifecycle(monitor):
+    from repro.obs.ash import active_samplers, registered_samples
+
+    monitor.begin_statement("SELECT 1", engine="greenwood", session_id=3)
+    sampler = AshSampler(monitor=monitor, interval=0.002)
+    sampler.start()
+    try:
+        assert sampler in active_samplers()
+        sampler.sample_once()
+        assert any(s.sql == "SELECT 1" for s in registered_samples())
+    finally:
+        sampler.stop()
+        monitor.end_statement()
+    assert sampler not in active_samplers()
+
+
 def test_background_thread_collects(monitor):
     monitor.begin_statement("SELECT 1")
     sampler = AshSampler(monitor=monitor, interval=0.002)

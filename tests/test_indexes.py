@@ -173,6 +173,25 @@ class TestGridSpecifics:
         assert index.search(Envelope(95, 95, 96, 96)) == [1]
         assert len(index) == 1
 
+    def test_nearest_faraway_query_with_tiny_cells_terminates(self):
+        """Degenerate auto cell size (clustered points) plus a distant
+        query point puts the certification radius ~1e10 cells out; the
+        ring search must fall back to the full ranking instead of
+        enumerating empty coordinates forever."""
+        index = GridIndex.bulk_load([(0, Envelope(0, 0, 0, 0))])
+        assert index.cell_size < 1e-6  # the degenerate regime
+        assert index.nearest(100.0, 100.0, 3) == [0]
+        # a window query spanning ~1e11 cells per axis must probe the
+        # occupied cells, not enumerate the range
+        assert index.search(Envelope(-100, -100, 100, 100)) == [0]
+        assert index.remove(0, Envelope(0, 0, 0, 0))
+        assert len(index) == 0
+        many = GridIndex(cell_size=1e-9)
+        for i in range(5):
+            many.insert(i, Envelope(50 + i * 0.001, 50,
+                                    50 + i * 0.001, 50))
+        assert many.nearest(0.0, 0.0, 2) == [0, 1]
+
 
 class TestQuadTreeSpecifics:
     def test_root_grows_for_outliers(self):

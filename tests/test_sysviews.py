@@ -1,0 +1,161 @@
+"""The ``jackpine_*`` system views, scanned through the normal SQL path."""
+
+import pytest
+
+from repro.dbapi import connect
+from repro.engines import Database
+from repro.engines.sysviews import SYSTEM_VIEW_NAMES
+from repro.errors import SqlPlanError, SqlProgrammingError
+from repro.obs.ash import AshSampler
+from repro.obs.waits import GUARD_TICK, WAITS
+
+PROFILES = ("greenwood", "bluestem", "ironbark")
+
+
+def _seed(cur) -> None:
+    cur.execute("CREATE TABLE pts (id INTEGER, g GEOMETRY)")
+    cur.execute("INSERT INTO pts VALUES (1, ST_GeomFromText('POINT(1 2)'))")
+    cur.execute("INSERT INTO pts VALUES (2, ST_GeomFromText('POINT(3 4)'))")
+    cur.execute("CREATE SPATIAL INDEX pts_g ON pts (g)")
+
+
+@pytest.fixture
+def monitored():
+    WAITS.enable()
+    WAITS.reset()
+    sampler = AshSampler(monitor=WAITS, interval=0.005)
+    sampler.start()
+    yield sampler
+    sampler.stop()
+    WAITS.disable()
+
+
+@pytest.mark.parametrize("profile", PROFILES)
+def test_all_views_return_live_data_over_dbapi(profile, monitored):
+    """The acceptance query: every view yields rows through
+    lexer -> parser -> planner -> executor over the DB-API, on every
+    engine profile."""
+    conn = connect(profile)
+    conn.database.obs.enable_statements()
+    cur = conn.cursor()
+    _seed(cur)
+    cur.execute("SELECT COUNT(*) FROM pts")
+    cur.fetchall()
+    # one deterministic wait record + one deterministic ASH sample
+    WAITS.record(GUARD_TICK, 0.001)
+    WAITS.begin_statement("SELECT 1", profile, None, 99)
+    monitored.sample_once()
+    WAITS.end_statement()
+
+    cur.execute(
+        "SELECT fingerprint, statement, calls, total_time "
+        "FROM jackpine_statements ORDER BY total_time DESC LIMIT 5"
+    )
+    statements = cur.fetchall()
+    assert statements
+    assert any("from pts" in row[1] for row in statements)
+    assert all(row[2] >= 1 for row in statements)
+
+    cur.execute(
+        "SELECT statement_fingerprint, plan_fingerprint, is_current "
+        "FROM jackpine_plans"
+    )
+    plans = cur.fetchall()
+    assert plans
+    assert any(row[2] == 1 for row in plans)
+
+    cur.execute("SELECT wait_event, count, total_seconds FROM jackpine_waits")
+    waits = cur.fetchall()
+    assert any(row[0] == GUARD_TICK and row[1] >= 1 for row in waits)
+
+    cur.execute("SELECT sql, wait_event FROM jackpine_ash")
+    ash = cur.fetchall()
+    assert any(row[0] == "SELECT 1" for row in ash)
+
+    cur.execute(
+        "SELECT name, kind, live_rows, seq_scans FROM jackpine_tables"
+    )
+    tables = cur.fetchall()
+    by_name = {(row[0], row[1]): row for row in tables}
+    assert by_name[("pts", "table")][2] == 2
+    assert by_name[("pts", "table")][3] >= 1
+    assert ("pts_g", "index") in by_name
+
+    # the querying statement itself is in flight, so it shows as progress
+    cur.execute("SELECT session_id, sql, phase FROM jackpine_progress")
+    progress = cur.fetchall()
+    assert any("jackpine_progress" in (row[1] or "") for row in progress)
+    conn.close()
+
+
+def test_statements_view_reflects_aggregation():
+    db = Database("greenwood")
+    db.execute("CREATE TABLE t (id INTEGER)")
+    db.execute("INSERT INTO t VALUES (1), (2), (3)")
+    db.obs.enable_statements()
+    db.execute("SELECT id FROM t WHERE id IN (1, 2)")
+    db.execute("select id from t where id in (3)")
+    rows = db.execute(
+        "SELECT statement, calls FROM jackpine_statements"
+    ).rows
+    matching = [r for r in rows if "from t where id in" in r[0]]
+    assert len(matching) == 1
+    assert matching[0][1] == 2
+
+
+def test_views_exist_without_observability():
+    """Views are queryable on a fresh database; stats views are empty,
+    the tables view still reflects the catalog."""
+    WAITS.reset()  # the wait monitor is process-global
+    db = Database("greenwood")
+    db.execute("CREATE TABLE t (id INTEGER)")
+    db.execute("INSERT INTO t VALUES (7)")
+    assert db.execute("SELECT * FROM jackpine_statements").rows == []
+    assert db.execute("SELECT * FROM jackpine_waits").rows == []
+    assert db.execute("SELECT * FROM jackpine_ash").rows == []
+    rows = db.execute(
+        "SELECT name, live_rows FROM jackpine_tables"
+    ).rows
+    assert ("t", 1) in rows
+
+
+def test_views_are_read_only():
+    db = Database("greenwood")
+    db.execute("CREATE TABLE t (id INTEGER)")  # gives jackpine_tables rows
+    for name in ("jackpine_statements", "jackpine_tables"):
+        with pytest.raises(SqlProgrammingError):
+            db.execute(f"INSERT INTO {name} VALUES (1)")
+    # DELETE has live view rows to target, so the mutator must refuse
+    with pytest.raises((SqlPlanError, SqlProgrammingError)):
+        db.execute("DELETE FROM jackpine_tables")
+
+
+def test_view_names_are_reserved():
+    db = Database("greenwood")
+    with pytest.raises(SqlPlanError):
+        db.execute("CREATE TABLE jackpine_statements (id INTEGER)")
+    with pytest.raises(SqlPlanError):
+        db.execute("DROP TABLE jackpine_waits")
+
+
+def test_views_absent_from_analyze_and_user_catalog():
+    db = Database("greenwood")
+    db.execute("CREATE TABLE t (id INTEGER)")
+    names = {table.name for table in db.catalog.tables()}
+    assert names == {"t"}
+    db.execute("ANALYZE")  # must not trip over read-only views
+    assert set(SYSTEM_VIEW_NAMES) == {
+        view.name for view in db.catalog.system_views()
+    }
+
+
+def test_view_reads_are_fresh_not_plan_cached():
+    db = Database("greenwood")
+    db.execute("CREATE TABLE t (id INTEGER)")
+    db.obs.enable_statements()
+    sql = "SELECT calls FROM jackpine_statements"
+    first = db.execute(sql).rows
+    db.execute("SELECT id FROM t")
+    second = db.execute(sql).rows
+    # the second read sees both earlier statements' entries
+    assert len(second) > len(first)
