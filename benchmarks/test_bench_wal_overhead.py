@@ -1,0 +1,101 @@
+"""Durability-hook overhead guard.
+
+Every durable hook in the DML path — insert, update, delete, commit —
+reads exactly one attribute (``db.durability``) and branches when no
+storage is attached; nothing else may run on the detached path. This
+module pins that contract the same way ``test_bench_waits_overhead.py``
+pins the wait-event switchboard: time bulk inserts through
+``insert_rows`` (latch + per-row durability branch) against the
+seed-era direct heap+index path and assert the medians stay within 5%.
+
+Wall-clock comparisons at single-digit-percent resolution are noisy, so
+the guard measures median-of-repeats, clears the table outside the
+timed window so index size cannot drift between calls, and retries the
+whole comparison a few times — it fails only when *every* attempt
+exceeds the budget. Run standalone::
+
+    pytest benchmarks/test_bench_wal_overhead.py --benchmark-disable -q
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.engines import Database
+
+#: allowed slowdown of the durability-detached path over direct inserts
+OVERHEAD_BUDGET = 1.05
+REPEATS = 5
+ATTEMPTS = 3
+BATCH = 400
+
+ROWS = [(i, f"POINT({i % 100} {i % 90})") for i in range(BATCH)]
+
+
+def _fresh_db() -> Database:
+    db = Database("greenwood")
+    db.execute("CREATE TABLE bench (id INTEGER, g GEOMETRY)")
+    db.execute("CREATE SPATIAL INDEX bench_g ON bench (g)")
+    return db
+
+
+def _insert_directly(db: Database) -> None:
+    """The seed-era fast path: heap + index, no durability branch, no
+    transaction bookkeeping."""
+    table = db.catalog.table("bench")
+    for values in ROWS:
+        row_id = table.insert_row(values, xmin=0)
+        db._index_insert(table, row_id)
+
+
+def _insert_guarded(db: Database) -> None:
+    db.insert_rows("bench", ROWS)
+
+
+def _median_seconds(db: Database, call, repeats: int = REPEATS) -> float:
+    call(db)  # warm caches outside the timed window
+    db.execute("DELETE FROM bench")
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        call(db)
+        times.append(time.perf_counter() - start)
+        db.execute("DELETE FROM bench")  # keep index size flat
+    times.sort()
+    return times[len(times) // 2]
+
+
+def test_durability_detached_by_default():
+    db = _fresh_db()
+    assert db.durability is None
+
+
+def test_detached_insert_matches_direct_inserts():
+    db = _fresh_db()
+    _insert_guarded(db)
+    count = db.execute("SELECT COUNT(*) FROM bench").scalar()
+    via_index = db.execute(
+        "SELECT COUNT(*) FROM bench WHERE ST_Intersects(g, "
+        "ST_MakeEnvelope(-1, -1, 200, 200))"
+    ).scalar()
+    assert count == via_index == BATCH
+    db.execute("DELETE FROM bench")
+    _insert_directly(db)
+    assert db.execute("SELECT COUNT(*) FROM bench").scalar() == BATCH
+
+
+def test_detached_overhead_within_budget():
+    db = _fresh_db()
+    assert db.durability is None
+    ratios = []
+    for _ in range(ATTEMPTS):
+        guarded = _median_seconds(db, _insert_guarded)
+        baseline = _median_seconds(db, _insert_directly)
+        ratio = guarded / baseline
+        ratios.append(ratio)
+        if ratio <= OVERHEAD_BUDGET:
+            break
+    assert min(ratios) <= OVERHEAD_BUDGET, (
+        f"durability-detached insert exceeded the {OVERHEAD_BUDGET:.0%} "
+        f"budget on every attempt: ratios={[f'{r:.3f}' for r in ratios]}"
+    )

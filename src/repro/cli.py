@@ -109,6 +109,11 @@ def build_parser() -> argparse.ArgumentParser:
              "pg_stat_statements-style table (plus any plan flips)",
     )
     stats.add_argument(
+        "--storage", default=None, metavar="DIR",
+        help="attach durable storage in DIR and print the buffer-pool / "
+             "write-ahead-log counters after the probe workload",
+    )
+    stats.add_argument(
         "--reset", action="store_true",
         help="zero every counter family first (metrics registries, wait "
              "events, statement store, engine counters)",
@@ -119,16 +124,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     experiment.add_argument(
         "which",
-        choices=["jf5", "jf6", "ja1", "ja2", "jx1", "jx2", "jx3", "jx4"],
+        choices=["jf5", "jf6", "ja1", "ja2", "jx1", "jx2", "jx3", "jx4",
+                 "jx5"],
         help="jf5=index effect, jf6=scalability, "
              "ja1=refinement ablation, ja2=index-structure ablation, "
              "jx1=selectivity sweep (extension), "
              "jx2=concurrent clients (extension), "
              "jx3=spatial join strategies (extension), "
-             "jx4=mixed read/write workload (extension)",
+             "jx4=mixed read/write workload (extension), "
+             "jx5=crash recovery (extension)",
     )
     experiment.add_argument("--seed", type=int, default=42)
     experiment.add_argument("--scale", type=float, default=0.25)
+    experiment.add_argument(
+        "--telemetry", default=None, metavar="DIR",
+        help="jx5: write the recovery telemetry JSON artifact into DIR",
+    )
     experiment.add_argument(
         "--distribution", choices=["uniform", "clustered"],
         default="uniform",
@@ -138,6 +149,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--waits", action="store_true",
         help="jx2/jx4: record wait events and append the wall-time "
              "decomposition per client count",
+    )
+
+    checkpoint = sub.add_parser(
+        "checkpoint",
+        help="open a durable storage directory (running crash recovery "
+             "if it was not shut down cleanly), take a checkpoint, and "
+             "report what was flushed and truncated",
+    )
+    checkpoint.add_argument(
+        "directory", metavar="DIR",
+        help="storage directory (wal.log + pages.db + catalog.json)",
     )
 
     workload = sub.add_parser(
@@ -182,6 +204,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--statements", action="store_true",
         help="record per-statement fingerprint aggregates and export the "
              "additive 'statements' telemetry section",
+    )
+    workload.add_argument(
+        "--storage", default=None, metavar="DIR",
+        help="attach durable storage (write-ahead log + heap pages) in "
+             "DIR; every committed write survives a crash",
+    )
+    workload.add_argument(
+        "--checkpoint-interval", type=float, default=0.0,
+        metavar="SECONDS",
+        help="with --storage: run a background checkpointer at this "
+             "period (0 = no background checkpoints)",
     )
 
     top = sub.add_parser(
@@ -273,6 +306,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                 exp.run_mixed_workload(seed=args.seed, scale=args.scale,
                                        waits=args.waits)
             ))
+        elif args.which == "jx5":
+            result = exp.run_recovery(seed=args.seed, scale=args.scale)
+            print(exp.render_recovery(result))
+            if args.telemetry:
+                path = exp.write_recovery_telemetry(result, args.telemetry)
+                print(f"wrote {path}")
         else:
             print(exp.render_spatial_join(
                 exp.run_spatial_join(seed=args.seed, scale=args.scale)
@@ -288,6 +327,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.command == "stats":
         return _run_stats(args)
+    if args.command == "checkpoint":
+        return _run_checkpoint(args)
     if args.command == "workload":
         return _run_workload(args)
     if args.command == "top":
@@ -328,9 +369,31 @@ _RESILIENCE_COUNTERS = (
 )
 
 
+def _run_checkpoint(args) -> int:
+    """``jackpine checkpoint DIR``: reopen (recovering if necessary),
+    checkpoint, report, close."""
+    db = Database.open(args.directory)
+    try:
+        recovery = getattr(db, "recovery_report", None)
+        if recovery is not None:
+            print(recovery.describe())
+        report = db.durability.checkpoint()
+        print(
+            f"checkpoint at lsn {report.lsn}: "
+            f"{report.pages_flushed} page(s) flushed, "
+            f"wal truncated to {report.wal_records_kept} record(s) "
+            f"({report.wal_bytes} bytes)"
+        )
+    finally:
+        db.close()
+    return 0
+
+
 def _run_stats(args) -> int:
     db = Database(args.engine)
     generate(seed=args.seed, scale=args.scale).load_into(db)
+    if args.storage:
+        db.attach_storage(args.storage)
     if args.reset:
         from repro.obs.metrics import GLOBAL
         from repro.obs.waits import WAITS
@@ -396,6 +459,15 @@ def _run_stats(args) -> int:
         print()
         print(db.obs.statements.render())
         db.obs.disable_statements()
+    if db.durability is not None:
+        print()
+        print("-- durable storage (buffer pool + write-ahead log)")
+        for name, value in sorted(db.durability.stats().items()):
+            if isinstance(value, float):
+                print(f"jackpine_storage_{name} {value:.4f}")
+            else:
+                print(f"jackpine_storage_{name} {value}")
+        db.close()
     return 0
 
 
@@ -418,6 +490,8 @@ def _run_workload(args) -> int:
         scale=args.scale,
         waits=args.waits,
         statements=args.statements,
+        storage_dir=args.storage,
+        checkpoint_interval=args.checkpoint_interval,
     )
     report = run_workload(config)
     print(render_workload(report))

@@ -642,3 +642,159 @@ def render_spatial_join(result: SpatialJoinResult) -> str:
     from repro.core.report import render_spatial_join_table
 
     return render_spatial_join_table(result)
+
+
+# ---------------------------------------------------------------------------
+# J-X5 (extension): crash recovery
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class RecoveryResult:
+    """One J-X5 run: crash → recover → verify, per checkpoint interval."""
+
+    profile: str
+    seed: int
+    scale: float
+    site: str
+    #: per checkpoint interval: the crash outcome, the recovery timing
+    #: breakdown, the WAL length replayed, and the oracle verdict
+    points: List[Dict[str, Any]] = field(default_factory=list)
+
+
+def run_recovery(
+    seed: int = 42,
+    scale: float = 0.25,
+    engine: str = "greenwood",
+    intervals: Sequence[float] = (0.0, 0.1, 0.02),
+    site: str = "wal.fsync",
+    crash_after: int = 2500,
+    clients: int = 2,
+    deadline: float = 8.0,
+) -> RecoveryResult:
+    """J-X5: crash recovery time vs WAL length and checkpoint interval.
+
+    For each checkpoint interval, concurrent clients commit single-row
+    transactions against a fresh durable directory until a seeded crash
+    fires (the ``crash_after``-th visit to ``site``, simulating
+    ``kill -9`` at that exact storage instruction). ARIES-lite recovery
+    then rebuilds the database, and the oracle asserts both durability
+    directions: every committed transaction visible, every uncommitted
+    one absent. Frequent checkpoints keep the WAL short and recovery
+    fast; interval 0 (never checkpoint) replays the whole history — the
+    classic recovery-time/runtime-overhead trade the paper's
+    single-user, no-failure runs cannot see.
+    """
+    import shutil
+    import tempfile
+
+    from repro.storage.crash import run_crash_workload, verify_recovery
+    from repro.storage.durability import recover
+
+    seed_rows = max(10, int(100 * scale))
+    result = RecoveryResult(profile=engine, seed=seed, scale=scale,
+                            site=site)
+    for interval in intervals:
+        directory = tempfile.mkdtemp(prefix="jackpine-jx5-")
+        try:
+            outcome = run_crash_workload(
+                directory,
+                profile=engine,
+                clients=clients,
+                site=site,
+                on_call=crash_after,
+                deadline=deadline,
+                checkpoint_interval=interval,
+                seed_rows=seed_rows,
+            )
+            db, report = recover(directory)
+            try:
+                violations = verify_recovery(outcome, db)
+            finally:
+                db.close()
+            result.points.append({
+                "checkpoint_interval": interval,
+                "crash_fired": outcome.fired,
+                "crash_forced": outcome.forced,
+                "workload_seconds": outcome.wall_seconds,
+                "checkpoints_taken": outcome.checkpoints,
+                "attempted": len(outcome.attempted),
+                "committed": len(outcome.committed),
+                "wal_records": report.wal_records,
+                "winners": report.winners,
+                "losers": report.losers,
+                "redone": report.redone,
+                "undone": report.undone,
+                "recovered_rows": sum(report.tables.values()),
+                "analysis_seconds": report.analysis_seconds,
+                "redo_seconds": report.redo_seconds,
+                "undo_seconds": report.undo_seconds,
+                "rebuild_seconds": report.rebuild_seconds,
+                "recovery_seconds": report.total_seconds,
+                "verified": not violations,
+                "violations": violations,
+            })
+        finally:
+            shutil.rmtree(directory, ignore_errors=True)
+    return result
+
+
+def render_recovery(result: RecoveryResult) -> str:
+    lines = [
+        f"== J-X5 (extension): crash recovery on {result.profile}, "
+        f"kill at {result.site} ==",
+        "(simulated kill -9 mid-workload: the WAL is truncated to its",
+        " last fsynced byte, then ARIES-lite analysis/redo/undo rebuilds",
+        " heap, catalog and spatial indexes; the oracle checks both",
+        " durability directions)",
+        f"{'ckpt ivl':>9s} {'ckpts':>6s} {'wal recs':>9s} "
+        f"{'winners':>8s} {'losers':>7s} {'rows':>6s} "
+        f"{'recovery':>10s} {'redo':>9s} {'verified':>9s}",
+    ]
+    for p in result.points:
+        interval = (
+            "never" if not p["checkpoint_interval"]
+            else f"{p['checkpoint_interval']:.2f}s"
+        )
+        lines.append(
+            f"{interval:>9s} {p['checkpoints_taken']:>6d} "
+            f"{p['wal_records']:>9d} {p['winners']:>8d} "
+            f"{p['losers']:>7d} {p['recovered_rows']:>6d} "
+            f"{p['recovery_seconds'] * 1e3:>8.2f}ms "
+            f"{p['redo_seconds'] * 1e3:>7.2f}ms "
+            f"{'yes' if p['verified'] else 'NO':>9s}"
+        )
+        for violation in p["violations"]:
+            lines.append(f"          !! {violation}")
+    return "\n".join(lines)
+
+
+def write_recovery_telemetry(result: RecoveryResult, out_dir: str) -> str:
+    """Write the J-X5 telemetry artifact (same envelope family as
+    ``jackpine run --telemetry``); returns the path."""
+    import json
+    import os
+
+    from repro.obs.telemetry import SCHEMA
+
+    records = [
+        dict(point, query_id=f"jx5.interval_{i}", engine=result.profile,
+             suite="recovery", supported=True)
+        for i, point in enumerate(result.points)
+    ]
+    document = {
+        "schema": SCHEMA,
+        "engine": result.profile,
+        "config": {
+            "seed": result.seed,
+            "scale": result.scale,
+            "site": result.site,
+        },
+        "records": records,
+    }
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, f"recovery_{result.profile}.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path

@@ -27,6 +27,7 @@ PEP 249 name              library errors caught
 from repro.dbapi.connection import Connection, Cursor, InterfaceError, connect
 from repro.errors import (
     DumpCorruptionError,
+    SimulatedCrashError,
     EngineError,
     GeometryError,
     GuardrailError,
@@ -90,6 +91,7 @@ ERROR_MAP = {
     InjectedFaultError: OperationalError,
     SerializationError: OperationalError,
     DumpCorruptionError: IntegrityError,
+    SimulatedCrashError: OperationalError,
     InterfaceError: InterfaceError,
 }
 

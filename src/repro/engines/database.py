@@ -98,6 +98,10 @@ class Database:
         self._parse_cache: "OrderedDict[str, ast.Statement]" = OrderedDict()
         #: the MVCC transaction manager (txn ids, snapshots, row locks)
         self.txn = TxnManager(self)
+        #: durable page/WAL storage, attached via :meth:`attach_storage` /
+        #: :meth:`open`; ``None`` keeps the engine purely in-memory and
+        #: every durability hook at one attribute read
+        self.durability = None
         # per-statement physical latch: SELECT shared, mutation exclusive;
         # never held across statements (isolation is the txn layer's job)
         self._latch = SharedExclusiveLock()
@@ -114,6 +118,101 @@ class Database:
         install_system_views(self)
 
     # -- public API --------------------------------------------------------
+
+    @classmethod
+    def open(
+        cls,
+        directory: str,
+        profile: "EngineProfile | str" = "greenwood",
+        page_size: int = 4096,
+        buffer_pages: int = 128,
+    ) -> "Database":
+        """Open (or create) a durable database directory.
+
+        A directory that already holds a WAL goes through crash recovery
+        (:func:`repro.storage.durability.recover`) — committed work is
+        rebuilt, in-flight work is undone. A fresh directory gets empty
+        storage attached.
+        """
+        import os
+
+        from repro.storage.durability import WAL_FILE, recover
+
+        if isinstance(profile, str):
+            profile = get_profile(profile)
+        if os.path.exists(os.path.join(directory, WAL_FILE)):
+            db, _report = recover(
+                directory, profile=profile.name,
+                page_size=page_size, buffer_pages=buffer_pages,
+            )
+            return db
+        db = cls(profile)
+        db.attach_storage(
+            directory, page_size=page_size, buffer_pages=buffer_pages
+        )
+        return db
+
+    def attach_storage(
+        self,
+        directory: str,
+        page_size: int = 4096,
+        buffer_pages: int = 128,
+    ) -> None:
+        """Attach durable page/WAL storage to this database.
+
+        Any rows already in memory (a loaded benchmark dataset) are
+        mirrored to the heap pages and checkpointed, so the attach point
+        itself is durable. Use :meth:`open` for a directory that already
+        contains storage.
+        """
+        import os
+
+        from repro.storage.durability import (
+            WAL_FILE,
+            DurabilityManager,
+        )
+
+        if self.durability is not None:
+            raise SqlProgrammingError("durable storage is already attached")
+        if os.path.exists(os.path.join(directory, WAL_FILE)):
+            raise SqlProgrammingError(
+                f"{directory!r} already holds a database; "
+                f"use Database.open() to recover it"
+            )
+        manager = DurabilityManager(
+            directory, page_size=page_size, buffer_pages=buffer_pages,
+            profile=self.profile.name,
+        )
+        manager.bind(self)
+        with self._latch.exclusive():
+            self.durability = manager
+            manager.mirror_existing_rows()
+            manager.checkpoint()
+
+    def attach_durability(self, manager) -> None:
+        """Adopt an already-populated durability manager (the recovery
+        path — no mirroring, the pages are the source of truth)."""
+        manager.bind(self)
+        self.durability = manager
+
+    def checkpoint(self):
+        """Flush dirty pages, snapshot the catalog, truncate the WAL."""
+        if self.durability is None:
+            raise SqlProgrammingError("no durable storage attached")
+        with self._latch.exclusive():
+            report = self.durability.checkpoint()
+        self.obs.metrics.counter(
+            "checkpoints_total", "checkpoints completed"
+        ).inc()
+        return report
+
+    def close(self) -> None:
+        """Clean shutdown: checkpoint (if durable) and release files."""
+        if self.durability is None:
+            return
+        if not self.durability.crashed:
+            self.checkpoint()
+        self.durability.close()
 
     @property
     def join_strategy(self) -> str:
@@ -487,10 +586,17 @@ class Database:
         if isinstance(statement, ast.CreateSpatialIndex):
             return self._run_create_index(statement)
         if isinstance(statement, ast.DropTable):
+            existed = self.catalog.has_table(statement.name)
             self.catalog.drop_table(statement.name, statement.if_exists)
+            if existed and self.durability is not None:
+                self.durability.log_ddl("drop_table", name=statement.name)
             return ResultSet([], [], 0)
         if isinstance(statement, ast.DropIndex):
             self.catalog.drop_index(statement.name, statement.if_exists)
+            if self.durability is not None:
+                self.durability.log_ddl(
+                    "drop_index", name=statement.name.lower()
+                )
             return ResultSet([], [], 0)
         if isinstance(statement, ast.Analyze):
             return self._run_analyze(statement)
@@ -548,7 +654,12 @@ class Database:
         """
         txn = session.txn
         implicit = False
-        if txn is None and self.txn.active_count:
+        if txn is None and (self.txn.active_count or
+                            self.durability is not None):
+            # durable databases run *every* write transactionally: the
+            # WAL's undo information and the MVCC rollback machinery are
+            # one mechanism, so an auto-commit statement is just a
+            # single-statement transaction with a group-commit fsync
             txn = self.txn.begin()
             implicit = True
         snapshot = txn.snapshot if txn is not None else None
@@ -735,26 +846,51 @@ class Database:
         return ResultSet([], [], len(coerced))
 
     def insert_rows(self, table_name: str, rows: Sequence[Sequence[Any]]) -> int:
-        """Bulk insert of Python values (the fast path the loader uses)."""
+        """Bulk insert of Python values (the fast path the loader uses).
+
+        On a durable database the whole batch is one transaction with a
+        single group-commit fsync at the end — the bulk-load analogue of
+        COPY inside a transaction."""
         table = self.catalog.table(table_name)
         count = 0
         with self._latch.exclusive():
-            for values in rows:
-                self._insert_one(table, values)
-                count += 1
+            txn = self.txn.begin() if self.durability is not None else None
+            try:
+                xmin = txn.txid if txn is not None else 0
+                for values in rows:
+                    row_id = self._insert_one(table, values, xmin=xmin)
+                    if txn is not None:
+                        txn.record_insert(table, row_id)
+                    count += 1
+                if txn is not None:
+                    self.txn.commit(txn)
+            except BaseException:
+                if txn is not None and txn.status is ACTIVE:
+                    self.txn.rollback(txn)
+                raise
         return count
 
     def _insert_one(
         self, table: Table, values: Sequence[Any], xmin: int = 0
     ) -> int:
-        """Heap insert + index maintenance; the heap row is rolled back if
-        index maintenance fails, keeping heap and indexes consistent."""
+        """Heap insert + index maintenance + WAL; the heap row (and its
+        index entries) are rolled back if any later step fails, keeping
+        heap, indexes and the durable mirror consistent."""
         row_id = table.insert_row(values, xmin=xmin)
         try:
             self._index_insert(table, row_id)
         except Exception:
             table.rollback_insert(row_id)
             raise
+        if self.durability is not None and xmin:
+            try:
+                self.durability.log_insert(
+                    xmin, table.name, row_id, table.get_row(row_id)
+                )
+            except Exception:
+                self._index_remove(table, row_id)
+                table.rollback_insert(row_id)
+                raise
         return row_id
 
     def _index_insert(self, table: Table, row_id: int) -> None:
@@ -810,6 +946,13 @@ class Database:
             self._lock_row_for_write(table, row_id, txn)
             table.mark_deleted(row_id, txn.txid)
             txn.record_delete(table, row_id)
+            if self.durability is not None:
+                # the durable mirror tracks committed-state-to-be: the
+                # page row goes now (steal), the in-memory version stays
+                # for older snapshots until vacuum
+                self.durability.log_delete(
+                    txn.txid, table.name, row_id, table.get_row(row_id)
+                )
         return ResultSet([], [], len(doomed))
 
     def _run_update(
@@ -848,6 +991,11 @@ class Database:
                 new_id = self._insert_one(table, values, xmin=txn.txid)
                 table.mark_deleted(row_id, txn.txid)
                 txn.record_update(table, row_id, new_id)
+                if self.durability is not None:
+                    # WAL mirrors the MVCC shape: insert new + delete old
+                    self.durability.log_delete(
+                        txn.txid, table.name, row_id, table.get_row(row_id)
+                    )
             return ResultSet([], [], len(pending))
         for row_id, values in pending:
             old_row = table.get_row(row_id)
@@ -875,7 +1023,13 @@ class Database:
         columns = [
             Column(c.name, ColumnType.parse(c.type_name)) for c in stmt.columns
         ]
-        self.catalog.create_table(stmt.name, columns)
+        table = self.catalog.create_table(stmt.name, columns)
+        if self.durability is not None:
+            self.durability.log_ddl(
+                "create_table",
+                name=table.name,
+                columns=[[c.name, c.type.value] for c in columns],
+            )
         return ResultSet([], [], 0)
 
     def _run_create_index(self, stmt: ast.CreateSpatialIndex) -> ResultSet:
@@ -891,6 +1045,11 @@ class Database:
         self.catalog.register_index(
             IndexEntry(stmt.name, table.name, column.name, index)
         )
+        if self.durability is not None:
+            self.durability.log_ddl(
+                "create_index", name=stmt.name.lower(), table=table.name,
+                column=column.name, kind=index.kind,
+            )
         return ResultSet([], [], len(index))
 
     def _build_index(

@@ -22,8 +22,11 @@ Views installed on every :class:`~repro.engines.Database`:
 ``jackpine_plans``        captured plan shapes + flip lineage
 ``jackpine_waits``        per-event wait totals (wait monitor)
 ``jackpine_ash``          active-session-history samples (running samplers)
-``jackpine_tables``       per-table/index usage: scans, probes, vacuum
-``jackpine_progress``     live per-session phase + rows processed
+``jackpine_tables``       per-table/index usage: scans, probes, vacuum —
+                          plus a ``bufferpool`` row (hit ratio, page I/O)
+                          when durable storage is attached
+``jackpine_progress``     live per-session phase + rows processed (and
+                          the durable checkpoint LSN, when attached)
 ========================  ==================================================
 """
 
@@ -341,6 +344,9 @@ def _tables_view(db: Any) -> SystemView:
         _col("mvcc_versions", "INTEGER"),
         _col("vacuumed_rows", "INTEGER"),
         _col("frozen_rows", "INTEGER"),
+        _col("pages_read", "INTEGER"),
+        _col("pages_written", "INTEGER"),
+        _col("buffer_hit_ratio", "REAL"),
     ]
 
     def produce() -> List[tuple]:
@@ -358,6 +364,9 @@ def _tables_view(db: Any) -> SystemView:
                 table.mvcc_versions,
                 table.vacuumed_rows,
                 table.frozen_rows,
+                None,
+                None,
+                None,
             ))
         for entry in db.catalog.indexes():
             out.append((
@@ -372,13 +381,35 @@ def _tables_view(db: Any) -> SystemView:
                 0,
                 0,
                 0,
+                None,
+                None,
+                None,
+            ))
+        durable = db.durability
+        if durable is not None:
+            stats = durable.stats()
+            out.append((
+                "buffer_pool",
+                "bufferpool",
+                None,
+                None,
+                None,
+                stats["pages_on_disk"],
+                None,
+                None,
+                None,
+                None,
+                None,
+                stats["pages_read"],
+                stats["pages_written"],
+                stats["buffer_hit_ratio"],
             ))
         return out
 
     return SystemView("jackpine_tables", columns, produce)
 
 
-def _progress_view() -> SystemView:
+def _progress_view(db: Any) -> SystemView:
     from repro.obs.waits import WAITS
 
     columns = [
@@ -394,10 +425,15 @@ def _progress_view() -> SystemView:
         _col("index_probes", "INTEGER"),
         _col("pairs_considered", "INTEGER"),
         _col("pairs_emitted", "INTEGER"),
+        _col("checkpoint_lsn", "INTEGER"),
     ]
 
     def produce() -> List[tuple]:
         now = time.perf_counter()
+        durable = db.durability
+        checkpoint_lsn = (
+            durable.last_checkpoint_lsn if durable is not None else None
+        )
         out: List[tuple] = []
         for state in WAITS.thread_states():
             sql = state.statement
@@ -434,6 +470,7 @@ def _progress_view() -> SystemView:
                 probes,
                 considered,
                 emitted,
+                checkpoint_lsn,
             ))
         return out
 
@@ -448,6 +485,6 @@ def install_system_views(db: Any) -> None:
         _waits_view(),
         _ash_view(),
         _tables_view(db),
-        _progress_view(),
+        _progress_view(db),
     ):
         db.catalog.register_system_view(view)

@@ -109,10 +109,25 @@ class SerializationError(TransientError):
 
 
 class DumpCorruptionError(EngineError):
-    """A dump file failed validation (bad checksum, torn record, ...)."""
+    """A dump or log file failed validation (bad checksum, torn record, ...)."""
 
     def __init__(self, message: str, line_no: int = -1):
         if line_no >= 0:
             message = f"dump line {line_no}: {message}"
         super().__init__(message)
         self.line_no = line_no
+
+
+class SimulatedCrashError(EngineError):
+    """Raised by the crash harness: the process is considered killed at this
+    instant.
+
+    When an armed WAL/page fault site fires with this error class, the
+    durability layer *freezes first* — the WAL is truncated back to its
+    last fsynced offset and every subsequent durable write raises — so the
+    engine's post-error cleanup cannot retroactively "un-crash" the disk.
+    Recovery then sees exactly what a kill -9 would have left behind.
+
+    Deliberately not a :class:`TransientError`: retrying against a crashed
+    durability layer is pointless, and the workload driver must not spin.
+    """

@@ -33,6 +33,9 @@ FAULT_POINTS: Dict[str, str] = {
     "dump.write": "per dump record written by dump_database",
     "dump.read": "per dump record parsed by restore_database",
     "txn.commit": "TxnManager.commit, before any commit state changes",
+    "wal.append": "WriteAheadLog.append, before the record is buffered",
+    "wal.fsync": "WriteAheadLog.sync, after write() but before fsync()",
+    "page.write": "DiskManager.write_page, before the page hits the file",
 }
 
 

@@ -46,6 +46,10 @@ __all__ = [
     "LATCH_EXCLUSIVE",
     "IO_DUMP_READ",
     "IO_DUMP_WRITE",
+    "IO_WAL_WRITE",
+    "IO_WAL_FSYNC",
+    "IO_PAGE_READ",
+    "IO_PAGE_WRITE",
     "CPU_REFINE",
     "CPU_INDEX_PROBE",
     "CPU_SORT",
@@ -61,6 +65,10 @@ LATCH_SHARED = "Latch:StatementShared"
 LATCH_EXCLUSIVE = "Latch:StatementExclusive"
 IO_DUMP_READ = "IO:DumpRead"
 IO_DUMP_WRITE = "IO:DumpWrite"
+IO_WAL_WRITE = "IO:WalWrite"
+IO_WAL_FSYNC = "IO:WalFsync"
+IO_PAGE_READ = "IO:PageRead"
+IO_PAGE_WRITE = "IO:PageWrite"
 CPU_REFINE = "CPU:Refine"
 CPU_INDEX_PROBE = "CPU:IndexProbe"
 CPU_SORT = "CPU:Sort"
@@ -76,6 +84,10 @@ WAIT_EVENTS: Dict[str, str] = {
     LATCH_EXCLUSIVE: "SharedExclusiveLock.acquire_exclusive — statement latch",
     IO_DUMP_READ: "restore/load_database — reading a dump stream",
     IO_DUMP_WRITE: "dump/save_database — writing a dump stream",
+    IO_WAL_WRITE: "WriteAheadLog.flush — writing buffered log records",
+    IO_WAL_FSYNC: "WriteAheadLog.sync — fsync of the log file (group commit)",
+    IO_PAGE_READ: "DiskManager.read_page — reading a heap page from disk",
+    IO_PAGE_WRITE: "DiskManager.write_page — writing a dirty heap page",
     CPU_REFINE: "EngineProfile.refine_predicate — exact geometry refinement",
     CPU_INDEX_PROBE: "IndexScan / IndexNestedLoopJoin — spatial index search",
     CPU_SORT: "Sort operator — materialise + multi-key sort",

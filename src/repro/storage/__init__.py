@@ -1,6 +1,20 @@
-"""Storage layer: heap tables, schemas, and the system catalog."""
+"""Storage layer: heap tables, schemas, the system catalog, and the
+durable page/WAL substrate (docs/DURABILITY.md)."""
 
 from repro.storage.catalog import Catalog, IndexEntry
+from repro.storage.durability import (
+    CheckpointReport,
+    DurabilityManager,
+    RecoveryReport,
+    recover,
+)
+from repro.storage.pages import (
+    PAGE_SIZE,
+    BufferManager,
+    DiskManager,
+    HeapStore,
+    Page,
+)
 from repro.storage.statistics import (
     ColumnStats,
     EnvelopeHistogram,
@@ -8,15 +22,26 @@ from repro.storage.statistics import (
     estimate_join_pairs,
 )
 from repro.storage.table import Column, ColumnType, Table
+from repro.storage.wal import WriteAheadLog
 
 __all__ = [
+    "BufferManager",
     "Catalog",
+    "CheckpointReport",
     "Column",
     "ColumnStats",
     "ColumnType",
+    "DiskManager",
+    "DurabilityManager",
     "EnvelopeHistogram",
+    "HeapStore",
     "IndexEntry",
+    "PAGE_SIZE",
+    "Page",
+    "RecoveryReport",
     "Table",
     "TableStats",
+    "WriteAheadLog",
     "estimate_join_pairs",
+    "recover",
 ]

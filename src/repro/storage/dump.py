@@ -29,14 +29,18 @@ from __future__ import annotations
 import json
 import os
 import time
-import zlib
 from dataclasses import dataclass, field
 from typing import IO, Any, Dict, List, Optional, Tuple
 
 from repro.errors import DumpCorruptionError, EngineError
 from repro.faults import FAULTS
-from repro.geometry import Geometry, wkb_dumps, wkb_loads
 from repro.obs.waits import IO_DUMP_READ, IO_DUMP_WRITE, WAITS
+from repro.storage.records import (
+    decode_value as _decode_value,
+    encode_line,
+    encode_value as _encode_value,
+    parse_line,
+)
 
 FORMAT_NAME = "jackpine-dump"
 FORMAT_VERSION = 2
@@ -46,35 +50,19 @@ SUPPORTED_VERSIONS = (1, 2)
 _ROW_BATCH = 512
 
 
-def _encode_value(value: Any) -> Any:
-    if isinstance(value, Geometry):
-        return {"__wkb__": wkb_dumps(value).hex()}
-    return value
-
-
-def _decode_value(value: Any) -> Any:
-    if isinstance(value, dict) and "__wkb__" in value:
-        return wkb_loads(bytes.fromhex(value["__wkb__"]))
-    return value
-
-
 def _write_record(stream: IO[str], record: dict) -> None:
-    """One checksummed record line: ``%08x <json>``."""
+    """One checksummed record line: ``%08x <json>`` (shared WAL/dump codec)."""
     if FAULTS.active:
         FAULTS.hit("dump.write")
     if WAITS.enabled:
         # one IO:DumpWrite wait per record, mirroring the fault site
         started = time.perf_counter()
         try:
-            payload = json.dumps(record)
-            crc = zlib.crc32(payload.encode("utf-8")) & 0xFFFFFFFF
-            stream.write(f"{crc:08x} {payload}\n")
+            stream.write(encode_line(record))
         finally:
             WAITS.record(IO_DUMP_WRITE, time.perf_counter() - started)
         return
-    payload = json.dumps(record)
-    crc = zlib.crc32(payload.encode("utf-8")) & 0xFFFFFFFF
-    stream.write(f"{crc:08x} {payload}\n")
+    stream.write(encode_line(record))
 
 
 def dump_database(db, stream: IO[str]) -> None:
@@ -202,26 +190,10 @@ def _parse_record(line: str, line_no: int, version: int) -> dict:
 
 def _parse_record_payload(line: str, line_no: int, version: int) -> dict:
     if version >= 2:
-        prefix, sep, payload = line.partition(" ")
-        if not sep or len(prefix) != 8:
-            raise DumpCorruptionError("missing checksum prefix", line_no)
-        try:
-            expected = int(prefix, 16)
-        except ValueError:
-            raise DumpCorruptionError(
-                f"bad checksum prefix {prefix!r}", line_no
-            )
-        actual = zlib.crc32(payload.encode("utf-8")) & 0xFFFFFFFF
-        if actual != expected:
-            raise DumpCorruptionError(
-                f"checksum mismatch (stored {expected:08x}, "
-                f"computed {actual:08x})",
-                line_no,
-            )
-    else:
-        payload = line
+        # the WAL shares this exact validation path (repro.storage.records)
+        return parse_line(line, line_no)
     try:
-        record = json.loads(payload)
+        record = json.loads(line)
     except json.JSONDecodeError as exc:
         raise DumpCorruptionError(f"invalid JSON ({exc})", line_no)
     if not isinstance(record, dict) or "type" not in record:

@@ -294,6 +294,35 @@ class Table:
                 self._xmin[row_id] = 0
                 self._xmax[row_id] = 0
 
+    def restore_slots(self, slots: Dict[int, tuple]) -> None:
+        """Rebuild an empty heap from ``{row_id: values}``, preserving row
+        ids (gaps become deleted slots). The crash-recovery path: every
+        restored row is frozen — no live snapshot survives a restart, so
+        version stamps would carry no information."""
+        if self.rows:
+            raise EngineError(
+                f"table {self.name}: restore_slots needs an empty heap"
+            )
+        size = max(slots) + 1 if slots else 0
+        for row_id in range(size):
+            values = slots.get(row_id)
+            if values is None:
+                self.rows.append(None)
+                for position in self._geom_positions:
+                    self._envelopes[position].append(None)
+                continue
+            row = tuple(
+                _coerce(value, col)
+                for value, col in zip(values, self.columns)
+            )
+            for position in self._geom_positions:
+                geom = row[position]
+                env = geom.envelope if isinstance(geom, Geometry) else None
+                self._envelopes[position].append(env)
+                self.stats.geometry[self.columns[position].name].add(env)
+            self.rows.append(row)
+            self.live_count += 1
+
     def get_row(self, row_id: int) -> tuple:
         row = self.rows[row_id]
         if row is None:

@@ -176,6 +176,13 @@ class TxnManager:
             # before any state changes: a fired fault leaves the
             # transaction active, and the caller's rollback undoes it
             FAULTS.hit("txn.commit")
+        durable = self._db.durability
+        if durable is not None:
+            # WAL flush point: the COMMIT record is fsynced before any
+            # in-memory commit state changes, so a failure here leaves
+            # the transaction active for the caller's rollback and the
+            # log shows it as a loser
+            durable.log_commit(txn.txid)
         with self._lock:
             for op, table, row_id in txn.undo:
                 if op == "insert":
@@ -196,6 +203,11 @@ class TxnManager:
             raise EngineError(
                 f"cannot roll back transaction {txn.txid}: {txn.status}"
             )
+        durable = self._db.durability
+        if durable is not None:
+            # before the in-memory reversal: the page-effect undo reads
+            # old values from heap rows that rollback is about to remove
+            durable.log_abort(txn)
         with self._lock:
             # reverse order: an UPDATE's new version disappears before the
             # old version's delete stamp is cleared
@@ -225,6 +237,20 @@ class TxnManager:
     def pending_garbage(self) -> int:
         with self._lock:
             return len(self._pending_freeze) + len(self._pending_vacuum)
+
+    @property
+    def next_txid(self) -> int:
+        with self._lock:
+            return self._next_txid
+
+    def set_next_txid(self, value: int) -> None:
+        """Advance the txid source (recovery: past every logged txid)."""
+        with self._lock:
+            self._next_txid = max(self._next_txid, value)
+
+    def active_txids(self) -> Tuple[int, ...]:
+        with self._lock:
+            return tuple(self._active)
 
     # -- internals ---------------------------------------------------------
 

@@ -65,6 +65,9 @@ class WorkloadConfig:
     ash_interval: float = 0.01     # ASH sampling period (seconds)
     ash_capacity: int = 4096       # bounded ASH history (samples kept)
     statements: bool = False       # record per-fingerprint statement stats
+    storage_dir: Optional[str] = None  # attach durable storage (WAL+pages)
+    checkpoint_interval: float = 0.0   # seconds between background
+                                       # checkpoints (0 = none)
 
     def validate(self) -> None:
         if self.clients < 1:
@@ -86,6 +89,13 @@ class WorkloadConfig:
                 raise ValueError("ash_interval must be positive")
             if self.ash_capacity < 1:
                 raise ValueError("ash_capacity must be >= 1")
+        if self.checkpoint_interval < 0:
+            raise ValueError("checkpoint_interval must be >= 0")
+        if self.checkpoint_interval and not self.storage_dir:
+            raise ValueError(
+                "checkpoint_interval needs storage_dir (nothing to "
+                "checkpoint without durable storage)"
+            )
 
 
 @dataclass
@@ -119,6 +129,11 @@ class WorkloadReport:
     #: populated only when ``config.statements`` is set — the statement
     #: store export (fingerprint aggregates + plans + flips)
     statements: Optional[Dict[str, Any]] = None
+    #: populated only when the round ran over durable storage — the
+    #: storage counters (WAL records/bytes, buffer hit ratio, page I/O)
+    #: plus checkpoints taken by the background checkpointer
+    storage: Optional[Dict[str, Any]] = None
+    checkpoints: int = 0
 
     def _total(self, name: str) -> int:
         return sum(getattr(report, name) for report in self.clients)
@@ -204,6 +219,8 @@ class WorkloadReport:
                 "scale": config.scale,
                 "max_retries": config.max_retries,
                 "lock_timeout": config.lock_timeout,
+                "storage_dir": config.storage_dir,
+                "checkpoint_interval": config.checkpoint_interval,
             },
             "wall_seconds": self.wall_seconds,
             "totals": {
@@ -227,6 +244,10 @@ class WorkloadReport:
             document["ash"] = self.ash
         if self.statements is not None:
             document["statements"] = self.statements
+        if self.storage is not None:
+            document["storage"] = dict(
+                self.storage, checkpoints_taken=self.checkpoints
+            )
         return document
 
 
@@ -345,6 +366,48 @@ def _run_operation(
         report.latency.observe(time.perf_counter() - start)
 
 
+class _Checkpointer:
+    """Background checkpoint loop for durable workload rounds.
+
+    Fires every ``interval`` seconds while the clients run.  A
+    checkpoint that fails (an injected fault, or a simulated crash
+    mid-round) is counted as a failure but never kills the round — the
+    crash-recovery experiments rely on the workload continuing so the
+    WAL keeps growing past the failed checkpoint.
+    """
+
+    def __init__(self, database: Database, interval: float) -> None:
+        self._db = database
+        self._interval = interval
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self.taken = 0
+        self.failed = 0
+
+    def start(self) -> None:
+        if not self._interval or self._db.durability is None:
+            return
+        self._thread = threading.Thread(
+            target=self._loop, name="jackpine-checkpointer", daemon=True
+        )
+        self._thread.start()
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self._interval):
+            try:
+                self._db.checkpoint()
+                self.taken += 1
+            except ReproError:
+                self.failed += 1
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._thread.join()
+        self._thread = None
+
+
 def run_workload(
     config: WorkloadConfig,
     database: Optional[Database] = None,
@@ -362,6 +425,8 @@ def run_workload(
             dataset = generate(seed=config.seed, scale=config.scale)
         database = Database(config.engine)
         dataset.load_into(database)
+    if config.storage_dir and database.durability is None:
+        database.attach_storage(config.storage_dir)
     database.txn.lock_timeout = config.lock_timeout
     mix = get_mix(config.mix, database)
     interval = (
@@ -393,9 +458,11 @@ def run_workload(
     hottest: List[Dict[str, Any]] = []
     ash_export: Optional[Dict[str, Any]] = None
     statements_export: Optional[Dict[str, Any]] = None
+    checkpointer = _Checkpointer(database, config.checkpoint_interval)
     if config.statements:
         database.obs.statements.reset()
         database.obs.enable_statements()
+    checkpointer.start()
     try:
         if config.waits:
             WAITS.enable()
@@ -426,10 +493,14 @@ def run_workload(
                 database, config.clients, body
             )
     finally:
+        checkpointer.stop()
         if config.statements:
             database.obs.disable_statements()
     if config.statements:
         statements_export = database.obs.statements.export()
+    storage_export: Optional[Dict[str, Any]] = None
+    if database.durability is not None:
+        storage_export = database.durability.stats()
     return WorkloadReport(
         config=config,
         wall_seconds=wall,
@@ -438,6 +509,8 @@ def run_workload(
         hottest_rows=hottest,
         ash=ash_export,
         statements=statements_export,
+        storage=storage_export,
+        checkpoints=checkpointer.taken,
     )
 
 
@@ -490,6 +563,16 @@ def render_workload(report: WorkloadReport) -> str:
         lines.append(
             f"statements: {len(fingerprints)} fingerprint(s) recorded   "
             f"plan flips: {flips}"
+        )
+    if report.storage is not None:
+        storage = report.storage
+        lines.append(
+            f"storage: wal {storage['wal_records']} records / "
+            f"{storage['wal_bytes']} bytes, {storage['wal_syncs']} fsyncs   "
+            f"buffer hit ratio {storage['buffer_hit_ratio']:.2%} "
+            f"({storage['pages_read']} read, "
+            f"{storage['pages_written']} written)   "
+            f"checkpoints: {report.checkpoints}"
         )
     return "\n".join(lines)
 

@@ -28,18 +28,27 @@ def clean_registry():
     FAULTS.disarm_all()
 
 
-def _fresh(profile: str, rows: int = 30) -> Database:
+def _fresh(profile: str, rows: int = 30, directory=None) -> Database:
+    """A populated database; with ``directory``, durable storage is
+    attached so the WAL/page fault sites are reachable."""
     db = Database(profile)
     db.execute("CREATE TABLE pts (id INTEGER, g GEOMETRY)")
     db.execute("CREATE SPATIAL INDEX idx_pts ON pts (g)")
     db.insert_rows(
         "pts", [(i, f"POINT({i} {i % 7})") for i in range(rows)]
     )
+    if directory is not None:
+        db.attach_storage(str(directory))
     return db
 
 
 def _exercise_every_site(db: Database) -> int:
-    """A workload that visits every fault point; returns faults caught."""
+    """A workload that visits every fault point; returns faults caught.
+
+    On a durable database the DML statements visit ``wal.append`` and
+    ``wal.fsync`` (every auto-commit write logs and group-fsyncs), and
+    the closing checkpoint visits ``page.write``.
+    """
     caught = 0
     statements = (
         ("INSERT INTO pts VALUES (?, ?)", (1000, "POINT(3 3)")),
@@ -71,6 +80,12 @@ def _exercise_every_site(db: Database) -> int:
     else:
         try:
             restore_database(io.StringIO(buf.getvalue()))
+        except ReproError:
+            caught += 1
+    if db.durability is not None:
+        # dirty-page write-back: the page.write site fires here
+        try:
+            db.checkpoint()
         except ReproError:
             caught += 1
     return caught
@@ -153,8 +168,9 @@ class TestConsistencyProperty:
 
     @pytest.mark.parametrize("site", sorted(FAULT_POINTS))
     @pytest.mark.parametrize("profile", PROFILES)
-    def test_single_fault_leaves_consistent_state(self, profile, site):
-        db = _fresh(profile)
+    def test_single_fault_leaves_consistent_state(self, profile, site,
+                                                  tmp_path):
+        db = _fresh(profile, directory=tmp_path / "storage")
         FAULTS.arm(site, on_call=1, max_fires=1)
         try:
             caught = _exercise_every_site(db)

@@ -1,0 +1,144 @@
+"""Property test: random crash points vs the serial-replay oracle.
+
+Hypothesis picks an arbitrary op sequence (autocommit DML, multi-row
+transactions, rollbacks, checkpoints) and an arbitrary crash point — a
+durable fault site plus a hit count. The ops run against a durable
+database while a :class:`SerialReplayOracle` shadows exactly the
+statements whose COMMIT returned. Whenever and wherever the crash
+lands, the recovered database must equal the oracle's serial history,
+value for value.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engines import Database
+from repro.errors import ReproError, SimulatedCrashError
+from repro.faults import FAULTS
+from repro.storage.crash import CRASH_SITES, SerialReplayOracle
+from repro.storage.durability import recover
+
+OPS = st.lists(
+    st.sampled_from(
+        ["insert", "txn_commit", "txn_abort", "update", "delete",
+         "checkpoint"]
+    ),
+    min_size=5,
+    max_size=30,
+)
+
+
+def _point(n: int) -> str:
+    return f"POINT({n % 37} {n % 31})"
+
+
+@settings(max_examples=25, deadline=None)
+@given(ops=OPS, site=st.sampled_from(CRASH_SITES),
+       on_call=st.integers(min_value=1, max_value=25))
+def test_recovery_equals_serial_replay(ops, site, on_call):
+    directory = tempfile.mkdtemp(prefix="jackpine-prop-")
+    oracle = SerialReplayOracle()
+    recovered = None
+    try:
+        oracle.ddl("CREATE TABLE t (id INTEGER, g GEOMETRY)")
+        oracle.ddl("CREATE SPATIAL INDEX t_g ON t (g)")
+        db = Database("greenwood")
+        db.execute("CREATE TABLE t (id INTEGER, g GEOMETRY)")
+        db.execute("CREATE SPATIAL INDEX t_g ON t (g)")
+        db.attach_storage(directory)
+
+        FAULTS.arm(site, on_call=on_call, max_fires=1,
+                   error=SimulatedCrashError)
+        gid = 0
+        known = []  # committed ids, oldest first, for update/delete
+
+        def run(op):
+            nonlocal gid
+            if op == "insert":
+                gid += 1
+                sql = "INSERT INTO t VALUES (?, ?)"
+                params = (gid, _point(gid))
+                db.execute(sql, params)
+                oracle.stage(sql, params)
+                oracle.commit()
+                known.append(gid)
+            elif op == "txn_commit":
+                first, second = gid + 1, gid + 2
+                gid += 2
+                db.execute("BEGIN")
+                try:
+                    for g in (first, second):
+                        db.execute("INSERT INTO t VALUES (?, ?)",
+                                   (g, _point(g)))
+                        oracle.stage("INSERT INTO t VALUES (?, ?)",
+                                     (g, _point(g)))
+                    db.execute("COMMIT")
+                except ReproError:
+                    oracle.abort()
+                    _try_rollback()
+                    raise
+                oracle.commit()
+                known.extend([first, second])
+            elif op == "txn_abort":
+                gid += 1
+                db.execute("BEGIN")
+                try:
+                    db.execute("INSERT INTO t VALUES (?, ?)",
+                               (gid, _point(gid)))
+                finally:
+                    _try_rollback()
+            elif op == "update" and known:
+                target = known[gid % len(known)]
+                gid += 1
+                sql = "UPDATE t SET g = ? WHERE id = ?"
+                params = (_point(gid * 7), target)
+                db.execute(sql, params)
+                oracle.stage(sql, params)
+                oracle.commit()
+            elif op == "delete" and known:
+                target = known[gid % len(known)]
+                sql = "DELETE FROM t WHERE id = ?"
+                db.execute(sql, (target,))
+                oracle.stage(sql, (target,))
+                oracle.commit()
+                known.remove(target)
+            elif op == "checkpoint":
+                # reaches page.write via buffer write-back
+                db.checkpoint()
+
+        def _try_rollback():
+            try:
+                db.execute("ROLLBACK")
+            except ReproError:
+                pass
+
+        for op in ops:
+            try:
+                run(op)
+            except ReproError:
+                oracle.abort()
+                if db.durability.crashed:
+                    break
+                raise  # a non-crash error here is a real bug
+        FAULTS.disarm_all()
+        if not db.durability.crashed:
+            db.durability.crash()  # crash point past the workload's end
+
+        recovered, _report = recover(directory)
+        problems = oracle.diff(recovered)
+        assert problems == [], (
+            f"site={site} on_call={on_call}: {problems}"
+        )
+    finally:
+        FAULTS.disarm_all()
+        if recovered is not None:
+            try:
+                recovered.close()
+            except ReproError:
+                pass
+        shutil.rmtree(directory, ignore_errors=True)

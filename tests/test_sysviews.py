@@ -159,3 +159,41 @@ def test_view_reads_are_fresh_not_plan_cached():
     second = db.execute(sql).rows
     # the second read sees both earlier statements' entries
     assert len(second) > len(first)
+
+
+def test_bufferpool_row_and_checkpoint_lsn_when_durable(tmp_path):
+    db = Database("greenwood")
+    db.execute("CREATE TABLE t (id INTEGER, g GEOMETRY)")
+    db.insert_rows("t", [(i, f"POINT({i} {i})") for i in range(20)])
+
+    # without storage: no bufferpool row, checkpoint column exists but
+    # is part of the progress schema either way
+    kinds = {row[0] for row in db.execute(
+        "SELECT kind FROM jackpine_tables").rows}
+    assert "bufferpool" not in kinds
+
+    db.attach_storage(str(tmp_path / "storage"))
+    db.execute("INSERT INTO t VALUES (100, ST_GeomFromText('POINT(9 9)'))")
+    db.checkpoint()
+
+    rows = db.execute(
+        "SELECT name, kind, pages, pages_written, buffer_hit_ratio "
+        "FROM jackpine_tables WHERE kind = 'bufferpool'"
+    ).rows
+    assert len(rows) == 1
+    name, kind, pages, written, ratio = rows[0]
+    assert name == "buffer_pool"
+    assert pages >= 1 and written >= 1
+    assert 0.0 <= ratio <= 1.0
+
+    WAITS.enable()
+    try:
+        progress = db.execute(
+            "SELECT sql, checkpoint_lsn FROM jackpine_progress"
+        ).rows
+    finally:
+        WAITS.disable()
+    ours = [r for r in progress if "jackpine_progress" in (r[0] or "")]
+    assert ours and ours[0][1] == db.durability.last_checkpoint_lsn
+    assert ours[0][1] > 0
+    db.close()

@@ -24,6 +24,10 @@ from repro.obs.waits import (
     GUARD_TICK,
     IO_DUMP_READ,
     IO_DUMP_WRITE,
+    IO_PAGE_READ,
+    IO_PAGE_WRITE,
+    IO_WAL_FSYNC,
+    IO_WAL_WRITE,
     LATCH_EXCLUSIVE,
     LATCH_SHARED,
     LOCK_ROW,
@@ -58,7 +62,8 @@ def _events_recorded(monitor) -> set:
 def test_taxonomy_is_closed_and_classful():
     expected = {
         LOCK_ROW, LATCH_SHARED, LATCH_EXCLUSIVE, IO_DUMP_READ,
-        IO_DUMP_WRITE, CPU_REFINE, CPU_INDEX_PROBE, CPU_SORT,
+        IO_DUMP_WRITE, IO_WAL_WRITE, IO_WAL_FSYNC, IO_PAGE_READ,
+        IO_PAGE_WRITE, CPU_REFINE, CPU_INDEX_PROBE, CPU_SORT,
         CLIENT_RETRY, CLIENT_BACKOFF, GUARD_TICK,
     }
     assert set(WAIT_EVENTS) == expected
