@@ -1,0 +1,157 @@
+"""Service-tier overhead guard for the embedded no-server path.
+
+The query service must be pay-as-you-go, like every subsystem before
+it: a process that never starts a :class:`JackpineServer` pays only the
+write-watermark stamp that the result cache's invalidation protocol
+needs — one dict write per committed DML statement, nothing on reads.
+This module pins that contract the same way the txn overhead guard
+does:
+
+- the read path: the full jx3 topology-join matrix through
+  ``db.execute`` (which now initialises ``write_marks``/``service`` on
+  every Database) against the direct cached-plan baseline, within 5%;
+- the write path: single-row auto-commit UPDATEs with the watermark
+  stamp live against the same loop with ``bump_write_marks``
+  monkeypatched to a no-op, within 5%.
+
+Run standalone::
+
+    pytest benchmarks/test_bench_service_overhead.py --benchmark-disable -q
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.experiments import JOIN_MATRIX
+from repro.datagen import generate
+from repro.engines import Database
+from repro.sql.executor import ExecContext
+
+from _bench_utils import BENCH_SCALE, BENCH_SEED
+
+#: allowed slowdown of the embedded path with service hooks in place
+OVERHEAD_BUDGET = 1.05
+REPEATS = 5
+ATTEMPTS = 3
+WRITE_ROUNDS = 300
+
+
+def _fresh_db() -> Database:
+    db = Database("greenwood")
+    generate(seed=BENCH_SEED, scale=BENCH_SCALE).load_into(db)
+    db.execute("ANALYZE")
+    return db
+
+
+def _run_plan_directly(db: Database, sql: str):
+    """The engine-internal fast path: cached plan, no service hooks."""
+    statement = db._parse_statement(sql)
+    cached = db._plan_cache.get(sql)
+    if cached is None:
+        cached = db._planner.plan_select(statement)
+        db._plan_cache[sql] = cached
+    plan, names = cached
+    ctx = ExecContext(
+        (), db.profile, db.registry, db.catalog, db.stats,
+    )
+    return [row["__out__"] for row in plan.rows(ctx)]
+
+
+def _median_seconds(call, repeats: int = REPEATS) -> float:
+    call()  # warm caches (parse, plan, index) outside the timed window
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        call()
+        times.append(time.perf_counter() - start)
+    times.sort()
+    return times[len(times) // 2]
+
+
+def test_reads_never_touch_write_marks():
+    db = _fresh_db()
+    assert db.service is None
+    # loading stamps every table once (the cache must see table creation
+    # as a write); a read-only workload must not move any of them after
+    after_load = dict(db.write_marks)
+    for _label, sql in JOIN_MATRIX:
+        db.execute(sql)
+    assert db.write_marks == after_load, (
+        "a read-only workload must not advance any watermark"
+    )
+
+
+def test_writes_stamp_marks_only_touched_tables():
+    db = _fresh_db()
+    after_load = dict(db.write_marks)
+    gid = db.execute("SELECT gid FROM pointlm ORDER BY gid LIMIT 1").scalar()
+    db.execute("UPDATE pointlm SET name = ? WHERE gid = ?", ("a", gid))
+    first = db.write_marks["pointlm"]
+    assert first != after_load["pointlm"]
+    untouched = {k: v for k, v in db.write_marks.items() if k != "pointlm"}
+    assert untouched == {k: v for k, v in after_load.items()
+                        if k != "pointlm"}, (
+        "a write must stamp only the tables it touched"
+    )
+    db.execute("UPDATE pointlm SET name = ? WHERE gid = ?", ("b", gid))
+    assert db.write_marks["pointlm"] != first, (
+        "every committed write must advance the table's watermark"
+    )
+    # a no-op write (rowcount 0) must not advance it
+    quiet = db.write_marks["pointlm"]
+    db.execute("UPDATE pointlm SET name = ? WHERE gid = ?", ("c", -1))
+    assert db.write_marks["pointlm"] == quiet
+
+
+def test_read_overhead_within_budget():
+    db = _fresh_db()
+    ratios = []
+    for _ in range(ATTEMPTS):
+        via_execute = 0.0
+        baseline = 0.0
+        for _label, sql in JOIN_MATRIX:
+            via_execute += _median_seconds(lambda s=sql: db.execute(s))
+            baseline += _median_seconds(
+                lambda s=sql: _run_plan_directly(db, s)
+            )
+        ratio = via_execute / baseline
+        ratios.append(ratio)
+        if ratio <= OVERHEAD_BUDGET:
+            break
+    assert min(ratios) <= OVERHEAD_BUDGET, (
+        f"embedded reads exceeded the {OVERHEAD_BUDGET:.0%} budget with "
+        f"service hooks in place: ratios={[f'{r:.3f}' for r in ratios]}"
+    )
+
+
+def test_write_watermark_overhead_within_budget():
+    db = _fresh_db()
+    gid = db.execute("SELECT gid FROM pointlm ORDER BY gid LIMIT 1").scalar()
+    sql = "UPDATE pointlm SET name = ? WHERE gid = ?"
+
+    def write_round():
+        for index in range(WRITE_ROUNDS):
+            db.execute(sql, (f"bench-{index}", gid))
+
+    original = Database.bump_write_marks
+    ratios = []
+    for _ in range(ATTEMPTS):
+        # alternate within the attempt so one-time warmup (version
+        # arrays, allocator growth) never lands on just one side
+        Database.bump_write_marks = original
+        stamped = _median_seconds(write_round, repeats=3)
+        Database.bump_write_marks = lambda self, tables, xid: None
+        try:
+            unstamped = _median_seconds(write_round, repeats=3)
+        finally:
+            Database.bump_write_marks = original
+        ratio = stamped / unstamped
+        ratios.append(ratio)
+        if ratio <= OVERHEAD_BUDGET:
+            break
+    assert min(ratios) <= OVERHEAD_BUDGET, (
+        f"watermark stamping cost {min(ratios):.3f}x on the auto-commit "
+        f"write path (budget {OVERHEAD_BUDGET:.0%}): "
+        f"ratios={[f'{r:.3f}' for r in ratios]}"
+    )

@@ -566,7 +566,7 @@ def crosses(a: Geometry, b: Geometry) -> bool:
 def within(a: Geometry, b: Geometry) -> bool:
     if a.is_empty or b.is_empty:
         return False
-    if not b.envelope.contains(a.envelope):
+    if not b.envelope.padded().contains(a.envelope):
         return False
     # dedicated puntal path: point-in-polygon is the hottest containment
     # query in the benchmark and needs no matrix machinery
@@ -600,7 +600,7 @@ def overlaps(a: Geometry, b: Geometry) -> bool:
 def covers(a: Geometry, b: Geometry) -> bool:
     if a.is_empty or b.is_empty:
         return False
-    if not a.envelope.contains(b.envelope):
+    if not a.envelope.padded().contains(b.envelope):
         return False
     matrix = relate(a, b)
     return (

@@ -46,7 +46,18 @@ def locate_in_ring(p: Coord, ring: Sequence[Coord]) -> Location:
 
 def locate_in_polygon(p: Coord, polygon: Polygon) -> Location:
     """Locate ``p`` against a polygon with holes."""
-    if not polygon.envelope.contains_point(*p):
+    # The envelope rejection must be tolerant: a point carrying overlay
+    # rounding error can sit epsilon outside the exact envelope while the
+    # ring walk below would classify it BOUNDARY. Only the walk decides.
+    env = polygon.envelope
+    pad = env.tolerance()
+    px, py = p
+    if (
+        px < env.min_x - pad
+        or px > env.max_x + pad
+        or py < env.min_y - pad
+        or py > env.max_y + pad
+    ):
         return Location.EXTERIOR
     where = locate_in_ring(p, polygon.shell)
     if where is not Location.INTERIOR:

@@ -125,20 +125,25 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument(
         "which",
         choices=["jf5", "jf6", "ja1", "ja2", "jx1", "jx2", "jx3", "jx4",
-                 "jx5"],
+                 "jx5", "jx6"],
         help="jf5=index effect, jf6=scalability, "
              "ja1=refinement ablation, ja2=index-structure ablation, "
              "jx1=selectivity sweep (extension), "
              "jx2=concurrent clients (extension), "
              "jx3=spatial join strategies (extension), "
              "jx4=mixed read/write workload (extension), "
-             "jx5=crash recovery (extension)",
+             "jx5=crash recovery (extension), "
+             "jx6=query service saturation/overload/cache (extension)",
     )
     experiment.add_argument("--seed", type=int, default=42)
     experiment.add_argument("--scale", type=float, default=0.25)
     experiment.add_argument(
         "--telemetry", default=None, metavar="DIR",
-        help="jx5: write the recovery telemetry JSON artifact into DIR",
+        help="jx5/jx6: write the telemetry JSON artifact into DIR",
+    )
+    experiment.add_argument(
+        "--duration", type=float, default=None, metavar="SECONDS",
+        help="jx6: seconds per load phase (default 2.0; CI uses less)",
     )
     experiment.add_argument(
         "--distribution", choices=["uniform", "clustered"],
@@ -162,6 +167,48 @@ def build_parser() -> argparse.ArgumentParser:
         help="storage directory (wal.log + pages.db + catalog.json)",
     )
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the query service: a TCP server over one embedded "
+             "engine (session pool, admission control, result cache)",
+    )
+    serve.add_argument("--engine", default="greenwood",
+                       choices=list(ENGINE_NAMES))
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port (0 = let the kernel pick; the bound port is "
+             "printed on startup)",
+    )
+    serve.add_argument("--seed", type=int, default=42)
+    serve.add_argument("--scale", type=float, default=0.25)
+    serve.add_argument(
+        "--pool", type=int, default=4, metavar="N",
+        help="engine sessions in the pool (bounds concurrent execution)",
+    )
+    serve.add_argument(
+        "--queue", type=int, default=32, metavar="N",
+        help="admission queue limit; requests beyond it are shed with a "
+             "typed 'overloaded' response",
+    )
+    serve.add_argument(
+        "--deadline", type=float, default=1.0, metavar="SECONDS",
+        help="per-request deadline (queue wait + execution)",
+    )
+    serve.add_argument(
+        "--cache-capacity", type=int, default=256, metavar="N",
+        help="result-cache entries (0 disables the cache)",
+    )
+    serve.add_argument(
+        "--idle-timeout", type=float, default=30.0, metavar="SECONDS",
+        help="idle pooled sessions older than this are reaped",
+    )
+    serve.add_argument(
+        "--waits", action="store_true",
+        help="record wait events (Net:Recv/Net:Send/Service:QueueWait) "
+             "while serving",
+    )
+
     workload = sub.add_parser(
         "workload",
         help="drive N concurrent clients against one engine "
@@ -175,9 +222,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="how long each client issues operations",
     )
     workload.add_argument(
-        "--mix", choices=["read_only", "mixed"], default="mixed",
+        "--mix", choices=["read_only", "mixed", "browse"], default="mixed",
         help="read_only=map-search reads (J-X2 style), "
-             "mixed=80/20 read/write transactions (J-X4 style)",
+             "mixed=80/20 read/write transactions (J-X4 style), "
+             "browse=skewed map-browsing reads (cache-friendly, J-X6)",
     )
     workload.add_argument(
         "--mode", choices=["closed", "open"], default="closed",
@@ -215,6 +263,11 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="with --storage: run a background checkpointer at this "
              "period (0 = no background checkpoints)",
+    )
+    workload.add_argument(
+        "--server", default=None, metavar="HOST:PORT",
+        help="drive a running 'jackpine serve' process instead of the "
+             "embedded engine (open-loop asyncio client fleet)",
     )
 
     top = sub.add_parser(
@@ -312,6 +365,15 @@ def main(argv: Optional[List[str]] = None) -> int:
             if args.telemetry:
                 path = exp.write_recovery_telemetry(result, args.telemetry)
                 print(f"wrote {path}")
+        elif args.which == "jx6":
+            kwargs = {"seed": args.seed, "scale": args.scale}
+            if args.duration is not None:
+                kwargs["duration"] = args.duration
+            result = exp.run_service(**kwargs)
+            print(exp.render_service(result))
+            if args.telemetry:
+                path = exp.write_service_telemetry(result, args.telemetry)
+                print(f"wrote {path}")
         else:
             print(exp.render_spatial_join(
                 exp.run_spatial_join(seed=args.seed, scale=args.scale)
@@ -329,6 +391,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_stats(args)
     if args.command == "checkpoint":
         return _run_checkpoint(args)
+    if args.command == "serve":
+        return _run_serve(args)
     if args.command == "workload":
         return _run_workload(args)
     if args.command == "top":
@@ -471,6 +535,53 @@ def _run_stats(args) -> int:
     return 0
 
 
+def _run_serve(args) -> int:
+    """``jackpine serve``: load the dataset, start the query service,
+    and block until interrupted (the sidecar for ``workload --server``)."""
+    from repro.service import JackpineServer, ServerConfig
+
+    print(f"loading {args.engine} at scale {args.scale} ...")
+    db = Database(args.engine)
+    generate(seed=args.seed, scale=args.scale).load_into(db)
+    if args.waits:
+        from repro.obs.waits import WAITS
+
+        WAITS.enable()
+        WAITS.reset()
+    server = JackpineServer(db, ServerConfig(
+        host=args.host,
+        port=args.port,
+        pool_size=args.pool,
+        max_queue=args.queue,
+        deadline=args.deadline,
+        cache_capacity=args.cache_capacity,
+        idle_timeout=args.idle_timeout,
+    ))
+    server.start()
+    print(f"jackpine service listening on {server.address} "
+          f"(pool {args.pool}, queue {args.queue}, "
+          f"deadline {args.deadline}s, "
+          f"cache {args.cache_capacity or 'off'})", flush=True)
+    try:
+        import time as time_mod
+
+        while True:
+            time_mod.sleep(3600)
+    except KeyboardInterrupt:
+        print("\nshutting down ...")
+    finally:
+        server.stop()
+        if args.waits:
+            from repro.obs.waits import WAITS
+
+            print("-- wait events (count, seconds)")
+            for event, entry in sorted(WAITS.summary().items()):
+                print(f"{event:<24s} count={entry['count']:<7d} "
+                      f"seconds={entry['seconds']:.6f}")
+            WAITS.disable()
+    return 0
+
+
 def _run_workload(args) -> int:
     from repro.workload import (
         WorkloadConfig,
@@ -492,6 +603,7 @@ def _run_workload(args) -> int:
         statements=args.statements,
         storage_dir=args.storage,
         checkpoint_interval=args.checkpoint_interval,
+        server=args.server,
     )
     report = run_workload(config)
     print(render_workload(report))

@@ -798,3 +798,302 @@ def write_recovery_telemetry(result: RecoveryResult, out_dir: str) -> str:
         json.dump(document, handle, indent=2, sort_keys=True)
         handle.write("\n")
     return path
+
+
+# ---------------------------------------------------------------------------
+# J-X6: query service saturation, overload shedding, and result cache
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ServiceResult:
+    """One J-X6 run: saturation sweep, overload round, cache comparison."""
+
+    profile: str
+    seed: int
+    scale: float
+    clients: int
+    pool_size: int
+    max_queue: int
+    deadline: float
+    #: phase A — per offered rate: achieved throughput + latency
+    saturation: List[Dict[str, Any]] = field(default_factory=list)
+    #: saturation throughput (max completed ops/sec across phase A)
+    saturation_ops: float = 0.0
+    #: phase B — overload at ~3x saturation: shedding + tail latency
+    overload: Dict[str, Any] = field(default_factory=dict)
+    #: phase C — browse mix with the cache on vs off
+    cache_on: Dict[str, Any] = field(default_factory=dict)
+    cache_off: Dict[str, Any] = field(default_factory=dict)
+
+
+def _merged_latency(reports):
+    """Aggregate the per-client fixed-bucket histograms (same buckets)."""
+    from repro.obs.metrics import Histogram
+
+    merged = Histogram("jx6_latency_seconds", "aggregate client latency")
+    for report in reports:
+        hist = report.latency
+        for index, count in enumerate(hist.counts):
+            merged.counts[index] += count
+        merged.count += hist.count
+        merged.sum += hist.sum
+        merged.min = min(merged.min, hist.min)
+        merged.max = max(merged.max, hist.max)
+    return merged
+
+
+def _service_round(
+    database, *, engine: str, seed: int, scale: float, clients: int,
+    rate: float, duration: float, pool_size: int, max_queue: int,
+    deadline: float, cache_capacity: int, mix: str = "browse",
+) -> Dict[str, Any]:
+    """Start a fresh server over ``database`` (fresh counters), drive it
+    with the open-loop fleet for one round, and distill the numbers."""
+    from repro.service import JackpineServer, ServerConfig
+    from repro.workload.driver import WorkloadConfig, run_workload
+
+    server = JackpineServer(database, ServerConfig(
+        pool_size=pool_size, max_queue=max_queue, deadline=deadline,
+        cache_capacity=cache_capacity,
+    )).start()
+    try:
+        report = run_workload(WorkloadConfig(
+            clients=clients, duration=duration, mix=mix, engine=engine,
+            mode="open", rate=rate, seed=seed, scale=scale,
+            server=server.address,
+        ))
+    finally:
+        server.stop()
+    latency = _merged_latency(report.clients)
+    completed = (
+        report.total_ops - report.total_shed - report.total_timeouts
+        - report.total_errors
+    )
+    admission = (report.service or {}).get("admission", {})
+    cache = report.cache or {}
+    hits = cache.get("hits", 0)
+    looked = hits + cache.get("misses", 0)
+    return {
+        "offered_rate": clients * rate,
+        "wall_seconds": report.wall_seconds,
+        "ops": report.total_ops,
+        "completed": completed,
+        "completed_per_sec": (
+            completed / report.wall_seconds if report.wall_seconds else 0.0
+        ),
+        "shed": report.total_shed,
+        "shed_queue_full": admission.get("shed_queue_full", 0),
+        "shed_deadline": admission.get("shed_deadline", 0),
+        "timeouts": report.total_timeouts,
+        "errors": report.total_errors,
+        "peak_queue": admission.get("peak_queue", 0),
+        "queue_limit": admission.get("queue_limit", max_queue),
+        "p50": latency.p50,
+        "p99": latency.p99,
+        "cache_hits": hits,
+        "cache_hit_ratio": hits / looked if looked else 0.0,
+        "cache_invalidations": cache.get("invalidations", 0),
+    }
+
+
+def run_service(
+    seed: int = 42,
+    scale: float = 0.25,
+    engine: str = "greenwood",
+    duration: float = 2.0,
+    clients: int = 32,
+    base_rate: float = 2.0,
+    max_rounds: int = 8,
+    pool_size: int = 4,
+    max_queue: int = 32,
+    deadline: float = 0.5,
+    cache_capacity: int = 256,
+    overload_factor: float = 3.0,
+    overload_clients: int = 160,
+) -> ServiceResult:
+    """J-X6: the query service under open-loop load.
+
+    Three phases over one loaded datastore (a fresh server — hence fresh
+    counters — per round):
+
+    A. **saturation sweep** — per-client arrival rates double from
+       ``base_rate`` (browse mix) until the server visibly falls behind
+       the offered load or starts shedding; the completed-ops/sec
+       ceiling is the saturation throughput.
+    B. **overload** — offered load at ``overload_factor`` times the
+       measured saturation. Admission control must shed (queue-full or
+       deadline) instead of queueing without bound: the experiment
+       records the shed split, the peak queue depth against its limit,
+       and the p99 the *surviving* requests saw.
+    C. **cache value** — the same browse round with the result cache on
+       vs off, isolating what watermark-validated caching buys on a
+       skewed read mix (and proving writes invalidate: the browse mix is
+       read-only, so the ratio is the upper bound the mixed rounds erode).
+    """
+    dataset = generate(seed=seed, scale=scale)
+    database = Database(engine)
+    dataset.load_into(database)
+    shared = dict(
+        engine=engine, seed=seed, scale=scale, clients=clients,
+        duration=duration, pool_size=pool_size, max_queue=max_queue,
+        deadline=deadline,
+    )
+    result = ServiceResult(
+        profile=engine, seed=seed, scale=scale, clients=clients,
+        pool_size=pool_size, max_queue=max_queue, deadline=deadline,
+    )
+    # phase A: adaptive saturation sweep — double the offered rate until
+    # achieved throughput falls visibly short of offered (or requests
+    # start getting shed), which is the saturation knee
+    rate = base_rate
+    for _ in range(max_rounds):
+        point = _service_round(
+            database, rate=rate, cache_capacity=cache_capacity, **shared
+        )
+        point["rate_per_client"] = rate
+        result.saturation.append(point)
+        saturated = (
+            point["completed_per_sec"] < 0.85 * point["offered_rate"]
+            or point["shed"] > 0
+        )
+        if saturated:
+            break
+        rate *= 2.0
+    result.saturation_ops = max(
+        point["completed_per_sec"] for point in result.saturation
+    )
+    # phase B: overload at ~overload_factor x saturation. One TCP
+    # connection carries one request at a time, so in-flight work is
+    # bounded by the client count — shedding can only engage when there
+    # are more clients than queue slots, hence the bigger fleet here
+    # ("hundreds of clients" is also just what overload looks like).
+    overload_fleet = max(overload_clients, 2 * max_queue)
+    overload_rate = (
+        overload_factor * result.saturation_ops / overload_fleet
+    )
+    result.overload = _service_round(
+        database, rate=overload_rate, cache_capacity=cache_capacity,
+        **dict(shared, clients=overload_fleet)
+    )
+    result.overload["rate_per_client"] = overload_rate
+    result.overload["clients"] = overload_fleet
+    # phase C: cache on vs off at roughly half the saturation rate (the
+    # comparison should measure cache effect, not queueing noise)
+    probe_rate = max(result.saturation_ops / (2.0 * clients), base_rate)
+    result.cache_on = _service_round(
+        database, rate=probe_rate, cache_capacity=cache_capacity, **shared
+    )
+    result.cache_off = _service_round(
+        database, rate=probe_rate, cache_capacity=0, **shared
+    )
+    return result
+
+
+def render_service(result: ServiceResult) -> str:
+    lines = [
+        f"== J-X6 (extension): query service on {result.profile} — "
+        f"{result.clients} open-loop clients, pool {result.pool_size}, "
+        f"queue {result.max_queue}, deadline {result.deadline:.2f}s ==",
+        "(asyncio TCP server over the embedded engine: session pooling,",
+        " admission control with load shedding, and an MVCC-watermark",
+        " result cache; latency is measured from the scheduled arrival,",
+        " so overload shows up in p99 instead of vanishing into",
+        " coordinated omission)",
+        "",
+        "-- phase A: saturation sweep (browse mix, cache on)",
+        f"{'offered/s':>10s} {'done/s':>8s} {'shed':>6s} {'p50':>9s} "
+        f"{'p99':>9s} {'hit%':>6s}",
+    ]
+    for p in result.saturation:
+        lines.append(
+            f"{p['offered_rate']:>10.0f} {p['completed_per_sec']:>8.1f} "
+            f"{p['shed']:>6d} {p['p50'] * 1e3:>7.1f}ms "
+            f"{p['p99'] * 1e3:>7.1f}ms {p['cache_hit_ratio']:>6.1%}"
+        )
+    lines.append(
+        f"saturation throughput: {result.saturation_ops:.1f} completed "
+        f"ops/sec"
+    )
+    o = result.overload
+    if o:
+        lines.extend([
+            "",
+            f"-- phase B: overload at {o['offered_rate']:.0f} offered/s "
+            f"(~{o['offered_rate'] / result.saturation_ops:.1f}x "
+            f"saturation, {o.get('clients', result.clients)} clients)",
+            f"completed: {o['completed_per_sec']:.1f}/s   "
+            f"shed: {o['shed']} "
+            f"(queue_full {o['shed_queue_full']}, "
+            f"deadline {o['shed_deadline']})   timeouts: {o['timeouts']}",
+            f"peak queue: {o['peak_queue']}/{o['queue_limit']} "
+            f"(bounded: {'yes' if o['peak_queue'] <= o['queue_limit'] else 'NO'})   "
+            f"p99 of survivors: {o['p99'] * 1e3:.1f}ms",
+        ])
+    on, off = result.cache_on, result.cache_off
+    if on and off:
+        # below saturation both variants complete every offered op, so
+        # latency — not throughput — is where the cache shows up
+        speedup = on["p50"] and off["p50"] / on["p50"] or float("nan")
+        lines.extend([
+            "",
+            "-- phase C: result cache on vs off (browse mix, below "
+            "saturation)",
+            f"cache on : {on['completed_per_sec']:>8.1f}/s   "
+            f"p50 {on['p50'] * 1e3:>6.1f}ms   "
+            f"p99 {on['p99'] * 1e3:>6.1f}ms   "
+            f"hit ratio {on['cache_hit_ratio']:.1%} "
+            f"({on['cache_hits']} hits)",
+            f"cache off: {off['completed_per_sec']:>8.1f}/s   "
+            f"p50 {off['p50'] * 1e3:>6.1f}ms   "
+            f"p99 {off['p99'] * 1e3:>6.1f}ms",
+            f"p50 speedup from caching: {speedup:.2f}x",
+        ])
+    return "\n".join(lines)
+
+
+def write_service_telemetry(result: ServiceResult, out_dir: str) -> str:
+    """Write the J-X6 telemetry artifact (same envelope family as
+    ``jackpine run --telemetry``); returns the path."""
+    import json
+    import os
+
+    from repro.obs.telemetry import SCHEMA
+
+    records = [
+        dict(point, query_id=f"jx6.saturation_{i}", engine=result.profile,
+             suite="service", supported=True)
+        for i, point in enumerate(result.saturation)
+    ]
+    for name, point in (("overload", result.overload),
+                        ("cache_on", result.cache_on),
+                        ("cache_off", result.cache_off)):
+        if point:
+            records.append(dict(
+                point, query_id=f"jx6.{name}", engine=result.profile,
+                suite="service", supported=True,
+            ))
+    document = {
+        "schema": SCHEMA,
+        "engine": result.profile,
+        "config": {
+            "seed": result.seed,
+            "scale": result.scale,
+            "clients": result.clients,
+            "pool_size": result.pool_size,
+            "max_queue": result.max_queue,
+            "deadline": result.deadline,
+        },
+        "totals": {
+            "saturation_ops_per_sec": result.saturation_ops,
+            "overload_shed": result.overload.get("shed", 0),
+            "cache_hit_ratio": result.cache_on.get("cache_hit_ratio", 0.0),
+        },
+        "records": records,
+    }
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, f"service_{result.profile}.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path

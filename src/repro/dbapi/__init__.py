@@ -37,6 +37,9 @@ from repro.errors import (
     QueryTimeoutError,
     ReproError,
     SerializationError,
+    ServiceError,
+    ServiceOverloadedError,
+    ServiceProtocolError,
     SqlError,
     SqlPlanError,
     SqlProgrammingError,
@@ -93,6 +96,11 @@ ERROR_MAP = {
     DumpCorruptionError: IntegrityError,
     SimulatedCrashError: OperationalError,
     InterfaceError: InterfaceError,
+    # service-tier errors are client-side conditions (shed request,
+    # torn frame), not engine failures: they catch as plain Error
+    ServiceError: Error,
+    ServiceProtocolError: Error,
+    ServiceOverloadedError: Error,
 }
 
 

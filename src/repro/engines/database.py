@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from typing import Any, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.engines.profiles import EngineProfile, get_profile
 from repro.engines.sysviews import install_system_views
@@ -113,6 +113,15 @@ class Database:
         # folded in under _stats_lock when the statement finishes
         self._cache_lock = threading.Lock()
         self._stats_lock = threading.Lock()
+        #: per-table committed-write watermarks (table name -> xid of the
+        #: last committed write), the service result cache's invalidation
+        #: source. Plain dict assignment under the GIL — the embedded
+        #: write path pays one dict store per committed write statement
+        #: (pinned by benchmarks/test_bench_service_overhead.py)
+        self.write_marks: Dict[str, int] = {}
+        #: the running query service, set by repro.service.JackpineServer
+        #: while serving and read by the jackpine_service system view
+        self.service = None
         # jackpine_* system views: SQL-queryable windows onto this
         # database's own statistics (scanned like any other table)
         install_system_views(self)
@@ -588,8 +597,12 @@ class Database:
         if isinstance(statement, ast.DropTable):
             existed = self.catalog.has_table(statement.name)
             self.catalog.drop_table(statement.name, statement.if_exists)
-            if existed and self.durability is not None:
-                self.durability.log_ddl("drop_table", name=statement.name)
+            if existed:
+                self.bump_write_marks((statement.name,), self.txn.stamp())
+                if self.durability is not None:
+                    self.durability.log_ddl(
+                        "drop_table", name=statement.name
+                    )
             return ResultSet([], [], 0)
         if isinstance(statement, ast.DropIndex):
             self.catalog.drop_index(statement.name, statement.if_exists)
@@ -676,11 +689,27 @@ class Database:
                 result = self._run_update(statement, ctx, txn)
             if implicit:
                 self.txn.commit(txn)
+            elif txn is None and result.rowcount:
+                # legacy in-place path: visible immediately, no commit
+                # hook will fire — stamp the watermark here
+                self.bump_write_marks((statement.table,), self.txn.stamp())
             return result
         except BaseException:
             if implicit and txn.status is ACTIVE:
                 self.txn.rollback(txn)
             raise
+
+    def bump_write_marks(self, tables, xid: int) -> None:
+        """Stamp the committed-write watermark for ``tables``.
+
+        Called by :meth:`TxnManager.commit` after the rows are visible,
+        and directly by the fast paths that never open a transaction.
+        Watermark comparison is by equality, so the only contract is
+        that the stamp changes whenever committed contents may have.
+        """
+        marks = self.write_marks
+        for name in tables:
+            marks[name.lower()] = xid
 
     def _lock_row_for_write(
         self, table: Table, row_id: int, txn: Transaction
@@ -864,6 +893,8 @@ class Database:
                     count += 1
                 if txn is not None:
                     self.txn.commit(txn)
+                elif count:
+                    self.bump_write_marks((table.name,), self.txn.stamp())
             except BaseException:
                 if txn is not None and txn.status is ACTIVE:
                     self.txn.rollback(txn)
@@ -1024,6 +1055,7 @@ class Database:
             Column(c.name, ColumnType.parse(c.type_name)) for c in stmt.columns
         ]
         table = self.catalog.create_table(stmt.name, columns)
+        self.bump_write_marks((table.name,), self.txn.stamp())
         if self.durability is not None:
             self.durability.log_ddl(
                 "create_table",

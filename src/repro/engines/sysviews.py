@@ -27,6 +27,9 @@ Views installed on every :class:`~repro.engines.Database`:
                           when durable storage is attached
 ``jackpine_progress``     live per-session phase + rows processed (and
                           the durable checkpoint LSN, when attached)
+``jackpine_service``      query service tier: session pool, admission
+                          queue, shed counts and result-cache counters
+                          (empty unless a server is attached)
 ========================  ==================================================
 """
 
@@ -49,6 +52,7 @@ SYSTEM_VIEW_NAMES: Tuple[str, ...] = (
     "jackpine_ash",
     "jackpine_tables",
     "jackpine_progress",
+    "jackpine_service",
 )
 
 
@@ -477,6 +481,56 @@ def _progress_view(db: Any) -> SystemView:
     return SystemView("jackpine_progress", columns, produce)
 
 
+def _service_view(db: Any) -> SystemView:
+    columns = [
+        _col("pool_size", "INTEGER"),
+        _col("sessions_in_use", "INTEGER"),
+        _col("sessions_idle", "INTEGER"),
+        _col("sessions_created", "INTEGER"),
+        _col("sessions_reaped", "INTEGER"),
+        _col("queue_depth", "INTEGER"),
+        _col("queue_limit", "INTEGER"),
+        _col("executing", "INTEGER"),
+        _col("admitted", "INTEGER"),
+        _col("shed_queue_full", "INTEGER"),
+        _col("shed_deadline", "INTEGER"),
+        _col("cache_entries", "INTEGER"),
+        _col("cache_hits", "INTEGER"),
+        _col("cache_misses", "INTEGER"),
+        _col("cache_invalidations", "INTEGER"),
+        _col("cache_bypass", "INTEGER"),
+    ]
+
+    def produce() -> List[tuple]:
+        service = db.service
+        if service is None:
+            return []
+        stats = service.stats()
+        pool = stats["pool"]
+        admission = stats["admission"]
+        cache = stats["cache"]
+        return [(
+            pool["size"],
+            pool["in_use"],
+            pool["idle"],
+            pool["created"],
+            pool["reaped"],
+            admission["queue_depth"],
+            admission["queue_limit"],
+            admission["executing"],
+            admission["admitted"],
+            admission["shed_queue_full"],
+            admission["shed_deadline"],
+            cache["entries"],
+            cache["hits"],
+            cache["misses"],
+            cache["invalidations"],
+            cache["bypass"],
+        )]
+
+    return SystemView("jackpine_service", columns, produce)
+
+
 def install_system_views(db: Any) -> None:
     """Register the full ``jackpine_*`` catalog on one database."""
     for view in (
@@ -486,5 +540,6 @@ def install_system_views(db: Any) -> None:
         _ash_view(),
         _tables_view(db),
         _progress_view(db),
+        _service_view(db),
     ):
         db.catalog.register_system_view(view)

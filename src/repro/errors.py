@@ -108,6 +108,35 @@ class SerializationError(TransientError):
     """
 
 
+class ServiceError(ReproError):
+    """Base class for query service tier failures (repro.service)."""
+
+    #: wire code carried in the typed error response
+    code = "service"
+
+
+class ServiceProtocolError(ServiceError):
+    """A malformed frame or an unknown request operation."""
+
+    code = "protocol"
+
+
+class ServiceOverloadedError(ServiceError):
+    """The server shed this request (queue full or deadline expired).
+
+    Subclasses neither :class:`TransientError` nor any engine error on
+    purpose: shedding is the *server* protecting itself, and the typed
+    response tells the client to back off (``retry_after`` seconds)
+    rather than hammer the retry path.
+    """
+
+    code = "overloaded"
+
+    def __init__(self, message: str, retry_after: float = 0.1):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
 class DumpCorruptionError(EngineError):
     """A dump or log file failed validation (bad checksum, torn record, ...)."""
 

@@ -155,6 +155,28 @@ class Envelope:
             max(self.max_y, other.max_y),
         )
 
+    def tolerance(self) -> float:
+        """Margin matched to this envelope's coordinate scale.
+
+        Coordinates derived by the overlay (segment intersection points)
+        carry relative rounding error, so exact envelope comparisons can
+        reject points the tolerant segment predicates would classify as
+        ON the geometry. 1e-9 relative is far above float rounding noise
+        yet far below any feature size the benchmark generates.
+        """
+        scale = max(
+            abs(self.min_x),
+            abs(self.min_y),
+            abs(self.max_x),
+            abs(self.max_y),
+            1.0,
+        )
+        return 1e-9 * scale
+
+    def padded(self) -> "Envelope":
+        """This envelope expanded by its own relative tolerance."""
+        return self.expanded(self.tolerance())
+
     def expanded(self, margin: float) -> "Envelope":
         return Envelope(
             self.min_x - margin,

@@ -149,7 +149,9 @@ _COUNTER_FIELDS = (
 )
 
 #: wait classes aggregated per statement (matches WAIT_CLASSES order)
-_WAIT_CLASS_FIELDS = ("LockManager", "Latch", "IO", "Client", "Guard", "CPU")
+_WAIT_CLASS_FIELDS = (
+    "LockManager", "Latch", "IO", "Net", "Service", "Client", "Guard", "CPU",
+)
 
 
 class StatementEntry:

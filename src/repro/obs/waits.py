@@ -56,6 +56,9 @@ __all__ = [
     "CLIENT_RETRY",
     "CLIENT_BACKOFF",
     "GUARD_TICK",
+    "NET_RECV",
+    "NET_SEND",
+    "SERVICE_QUEUE",
 ]
 
 # -- the closed taxonomy ----------------------------------------------------
@@ -75,6 +78,9 @@ CPU_SORT = "CPU:Sort"
 CLIENT_RETRY = "Client:Retry"
 CLIENT_BACKOFF = "Client:Backoff"
 GUARD_TICK = "Guard:Tick"
+NET_RECV = "Net:Recv"
+NET_SEND = "Net:Send"
+SERVICE_QUEUE = "Service:QueueWait"
 
 #: every wait event compiled into the engine, event -> the site that
 #: emits it. The taxonomy is *closed*: recording an unknown event raises.
@@ -94,6 +100,9 @@ WAIT_EVENTS: Dict[str, str] = {
     CLIENT_RETRY: "workload driver — rolling back an aborted transaction",
     CLIENT_BACKOFF: "workload driver — jittered backoff sleep before retry",
     GUARD_TICK: "ExecutionGuard — amortised deadline/cancellation check",
+    NET_RECV: "service server — reading a request frame off the socket",
+    NET_SEND: "service server — draining a response frame to the socket",
+    SERVICE_QUEUE: "service server — admitted request waiting for a worker",
 }
 
 #: event-name prefix identifying attributed on-CPU work (not off-CPU waits)
@@ -101,7 +110,8 @@ CPU_CLASS = "CPU"
 
 #: every class in the taxonomy, in report order (waits first, CPU last)
 WAIT_CLASSES: Tuple[str, ...] = (
-    "LockManager", "Latch", "IO", "Client", "Guard", CPU_CLASS,
+    "LockManager", "Latch", "IO", "Net", "Service", "Client", "Guard",
+    CPU_CLASS,
 )
 
 

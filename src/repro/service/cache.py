@@ -1,0 +1,217 @@
+"""Read-through query-result cache with MVCC xid watermark invalidation.
+
+Cache key: ``(statement fingerprint, params)`` — the fingerprint is the
+same literal-normalised sha256 the statement store uses
+(:func:`repro.obs.statements.fingerprint`), so ``SELECT ... WHERE gid =
+7`` and ``... = 8`` share a fingerprint and are distinguished by their
+bound params.
+
+Invalidation is *precise*, not TTL-based. The engine stamps
+``Database.write_marks[table]`` with the committing transaction's xid
+after its rows become visible (and with a fresh xid for the
+non-transactional fast paths and DDL). A cache entry stores the
+watermark of every table the SELECT reads, captured **before** the
+query executed; a lookup serves the entry only while every watermark is
+still identical. The ordering closes both races:
+
+- a commit that lands *during* a fill bumped the mark after the entry
+  captured it, so the entry is born stale and the next lookup discards
+  it (over-invalidation, never staleness);
+- a commit that lands *between* a lookup's validity check and its
+  response is indistinguishable from the read executing just before the
+  commit — a legal serialization order any uncached reader could also
+  observe. Read-your-writes holds because a writer's own commit bumps
+  the mark before the write's response is sent.
+
+Sessions with an open transaction bypass the cache entirely, both ways:
+their snapshot may be older than the newest committed state the cache
+reflects, and their own uncommitted writes are visible to no cached
+entry. Statements that read a ``jackpine_*`` system view are never
+cached (the views are live windows, not MVCC tables).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, Optional, Tuple
+
+from repro.engines.sysviews import SYSTEM_VIEW_NAMES
+from repro.obs.statements import fingerprint
+from repro.sql import ast
+
+__all__ = ["ResultCache", "CachedExecutor", "select_tables"]
+
+
+def select_tables(statement: Any) -> Optional[Tuple[str, ...]]:
+    """The tables a statement reads, or ``None`` when it is not a plain
+    cacheable SELECT. A SELECT with no FROM reads no tables and caches
+    on an empty watermark set (every shipped function is deterministic).
+    """
+    if not isinstance(statement, ast.Select):
+        return None
+    names = set()
+    if statement.source is not None:
+        names.add(statement.source.name.lower())
+    for join in statement.joins:
+        names.add(join.table.name.lower())
+    if names & set(SYSTEM_VIEW_NAMES):
+        return None
+    return tuple(sorted(names))
+
+
+class _Entry:
+    __slots__ = ("columns", "rows", "rowcount", "marks")
+
+    def __init__(self, columns, rows, rowcount, marks):
+        self.columns = columns
+        self.rows = rows
+        self.rowcount = rowcount
+        self.marks = marks
+
+
+class ResultCache:
+    """LRU store of materialised SELECT results keyed by
+    ``(fingerprint, params)``; thread-safe, bounded by ``capacity``."""
+
+    def __init__(self, capacity: int = 256):
+        if capacity < 1:
+            raise ValueError("cache capacity must be >= 1")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[tuple, _Entry]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+        self.fills = 0
+        self.bypass = 0
+
+    def lookup(self, key: tuple, marks: tuple) -> Optional[_Entry]:
+        """The entry for ``key`` iff its watermarks still match ``marks``
+        (the *current* per-table write marks); a mismatch evicts."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            if entry.marks != marks:
+                del self._entries[key]
+                self.invalidations += 1
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
+
+    def store(self, key: tuple, columns, rows, rowcount, marks) -> None:
+        with self._lock:
+            if key not in self._entries and \
+                    len(self._entries) >= self.capacity:
+                self._entries.popitem(last=False)
+            self._entries[key] = _Entry(columns, rows, rowcount, marks)
+            self.fills += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "invalidations": self.invalidations,
+                "fills": self.fills,
+                "bypass": self.bypass,
+            }
+
+    @property
+    def hit_ratio(self) -> float:
+        looked = self.hits + self.misses
+        return self.hits / looked if looked else 0.0
+
+
+class CachedExecutor:
+    """Read-through execution over one shared database.
+
+    ``execute(connection, sql, params)`` returns ``(columns, rows,
+    rowcount, cached)``. With ``cache=None`` it degrades to a plain
+    pass-through, which is what ``--no-cache`` servers run.
+    """
+
+    #: per-SQL-text metadata memo bound (fingerprint + table set)
+    META_CAPACITY = 512
+
+    def __init__(self, database: Any, cache: Optional[ResultCache] = None):
+        self._db = database
+        self.cache = cache
+        self._meta_lock = threading.Lock()
+        self._meta: "OrderedDict[str, Optional[tuple]]" = OrderedDict()
+
+    def _sql_meta(self, sql: str) -> Optional[Tuple[str, Tuple[str, ...]]]:
+        """``(fingerprint, tables)`` for a cacheable SELECT else ``None``;
+        memoised per SQL text like the engine's parse cache."""
+        with self._meta_lock:
+            if sql in self._meta:
+                self._meta.move_to_end(sql)
+                return self._meta[sql]
+        statement = self._db._parse_statement(sql)
+        tables = select_tables(statement)
+        meta = (fingerprint(sql), tables) if tables is not None else None
+        with self._meta_lock:
+            if len(self._meta) >= self.META_CAPACITY:
+                self._meta.popitem(last=False)
+            self._meta[sql] = meta
+        return meta
+
+    def _current_marks(self, tables: Tuple[str, ...]) -> tuple:
+        marks = self._db.write_marks
+        return tuple(marks.get(name) for name in tables)
+
+    def execute(
+        self,
+        connection: Any,
+        sql: str,
+        params: Any = (),
+        timeout: Optional[float] = None,
+    ) -> Tuple[list, list, int, bool]:
+        cache = self.cache
+        params = tuple(params)
+        meta = None
+        if cache is not None and not connection.in_transaction:
+            meta = self._sql_meta(sql)
+        if meta is None:
+            if cache is not None:
+                cache.bypass += 1
+            result = self._db.execute(
+                sql, params, timeout=timeout, session=connection.session
+            )
+            return result.columns, result.rows, result.rowcount, False
+        fp, tables = meta
+        try:
+            key = (fp, params)
+            hash(key)
+        except TypeError:
+            cache.bypass += 1
+            result = self._db.execute(
+                sql, params, timeout=timeout, session=connection.session
+            )
+            return result.columns, result.rows, result.rowcount, False
+        marks = self._current_marks(tables)
+        entry = cache.lookup(key, marks)
+        if entry is not None:
+            return entry.columns, entry.rows, entry.rowcount, True
+        # marks were captured before execution: a commit racing this
+        # fill leaves the entry stale-marked and therefore dead on its
+        # next lookup (see module docstring)
+        result = self._db.execute(
+            sql, params, timeout=timeout, session=connection.session
+        )
+        cache.store(key, result.columns, result.rows, result.rowcount, marks)
+        return result.columns, result.rows, result.rowcount, False

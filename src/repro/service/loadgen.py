@@ -1,0 +1,227 @@
+"""Open-loop client fleet for the query service (the J-X6 harness).
+
+The thread-per-client driver in :mod:`repro.workload.driver` cannot
+overload a server honestly: a blocked thread stops *sending*, so the
+offered load collapses to whatever the server completes (the classic
+closed-loop coordinated-omission trap). Here every simulated client is
+an asyncio task holding one TCP connection, arrivals follow a fixed
+per-client schedule regardless of completions, and latency is measured
+from the *scheduled* arrival — when the server falls behind, the
+schedule keeps firing and the backlog shows up in p99, exactly like
+production traffic.
+
+Hundreds of clients are cheap (tasks, not threads), which is what lets
+J-X6 push the server past saturation and watch admission control shed
+instead of queueing without bound.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import random
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.stats import backoff_delay
+from repro.service.client import ServiceClient
+from repro.service.protocol import _HEADER, MAX_FRAME, decode_body, \
+    encode_frame
+from repro.errors import ServiceProtocolError
+from repro.workload.mixes import Operation, get_mix
+
+__all__ = ["run_server_workload"]
+
+
+class _RemoteDatabase:
+    """Just enough of the Database surface for ``get_mix`` to sample its
+    hot-row pool over the wire (``.execute(sql).rows``)."""
+
+    def __init__(self, client: ServiceClient):
+        self._client = client
+
+    def execute(self, sql: str, params: Tuple[Any, ...] = ()):
+        return self._client.execute(sql, params)
+
+
+class _AsyncChannel:
+    """One framed request/response channel on an asyncio connection."""
+
+    def __init__(self, reader, writer):
+        self._reader = reader
+        self._writer = writer
+        self._ids = itertools.count(1)
+
+    async def request(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        message["id"] = next(self._ids)
+        self._writer.write(encode_frame(message))
+        await self._writer.drain()
+        header = await self._reader.readexactly(_HEADER.size)
+        (length,) = _HEADER.unpack(header)
+        if length > MAX_FRAME:
+            raise ServiceProtocolError(f"oversized response frame {length}")
+        return decode_body(await self._reader.readexactly(length))
+
+    async def query(self, sql: str, params=()) -> Dict[str, Any]:
+        return await self.request(
+            {"op": "query", "sql": sql, "params": list(params)}
+        )
+
+    async def close(self) -> None:
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+def _classify_failure(report, error: Dict[str, Any]) -> str:
+    code = error.get("code", "internal")
+    if code == "overloaded":
+        report.shed += 1
+    elif code == "timeout":
+        report.timeouts += 1
+    elif code != "serialization":
+        report.errors += 1
+    return code
+
+
+async def _run_read(channel, op: Operation, report) -> None:
+    for sql, params in op.statements:
+        response = await channel.query(sql, params)
+        if not response.get("ok"):
+            _classify_failure(report, response.get("error") or {})
+            return
+        if response.get("cached"):
+            report.cache_hits += 1
+    report.reads += 1
+
+
+async def _run_write(channel, op: Operation, report, config, rng) -> None:
+    attempt = 0
+    while True:
+        response = await channel.query("BEGIN")
+        if not response.get("ok"):
+            _classify_failure(report, response.get("error") or {})
+            break
+        failure: Optional[Dict[str, Any]] = None
+        for sql, params in op.statements:
+            response = await channel.query(sql, params)
+            if not response.get("ok"):
+                failure = response.get("error") or {}
+                break
+        if failure is None:
+            response = await channel.query("COMMIT")
+            if response.get("ok"):
+                report.commits += 1
+                break
+            failure = response.get("error") or {}
+        code = _classify_failure(report, failure)
+        await channel.query("ROLLBACK")  # best-effort; server also unpins
+        if code != "serialization":
+            break
+        report.aborts += 1
+        if attempt >= config.max_retries:
+            break
+        report.retries += 1
+        await asyncio.sleep(backoff_delay(attempt, rng=rng))
+        attempt += 1
+    report.writes += 1
+
+
+async def _client_body(
+    host: str, port: int, mix, config, report, stop_at: float
+) -> None:
+    reader, writer = await asyncio.open_connection(host, port)
+    channel = _AsyncChannel(reader, writer)
+    rng = random.Random(
+        (config.seed << 16) ^ (0x9E3779B1 * (report.client_id + 1))
+    )
+    interval = (
+        1.0 / config.rate
+        if config.mode == "open" and config.rate > 0 else 0.0
+    )
+    next_arrival = time.perf_counter()
+    try:
+        while True:
+            now = time.perf_counter()
+            if now >= stop_at:
+                break
+            if interval:
+                if now < next_arrival:
+                    await asyncio.sleep(
+                        min(next_arrival - now, stop_at - now)
+                    )
+                    if time.perf_counter() >= stop_at:
+                        break
+                # latency clock starts at the *scheduled* arrival: time
+                # the connection spent busy with the previous request is
+                # server-induced delay, not omitted load
+                started = next_arrival
+                next_arrival += interval
+            else:
+                started = time.perf_counter()
+            op = mix.next_operation(rng, report.client_id)
+            try:
+                if op.kind == "read":
+                    await _run_read(channel, op, report)
+                else:
+                    await _run_write(channel, op, report, config, rng)
+            finally:
+                report.ops += 1
+                report.latency.observe(time.perf_counter() - started)
+    finally:
+        await channel.close()
+
+
+async def _run_fleet(host, port, mix, config, reports) -> None:
+    stop_at = time.perf_counter() + config.duration
+    tasks = [
+        asyncio.ensure_future(
+            _client_body(host, port, mix, config, report, stop_at)
+        )
+        for report in reports
+    ]
+    failures = await asyncio.gather(*tasks, return_exceptions=True)
+    for failure in failures:
+        if isinstance(failure, BaseException):
+            raise failure
+
+
+def run_server_workload(config, address: Optional[str] = None):
+    """Drive a running query service with ``config.clients`` open-loop
+    clients; returns the same :class:`WorkloadReport` the embedded driver
+    produces, with the ``service``/``cache`` sections filled from the
+    server's own counters."""
+    from repro.workload.driver import ClientReport, WorkloadReport
+
+    config.validate()
+    address = address or config.server
+    if not address:
+        raise ValueError("server workload needs an address (host:port)")
+    control = ServiceClient.from_address(address)
+    try:
+        control.ping()
+        mix = get_mix(config.mix, _RemoteDatabase(control), seed=config.seed)
+        host, port = control.host, control.port
+        reports: List[Any] = [
+            ClientReport(client_id=slot) for slot in range(config.clients)
+        ]
+        start = time.perf_counter()
+        asyncio.run(_run_fleet(host, port, mix, config, reports))
+        wall = time.perf_counter() - start
+        stats = control.server_stats()
+    finally:
+        control.close()
+    return WorkloadReport(
+        config=config,
+        wall_seconds=wall,
+        clients=reports,
+        service={
+            "address": stats.get("address", address),
+            "connections_total": stats.get("connections_total", 0),
+            "pool": stats.get("pool", {}),
+            "admission": stats.get("admission", {}),
+        },
+        cache=stats.get("cache"),
+    )

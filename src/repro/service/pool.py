@@ -1,0 +1,147 @@
+"""Bounded session pool: DB-API connections leased per request.
+
+The server leases a :class:`~repro.dbapi.connection.Connection` for the
+duration of one request (or pins it to a client while a transaction is
+open) and returns it afterwards, so ``pool_size`` bounds the number of
+engine sessions regardless of how many TCP clients are connected —
+the classic pgbouncer-style transaction pooling discipline.
+
+Idle connections older than ``idle_timeout`` are reaped by the server's
+housekeeping loop; the pool re-creates sessions lazily on demand, so a
+quiet server holds no engine sessions at all.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.dbapi import connect
+from repro.errors import ServiceError, ServiceOverloadedError
+
+__all__ = ["SessionPool"]
+
+
+class SessionPool:
+    def __init__(self, database: Any, size: int = 4,
+                 idle_timeout: float = 30.0):
+        if size < 1:
+            raise ValueError("pool size must be >= 1")
+        self._db = database
+        self.size = size
+        self.idle_timeout = idle_timeout
+        self._cond = threading.Condition()
+        #: idle connections as (connection, returned_at), newest last —
+        #: reuse is LIFO so the working set stays warm and the tail ages
+        #: out for the reaper
+        self._idle: List[Tuple[Any, float]] = []
+        self._in_use = 0
+        self._closed = False
+        self.created = 0
+        self.reused = 0
+        self.reaped = 0
+        self.acquire_waits = 0
+
+    def acquire(self, timeout: Optional[float] = None) -> Any:
+        """Lease a connection; blocks up to ``timeout`` seconds when the
+        pool is exhausted and sheds (:class:`ServiceOverloadedError`)
+        rather than queueing forever."""
+        deadline = (
+            time.perf_counter() + timeout if timeout is not None else None
+        )
+        with self._cond:
+            while True:
+                if self._closed:
+                    raise ServiceError("session pool is closed")
+                if self._idle:
+                    connection, _returned = self._idle.pop()
+                    self._in_use += 1
+                    self.reused += 1
+                    return connection
+                if self._in_use < self.size:
+                    self._in_use += 1
+                    self.created += 1
+                    break
+                self.acquire_waits += 1
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.perf_counter()
+                    if remaining <= 0:
+                        raise ServiceOverloadedError(
+                            f"no session available within {timeout:.3f}s "
+                            f"(pool size {self.size}, all leased)"
+                        )
+                self._cond.wait(remaining)
+        # create outside the lock: connect() touches the engine
+        try:
+            return connect(database=self._db)
+        except BaseException:
+            with self._cond:
+                self._in_use -= 1
+                self._cond.notify()
+            raise
+
+    def release(self, connection: Any) -> None:
+        """Return a leased connection. A connection handed back with a
+        transaction still open is rolled back first — a pooled session
+        must never leak one client's transaction into the next lease."""
+        if connection.in_transaction:
+            connection.rollback()
+        with self._cond:
+            if self._closed:
+                connection.close()
+                self._in_use -= 1
+                return
+            self._idle.append((connection, time.perf_counter()))
+            self._in_use -= 1
+            self._cond.notify()
+
+    def discard(self, connection: Any) -> None:
+        """Drop a leased connection without returning it (broken session)."""
+        try:
+            connection.close()
+        finally:
+            with self._cond:
+                self._in_use -= 1
+                self._cond.notify()
+
+    def reap(self, now: Optional[float] = None) -> int:
+        """Close idle connections that sat unused past ``idle_timeout``."""
+        if now is None:
+            now = time.perf_counter()
+        cutoff = now - self.idle_timeout
+        with self._cond:
+            keep: List[Tuple[Any, float]] = []
+            dead: List[Any] = []
+            for connection, returned_at in self._idle:
+                if returned_at < cutoff:
+                    dead.append(connection)
+                else:
+                    keep.append((connection, returned_at))
+            self._idle = keep
+            self.reaped += len(dead)
+        for connection in dead:
+            connection.close()
+        return len(dead)
+
+    def close(self) -> None:
+        with self._cond:
+            self._closed = True
+            idle = [connection for connection, _at in self._idle]
+            self._idle.clear()
+            self._cond.notify_all()
+        for connection in idle:
+            connection.close()
+
+    def stats(self) -> Dict[str, int]:
+        with self._cond:
+            return {
+                "size": self.size,
+                "in_use": self._in_use,
+                "idle": len(self._idle),
+                "created": self.created,
+                "reused": self.reused,
+                "reaped": self.reaped,
+                "acquire_waits": self.acquire_waits,
+            }

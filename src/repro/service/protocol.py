@@ -1,0 +1,144 @@
+"""Wire protocol for the query service: length-prefixed JSON frames.
+
+One frame is a 4-byte big-endian unsigned length followed by exactly
+that many bytes of UTF-8 JSON. Requests and responses are flat JSON
+objects; a request carries an ``op`` (``query`` / ``ping`` / ``stats``)
+and an ``id`` the response echoes, so one connection is one ordered
+session the way a DB wire session is.
+
+Result values cross the wire as JSON scalars; geometry values are
+encoded as ``{"$wkt": "..."}`` tagged objects (the client hands the WKT
+string back). Errors are *typed*: ``{"ok": false, "error": {"code":
+..., "message": ...}}`` where ``code`` is one of ``overloaded`` /
+``timeout`` / ``serialization`` / ``sql`` / ``protocol`` / ``internal``
+— the client library maps them back onto the exception hierarchy, and
+``overloaded`` additionally carries ``retry_after`` seconds.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.errors import ServiceProtocolError
+
+__all__ = [
+    "MAX_FRAME",
+    "encode_frame",
+    "decode_body",
+    "read_frame",
+    "write_frame",
+    "jsonable_rows",
+    "decode_rows",
+    "error_payload",
+]
+
+#: refuse frames larger than this (a corrupt length prefix must not
+#: make the reader allocate gigabytes)
+MAX_FRAME = 16 * 1024 * 1024
+
+_HEADER = struct.Struct(">I")
+
+#: every error code a response may carry
+ERROR_CODES = (
+    "overloaded", "timeout", "serialization", "sql", "protocol", "internal",
+)
+
+
+def encode_frame(message: Dict[str, Any]) -> bytes:
+    body = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME:
+        raise ServiceProtocolError(
+            f"frame of {len(body)} bytes exceeds MAX_FRAME ({MAX_FRAME})"
+        )
+    return _HEADER.pack(len(body)) + body
+
+
+def decode_body(data: bytes) -> Dict[str, Any]:
+    try:
+        message = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ServiceProtocolError(f"undecodable frame: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ServiceProtocolError(
+            f"frame must decode to an object, got {type(message).__name__}"
+        )
+    return message
+
+
+# -- blocking socket framing (the client library) ---------------------------
+
+
+def _recv_exactly(sock: socket.socket, n: int) -> Optional[bytes]:
+    """Read exactly ``n`` bytes; ``None`` on a clean EOF at a frame
+    boundary, :class:`ServiceProtocolError` on a torn frame."""
+    chunks: List[bytes] = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if remaining == n and not chunks:
+                return None
+            raise ServiceProtocolError(
+                f"connection closed mid-frame ({n - remaining}/{n} bytes)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def read_frame(sock: socket.socket) -> Optional[Dict[str, Any]]:
+    """One message off a blocking socket; ``None`` on clean EOF."""
+    header = _recv_exactly(sock, _HEADER.size)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME:
+        raise ServiceProtocolError(
+            f"frame length {length} exceeds MAX_FRAME ({MAX_FRAME})"
+        )
+    body = _recv_exactly(sock, length)
+    if body is None:
+        raise ServiceProtocolError("connection closed after frame header")
+    return decode_body(body)
+
+
+def write_frame(sock: socket.socket, message: Dict[str, Any]) -> None:
+    sock.sendall(encode_frame(message))
+
+
+# -- value encoding ---------------------------------------------------------
+
+
+def _jsonable_value(value: Any) -> Any:
+    wkt = getattr(value, "wkt", None)
+    if callable(wkt):
+        return {"$wkt": wkt()}
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    return str(value)
+
+
+def jsonable_rows(rows: Sequence[Sequence[Any]]) -> List[List[Any]]:
+    return [[_jsonable_value(v) for v in row] for row in rows]
+
+
+def _decode_value(value: Any) -> Any:
+    if isinstance(value, dict) and "$wkt" in value:
+        return value["$wkt"]
+    return value
+
+
+def decode_rows(rows: Sequence[Sequence[Any]]) -> List[tuple]:
+    """Wire rows back to tuples (geometry arrives as its WKT string)."""
+    return [tuple(_decode_value(v) for v in row) for row in rows]
+
+
+def error_payload(code: str, message: str, **extra: Any) -> Dict[str, Any]:
+    if code not in ERROR_CODES:
+        raise ValueError(f"unknown error code {code!r}")
+    payload: Dict[str, Any] = {"code": code, "message": message}
+    payload.update(extra)
+    return payload

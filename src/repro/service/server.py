@@ -1,0 +1,403 @@
+"""The query service: an asyncio TCP server over one embedded database.
+
+Layering, top to bottom:
+
+- **asyncio event loop** (dedicated thread) owns every socket. It
+  parses frames, answers ``ping``/``stats`` inline, and applies the
+  first admission gate (:meth:`AdmissionControl.try_admit`) *before*
+  dispatching a query, so a saturated server sheds with a typed
+  ``overloaded`` frame in microseconds instead of queueing the request
+  behind a blocked worker.
+- **worker threads** (a small :class:`ThreadPoolExecutor`) run the
+  blocking engine calls. A worker leases a session from the
+  :class:`SessionPool`, executes through the :class:`CachedExecutor`
+  (watermark-validated result cache), and returns the response dict.
+- **one TCP connection is one session**: requests on a connection are
+  handled strictly in order, and a connection whose client has an open
+  transaction stays *pinned* to its engine session until COMMIT /
+  ROLLBACK / disconnect — the pgbouncer transaction-pooling contract.
+
+Overload therefore has two shedding surfaces — queue-full at admit
+time and deadline-expired at pickup time — and the remaining deadline
+budget is armed as the statement's guardrail timeout so a query cannot
+overstay the budget it was admitted under.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from repro.errors import (
+    GuardrailError,
+    ReproError,
+    SerializationError,
+    ServiceError,
+    ServiceOverloadedError,
+    ServiceProtocolError,
+    SqlError,
+)
+from repro.obs.waits import NET_RECV, NET_SEND, WAITS
+from repro.service.admission import AdmissionControl
+from repro.service.cache import CachedExecutor, ResultCache
+from repro.service.pool import SessionPool
+from repro.service.protocol import (
+    _HEADER,
+    MAX_FRAME,
+    decode_body,
+    encode_frame,
+    error_payload,
+    jsonable_rows,
+)
+
+__all__ = ["ServerConfig", "JackpineServer"]
+
+_EMPTY_CACHE_STATS = {
+    "capacity": 0, "entries": 0, "hits": 0, "misses": 0,
+    "invalidations": 0, "fills": 0, "bypass": 0,
+}
+
+
+@dataclass
+class ServerConfig:
+    host: str = "127.0.0.1"
+    #: 0 asks the kernel for an ephemeral port; read it back from
+    #: :attr:`JackpineServer.port` after :meth:`~JackpineServer.start`
+    port: int = 0
+    pool_size: int = 4
+    max_queue: int = 32
+    #: per-request deadline in seconds (queue wait + execution)
+    deadline: float = 1.0
+    #: result-cache entries; 0 disables the cache entirely
+    cache_capacity: int = 256
+    idle_timeout: float = 30.0
+    reap_interval: float = 1.0
+
+
+class _ClientState:
+    """Per-TCP-connection state; only this connection's handler (and the
+    one worker running its current request) ever touch it, because
+    requests on a connection are processed sequentially."""
+
+    __slots__ = ("pinned",)
+
+    def __init__(self):
+        #: engine connection held across requests while a txn is open
+        self.pinned: Optional[Any] = None
+
+
+class JackpineServer:
+    def __init__(self, database: Any, config: Optional[ServerConfig] = None):
+        self._db = database
+        self.config = config or ServerConfig()
+        self.host = self.config.host
+        self.port = self.config.port
+        self.pool = SessionPool(
+            database,
+            size=self.config.pool_size,
+            idle_timeout=self.config.idle_timeout,
+        )
+        self.admission = AdmissionControl(
+            max_queue=self.config.max_queue,
+            deadline=self.config.deadline,
+        )
+        cache = (
+            ResultCache(self.config.cache_capacity)
+            if self.config.cache_capacity > 0 else None
+        )
+        self.cache = cache
+        self._cached = CachedExecutor(database, cache)
+        # +2 over the pool keeps COMMIT/ROLLBACK on pinned sessions from
+        # starving behind workers that are blocked waiting for the pool
+        self._workers = ThreadPoolExecutor(
+            max_workers=self.config.pool_size + 2,
+            thread_name_prefix="jackpine-svc",
+        )
+        self.connections_open = 0
+        self.connections_total = 0
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._stop_event: Optional[asyncio.Event] = None
+        self._started = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+        self._client_tasks: "set" = set()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "JackpineServer":
+        if self._thread is not None:
+            raise ServiceError("server already started")
+        self._thread = threading.Thread(
+            target=self._run_loop, name="jackpine-service", daemon=True
+        )
+        self._thread.start()
+        self._started.wait()
+        if self._startup_error is not None:
+            self._thread.join()
+            raise ServiceError(
+                f"server failed to start: {self._startup_error}"
+            ) from self._startup_error
+        self._db.service = self
+        return self
+
+    def stop(self) -> None:
+        if self._loop is not None and self._thread is not None \
+                and self._thread.is_alive():
+            loop, stop = self._loop, self._stop_event
+            loop.call_soon_threadsafe(stop.set)
+            self._thread.join(timeout=10)
+        if getattr(self._db, "service", None) is self:
+            self._db.service = None
+        self._workers.shutdown(wait=True)
+        self.pool.close()
+
+    def __enter__(self) -> "JackpineServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "address": self.address,
+            "connections_open": self.connections_open,
+            "connections_total": self.connections_total,
+            "pool": self.pool.stats(),
+            "admission": self.admission.stats(),
+            "cache": (
+                self.cache.stats() if self.cache is not None
+                else dict(_EMPTY_CACHE_STATS)
+            ),
+        }
+
+    # -- event loop ----------------------------------------------------------
+
+    def _run_loop(self) -> None:
+        loop = asyncio.new_event_loop()
+        self._loop = loop
+        asyncio.set_event_loop(loop)
+        try:
+            loop.run_until_complete(self._serve())
+        except BaseException as exc:  # surfaced by start()
+            self._startup_error = exc
+        finally:
+            self._started.set()
+            asyncio.set_event_loop(None)
+            loop.close()
+
+    async def _serve(self) -> None:
+        self._stop_event = asyncio.Event()
+        server = await asyncio.start_server(
+            self._handle_client, self.config.host, self.config.port
+        )
+        sockname = server.sockets[0].getsockname()
+        self.host, self.port = sockname[0], sockname[1]
+        self._started.set()
+        reaper = asyncio.ensure_future(self._housekeeping())
+        try:
+            async with server:
+                await self._stop_event.wait()
+        finally:
+            reaper.cancel()
+            for task in list(self._client_tasks):
+                task.cancel()
+            if self._client_tasks:
+                await asyncio.gather(
+                    *self._client_tasks, return_exceptions=True
+                )
+
+    async def _housekeeping(self) -> None:
+        loop = asyncio.get_event_loop()
+        while True:
+            await asyncio.sleep(self.config.reap_interval)
+            await loop.run_in_executor(self._workers, self.pool.reap)
+
+    async def _handle_client(self, reader, writer) -> None:
+        loop = asyncio.get_event_loop()
+        state = _ClientState()
+        self._client_tasks.add(asyncio.current_task())
+        self.connections_open += 1
+        self.connections_total += 1
+        try:
+            while True:
+                try:
+                    message = await self._read_message(reader)
+                except ServiceProtocolError as exc:
+                    await self._send(writer, {
+                        "ok": False,
+                        "error": error_payload("protocol", str(exc)),
+                    })
+                    break
+                if message is None:
+                    break
+                response = await self._dispatch(state, message, loop)
+                await self._send(writer, response)
+                if response.get("_close"):
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away mid-frame; pinned cleanup below
+        except asyncio.CancelledError:
+            pass  # server shutting down; pinned cleanup below
+        finally:
+            self._client_tasks.discard(asyncio.current_task())
+            self.connections_open -= 1
+            if state.pinned is not None:
+                # disconnect with an open transaction: roll it back and
+                # return the session (pool.release rolls back). Called
+                # inline, not via the executor — this path also runs
+                # during shutdown cancellation, where awaits would be
+                # cancelled before the rollback happened.
+                pinned, state.pinned = state.pinned, None
+                self.pool.release(pinned)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                pass
+
+    async def _read_message(self, reader) -> Optional[Dict[str, Any]]:
+        """One frame; ``None`` on clean EOF between frames. The idle wait
+        for the *header* is the client thinking, not the network — only
+        the body read is accounted as ``Net:Recv``."""
+        try:
+            header = await reader.readexactly(_HEADER.size)
+        except asyncio.IncompleteReadError as exc:
+            if not exc.partial:
+                return None
+            raise ServiceProtocolError("connection closed mid-header")
+        (length,) = _HEADER.unpack(header)
+        if length > MAX_FRAME:
+            raise ServiceProtocolError(
+                f"frame length {length} exceeds MAX_FRAME ({MAX_FRAME})"
+            )
+        start = time.perf_counter()
+        body = await reader.readexactly(length)
+        if WAITS.enabled:
+            WAITS.record(NET_RECV, time.perf_counter() - start)
+        return decode_body(body)
+
+    async def _send(self, writer, response: Dict[str, Any]) -> None:
+        response.pop("_close", None)
+        writer.write(encode_frame(response))
+        start = time.perf_counter()
+        await writer.drain()
+        if WAITS.enabled:
+            WAITS.record(NET_SEND, time.perf_counter() - start)
+
+    async def _dispatch(
+        self, state: _ClientState, message: Dict[str, Any], loop
+    ) -> Dict[str, Any]:
+        op = message.get("op")
+        rid = message.get("id")
+        if op == "ping":
+            return {"ok": True, "id": rid, "pong": True}
+        if op == "stats":
+            return {"ok": True, "id": rid, "stats": self.stats()}
+        if op != "query":
+            return {
+                "ok": False, "id": rid, "_close": True,
+                "error": error_payload("protocol", f"unknown op {op!r}"),
+            }
+        sql = message.get("sql")
+        if not isinstance(sql, str):
+            return {
+                "ok": False, "id": rid, "_close": True,
+                "error": error_payload("protocol", "query without sql text"),
+            }
+        params = [
+            value["$wkt"]
+            if isinstance(value, dict) and "$wkt" in value else value
+            for value in (message.get("params") or [])
+        ]
+        ticket = self.admission.try_admit()
+        if ticket is None:
+            return {
+                "ok": False, "id": rid,
+                "error": error_payload(
+                    "overloaded",
+                    f"queue full ({self.admission.max_queue} waiting)",
+                    retry_after=self.admission.deadline,
+                ),
+            }
+        response = await loop.run_in_executor(
+            self._workers, self._run_query, state, sql, params, ticket
+        )
+        response["id"] = rid
+        return response
+
+    # -- worker-thread side --------------------------------------------------
+
+    def _run_query(
+        self, state: _ClientState, sql: str, params, ticket
+    ) -> Dict[str, Any]:
+        """Runs on a worker thread; returns the response dict and never
+        raises (every failure becomes a typed error payload)."""
+        try:
+            remaining = self.admission.begin(ticket)
+        except ServiceOverloadedError as exc:
+            return self._error_response(exc)
+        try:
+            connection = state.pinned
+            if connection is None:
+                try:
+                    connection = self.pool.acquire(timeout=remaining)
+                except ServiceOverloadedError as exc:
+                    return self._error_response(exc)
+            try:
+                # re-clamp to what is left of the deadline now that the
+                # pool wait is behind us; the guardrail timeout enforces it
+                budget = max(ticket.deadline - time.perf_counter(), 1e-3)
+                columns, rows, rowcount, cached = self._cached.execute(
+                    connection, sql, params, timeout=budget
+                )
+                return {
+                    "ok": True,
+                    "columns": list(columns),
+                    "rows": jsonable_rows(rows),
+                    "rowcount": rowcount,
+                    "cached": cached,
+                }
+            except ReproError as exc:
+                return self._error_response(exc)
+            except Exception as exc:  # engine invariant broken; don't hide it
+                return {
+                    "ok": False,
+                    "error": error_payload(
+                        "internal", f"{type(exc).__name__}: {exc}"
+                    ),
+                }
+            finally:
+                if connection.in_transaction:
+                    state.pinned = connection
+                else:
+                    state.pinned = None
+                    self.pool.release(connection)
+        finally:
+            self.admission.done()
+
+    @staticmethod
+    def _error_response(exc: ReproError) -> Dict[str, Any]:
+        if isinstance(exc, ServiceOverloadedError):
+            return {
+                "ok": False,
+                "error": error_payload(
+                    "overloaded", str(exc), retry_after=exc.retry_after
+                ),
+            }
+        if isinstance(exc, SerializationError):
+            code = "serialization"
+        elif isinstance(exc, GuardrailError):
+            code = "timeout"
+        elif isinstance(exc, SqlError):
+            code = "sql"
+        else:
+            code = "internal"
+        return {"ok": False, "error": error_payload(code, str(exc))}

@@ -197,6 +197,13 @@ class TxnManager:
             ).inc()
             if not self._active:
                 self._flush_garbage()
+        if txn.undo:
+            # after visibility: the watermark must never get ahead of the
+            # rows it vouches for, or a cache fill racing this commit
+            # could tag a pre-commit result with the post-commit xid
+            self._db.bump_write_marks(
+                {table.name for _op, table, _rid in txn.undo}, txn.txid
+            )
 
     def rollback(self, txn: Transaction) -> None:
         if txn.status is not ACTIVE:
@@ -242,6 +249,14 @@ class TxnManager:
     def next_txid(self) -> int:
         with self._lock:
             return self._next_txid
+
+    def stamp(self) -> int:
+        """Allocate a fresh xid with no transaction attached — the
+        write watermark for a non-transactional fast-path write."""
+        with self._lock:
+            xid = self._next_txid
+            self._next_txid += 1
+            return xid
 
     def set_next_txid(self, value: int) -> None:
         """Advance the txid source (recovery: past every logged txid)."""

@@ -68,6 +68,9 @@ class WorkloadConfig:
     storage_dir: Optional[str] = None  # attach durable storage (WAL+pages)
     checkpoint_interval: float = 0.0   # seconds between background
                                        # checkpoints (0 = none)
+    #: drive a running query service at ``host:port`` instead of the
+    #: embedded engine (open-loop asyncio fleet, see repro.service.loadgen)
+    server: Optional[str] = None
 
     def validate(self) -> None:
         if self.clients < 1:
@@ -96,6 +99,14 @@ class WorkloadConfig:
                 "checkpoint_interval needs storage_dir (nothing to "
                 "checkpoint without durable storage)"
             )
+        if self.server is not None:
+            if ":" not in self.server:
+                raise ValueError("server must be a host:port address")
+            if self.storage_dir or self.waits:
+                raise ValueError(
+                    "server mode drives a remote process: storage/waits "
+                    "instrumentation belongs to the serve side"
+                )
 
 
 @dataclass
@@ -110,6 +121,9 @@ class ClientReport:
     aborts: int = 0       # serialization aborts (each one rolled back)
     retries: int = 0      # aborts that were retried (rest were given up)
     errors: int = 0       # non-transient ReproErrors (should stay 0)
+    shed: int = 0         # server mode: requests shed by admission control
+    timeouts: int = 0     # server mode: requests killed at the deadline
+    cache_hits: int = 0   # server mode: responses served from the cache
     latency: Histogram = field(default_factory=lambda: Histogram(
         "workload_op_seconds", "per-operation latency for one client"
     ))
@@ -134,6 +148,10 @@ class WorkloadReport:
     #: plus checkpoints taken by the background checkpointer
     storage: Optional[Dict[str, Any]] = None
     checkpoints: int = 0
+    #: populated only in server mode — the service's own pool/admission
+    #: counters and the result-cache counters, read back after the round
+    service: Optional[Dict[str, Any]] = None
+    cache: Optional[Dict[str, Any]] = None
 
     def _total(self, name: str) -> int:
         return sum(getattr(report, name) for report in self.clients)
@@ -167,6 +185,18 @@ class WorkloadReport:
         return self._total("errors")
 
     @property
+    def total_shed(self) -> int:
+        return self._total("shed")
+
+    @property
+    def total_timeouts(self) -> int:
+        return self._total("timeouts")
+
+    @property
+    def total_cache_hits(self) -> int:
+        return self._total("cache_hits")
+
+    @property
     def queries_per_minute(self) -> float:
         if not self.wall_seconds:
             return 0.0
@@ -196,6 +226,10 @@ class WorkloadReport:
                 "retries": report.retries,
                 "errors": report.errors,
             }
+            if self.service is not None:
+                record["shed"] = report.shed
+                record["timeouts"] = report.timeouts
+                record["cache_hits"] = report.cache_hits
             if report.latency.count:
                 record.update(
                     p50=report.latency.p50,
@@ -221,6 +255,7 @@ class WorkloadReport:
                 "lock_timeout": config.lock_timeout,
                 "storage_dir": config.storage_dir,
                 "checkpoint_interval": config.checkpoint_interval,
+                "server": config.server,
             },
             "wall_seconds": self.wall_seconds,
             "totals": {
@@ -247,6 +282,21 @@ class WorkloadReport:
         if self.storage is not None:
             document["storage"] = dict(
                 self.storage, checkpoints_taken=self.checkpoints
+            )
+        if self.service is not None:
+            document["service"] = dict(
+                self.service,
+                shed_total=self.total_shed,
+                timeouts_total=self.total_timeouts,
+            )
+        if self.cache is not None:
+            hits = self.cache.get("hits", 0)
+            misses = self.cache.get("misses", 0)
+            looked = hits + misses
+            document["cache"] = dict(
+                self.cache,
+                hit_ratio=(hits / looked if looked else 0.0),
+                client_observed_hits=self.total_cache_hits,
             )
         return document
 
@@ -418,8 +468,16 @@ def run_workload(
     Pass ``database`` to reuse a loaded datastore across rounds (the
     client-count sweeps do); otherwise the synthetic TIGER dataset is
     generated and loaded first.
+
+    With ``config.server`` set the round is delegated to the open-loop
+    asyncio fleet in :mod:`repro.service.loadgen` against a running
+    ``jackpine serve`` process; ``database``/``dataset`` are ignored (the
+    data lives behind the server).
     """
     config.validate()
+    if config.server is not None:
+        from repro.service.loadgen import run_server_workload
+        return run_server_workload(config)
     if database is None:
         if dataset is None:
             dataset = generate(seed=config.seed, scale=config.scale)
@@ -428,7 +486,7 @@ def run_workload(
     if config.storage_dir and database.durability is None:
         database.attach_storage(config.storage_dir)
     database.txn.lock_timeout = config.lock_timeout
-    mix = get_mix(config.mix, database)
+    mix = get_mix(config.mix, database, seed=config.seed)
     interval = (
         1.0 / config.rate if config.mode == "open" and config.rate > 0
         else 0.0
@@ -517,9 +575,13 @@ def run_workload(
 def render_workload(report: WorkloadReport) -> str:
     """Human-readable summary (the ``jackpine workload`` output)."""
     config = report.config
+    target = (
+        f"server {config.server}" if config.server is not None
+        else config.engine
+    )
     lines = [
         f"== workload: {config.mix} mix, {config.clients} clients, "
-        f"{config.mode} loop on {config.engine} ==",
+        f"{config.mode} loop on {target} ==",
         "(pure-Python engines: the GIL serialises CPU work, so this shows",
         " contention and abort dynamics, not parallel speedup)",
         f"wall: {report.wall_seconds:.2f}s   ops: {report.total_ops}   "
@@ -573,6 +635,31 @@ def render_workload(report: WorkloadReport) -> str:
             f"({storage['pages_read']} read, "
             f"{storage['pages_written']} written)   "
             f"checkpoints: {report.checkpoints}"
+        )
+    if report.service is not None:
+        admission = report.service.get("admission", {})
+        pool = report.service.get("pool", {})
+        lines.append(
+            f"service: shed {report.total_shed} "
+            f"(queue_full {admission.get('shed_queue_full', 0)}, "
+            f"deadline {admission.get('shed_deadline', 0)})   "
+            f"timeouts: {report.total_timeouts}   "
+            f"peak queue: {admission.get('peak_queue', 0)}/"
+            f"{admission.get('queue_limit', 0)}   "
+            f"pool: {pool.get('size', 0)} sessions, "
+            f"{pool.get('created', 0)} created, "
+            f"{pool.get('reaped', 0)} reaped"
+        )
+    if report.cache is not None:
+        hits = report.cache.get("hits", 0)
+        misses = report.cache.get("misses", 0)
+        looked = hits + misses
+        ratio = hits / looked if looked else 0.0
+        lines.append(
+            f"cache: {hits} hits / {misses} misses "
+            f"(hit ratio {ratio:.1%})   "
+            f"invalidations: {report.cache.get('invalidations', 0)}   "
+            f"entries: {report.cache.get('entries', 0)}"
         )
     return "\n".join(lines)
 

@@ -25,7 +25,8 @@ from repro.datagen.tiger import WORLD_SIZE
 
 READ_ONLY = "read_only"
 MIXED = "mixed"
-MIXES: Tuple[str, ...] = (READ_ONLY, MIXED)
+BROWSE = "browse"
+MIXES: Tuple[str, ...] = (READ_ONLY, MIXED, BROWSE)
 
 #: fraction of mixed-mix operations that write
 WRITE_FRACTION = 0.2
@@ -139,10 +140,61 @@ class MixedMix:
         ))
 
 
-def get_mix(name: str, database: Any):
+class BrowseMix:
+    """Map-browsing reads with a popular-viewport pool.
+
+    Real map traffic is heavily skewed: most requests hit a small set of
+    popular tiles. Each operation draws from ``popular`` precomputed
+    window/point queries with *identical* parameters (quadratic skew
+    toward the head of the pool) or, with probability
+    ``1 - repeat_fraction``, issues a fresh random viewport. The repeats
+    are what give a statement-fingerprint result cache something to hit;
+    the fresh tail keeps it honest.
+    """
+
+    name = BROWSE
+
+    #: share of operations drawn from the popular pool
+    REPEAT_FRACTION = 0.85
+
+    def __init__(self, seed: int = 42, popular: int = 24):
+        pool_rng = random.Random(seed ^ 0x5EED)
+        reads = ReadOnlyMix()
+        self._fresh = reads
+        self._popular: List[Operation] = []
+        for index in range(popular):
+            if index % 4 == 3:
+                params = (
+                    pool_rng.uniform(0.0, WORLD_SIZE),
+                    pool_rng.uniform(0.0, WORLD_SIZE),
+                )
+                self._popular.append(Operation(
+                    "read", "popular_point", ((reads._POINT_SQL, params),)
+                ))
+            else:
+                label, sql = reads._WINDOW_SQL[
+                    index % len(reads._WINDOW_SQL)
+                ]
+                self._popular.append(Operation(
+                    "read", f"popular_{label}",
+                    ((sql, _window(pool_rng, 0.01, 0.06)),)
+                ))
+
+    def next_operation(self, rng: random.Random, client_id: int) -> Operation:
+        if rng.random() < self.REPEAT_FRACTION:
+            # rng.random() ** 2 skews toward index 0: the head of the
+            # pool is an order of magnitude hotter than the tail
+            index = int(len(self._popular) * rng.random() ** 2)
+            return self._popular[index]
+        return self._fresh.next_operation(rng, client_id)
+
+
+def get_mix(name: str, database: Any, seed: int = 42):
     """Build a mix instance, sampling the hot-row pool from ``database``."""
     if name == READ_ONLY:
         return ReadOnlyMix()
+    if name == BROWSE:
+        return BrowseMix(seed=seed)
     if name == MIXED:
         rows = database.execute(
             f"SELECT gid FROM pointlm ORDER BY gid LIMIT {HOT_POOL}"

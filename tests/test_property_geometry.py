@@ -232,6 +232,23 @@ def test_intersection_covered_by_both_operands(a, b):
     assert covered_by(inter, b)
 
 
+def test_intersection_covered_by_shared_collinear_edge_regression():
+    """Found by the property test above: the overlay emits a vertex with
+    rounding error (x=8.88e-16 instead of 0.0) on an edge shared with the
+    operand, and the exact envelope fast-paths in ``locate_in_polygon`` /
+    ``covers`` classified the shared-edge midpoint EXTERIOR before the
+    tolerant ring walk could run, yielding relate = ``2F2111212``."""
+    from repro.algorithms import covered_by, relate
+    from repro.geometry.wkt import loads
+
+    a = loads("POLYGON((-7 -1, 43 -1, 0 1))")
+    b = loads("POLYGON((-1 0, 0 -2, 0 1))")
+    inter = intersection(a, b)
+    assert str(relate(inter, b)) == "2FF11F212"
+    assert covered_by(inter, a)
+    assert covered_by(inter, b)
+
+
 @given(convex_polygons(), convex_polygons())
 @settings(max_examples=30, deadline=None)
 def test_difference_disjoint_interiors_with_subtrahend(a, b):

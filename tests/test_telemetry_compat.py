@@ -1,9 +1,10 @@
 """Backward compatibility of the ``jackpine-telemetry/1`` document.
 
-The waits / ash / statements sections are *additive*: a document from a
-round that recorded none of them is byte-compatible with the original
-schema, and a reader written against that original schema can consume a
-document that carries all three without changes.
+The waits / ash / statements / storage / service / cache sections are
+*additive*: a document from a round that recorded none of them is
+byte-compatible with the original schema, and a reader written against
+that original schema can consume a document that carries any of them
+without changes.
 """
 
 from __future__ import annotations
@@ -82,6 +83,47 @@ def test_documents_are_json_round_trippable(full_document):
     assert json.loads(json.dumps(full_document)) == json.loads(
         json.dumps(full_document)
     )
+
+
+@pytest.fixture(scope="module")
+def server_document(database):
+    from repro.service import JackpineServer, ServerConfig
+
+    server = JackpineServer(database, ServerConfig(pool_size=2))
+    server.start()
+    try:
+        config = WorkloadConfig(clients=2, duration=0.3, mix="browse",
+                                mode="open", rate=10.0, seed=11,
+                                scale=0.05, server=server.address)
+        return run_workload(config).telemetry_document()
+    finally:
+        server.stop()
+
+
+def test_server_document_only_adds_service_sections(server_document):
+    assert V1_BASE_KEYS <= set(server_document)
+    assert set(server_document) - V1_BASE_KEYS == {"service", "cache"}
+
+
+def test_v1_reader_parses_server_documents(server_document):
+    parsed = _v1_reader(server_document)
+    assert parsed["engine"] == "greenwood"
+    assert parsed["ops"] >= 1
+    assert parsed["clients"] == [
+        "workload.client_0", "workload.client_1"
+    ]
+
+
+def test_server_document_service_section_shape(server_document):
+    service = server_document["service"]
+    assert {"pool", "admission", "shed_total", "timeouts_total"} <= \
+        set(service)
+    assert service["pool"]["size"] == 2
+    assert service["admission"]["queue_limit"] >= 1
+    cache = server_document["cache"]
+    assert {"hits", "misses", "hit_ratio", "client_observed_hits"} <= \
+        set(cache)
+    assert 0.0 <= cache["hit_ratio"] <= 1.0
 
 
 def test_statements_section_shape(full_document):

@@ -60,11 +60,14 @@ def _events_recorded(monitor) -> set:
 
 
 def test_taxonomy_is_closed_and_classful():
+    from repro.obs.waits import NET_RECV, NET_SEND, SERVICE_QUEUE
+
     expected = {
         LOCK_ROW, LATCH_SHARED, LATCH_EXCLUSIVE, IO_DUMP_READ,
         IO_DUMP_WRITE, IO_WAL_WRITE, IO_WAL_FSYNC, IO_PAGE_READ,
         IO_PAGE_WRITE, CPU_REFINE, CPU_INDEX_PROBE, CPU_SORT,
         CLIENT_RETRY, CLIENT_BACKOFF, GUARD_TICK,
+        NET_RECV, NET_SEND, SERVICE_QUEUE,
     }
     assert set(WAIT_EVENTS) == expected
     for event in WAIT_EVENTS:

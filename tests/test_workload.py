@@ -59,7 +59,7 @@ class TestConfig:
 
 class TestMixes:
     def test_registry(self):
-        assert set(MIXES) == {"read_only", "mixed"}
+        assert set(MIXES) == {"read_only", "mixed", "browse"}
 
     def test_read_only_never_writes(self):
         mix = ReadOnlyMix()
