@@ -1,10 +1,12 @@
 """Read-through query-result cache with MVCC xid watermark invalidation.
 
-Cache key: ``(statement fingerprint, params)`` — the fingerprint is the
-same literal-normalised sha256 the statement store uses
-(:func:`repro.obs.statements.fingerprint`), so ``SELECT ... WHERE gid =
-7`` and ``... = 8`` share a fingerprint and are distinguished by their
-bound params.
+Cache key: ``(raw SQL text, params)``. The literal-normalised
+fingerprint the statement store uses is deliberately *not* part of the
+key: ``SELECT ... WHERE gid = 7`` and ``... = 8`` share a fingerprint,
+and keying on it would serve one query's rows as the other's whenever
+their bound params coincide (e.g. both empty). The raw text tells
+literal-bearing statements apart; fingerprints stay a stats/metadata
+concern of :mod:`repro.obs.statements`.
 
 Invalidation is *precise*, not TTL-based. The engine stamps
 ``Database.write_marks[table]`` with the committing transaction's xid
@@ -37,7 +39,6 @@ from collections import OrderedDict
 from typing import Any, Dict, Optional, Tuple
 
 from repro.engines.sysviews import SYSTEM_VIEW_NAMES
-from repro.obs.statements import fingerprint
 from repro.sql import ast
 
 __all__ = ["ResultCache", "CachedExecutor", "select_tables"]
@@ -72,7 +73,7 @@ class _Entry:
 
 class ResultCache:
     """LRU store of materialised SELECT results keyed by
-    ``(fingerprint, params)``; thread-safe, bounded by ``capacity``."""
+    ``(raw SQL text, params)``; thread-safe, bounded by ``capacity``."""
 
     def __init__(self, capacity: int = 256):
         if capacity < 1:
@@ -111,6 +112,12 @@ class ResultCache:
             self._entries[key] = _Entry(columns, rows, rowcount, marks)
             self.fills += 1
 
+    def note_bypass(self) -> None:
+        """Count one uncacheable execution (under the lock, like every
+        other counter — bypasses are noted from concurrent workers)."""
+        with self._lock:
+            self.bypass += 1
+
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
@@ -145,7 +152,7 @@ class CachedExecutor:
     pass-through, which is what ``--no-cache`` servers run.
     """
 
-    #: per-SQL-text metadata memo bound (fingerprint + table set)
+    #: per-SQL-text cacheability memo bound (table set, or None)
     META_CAPACITY = 512
 
     def __init__(self, database: Any, cache: Optional[ResultCache] = None):
@@ -154,21 +161,20 @@ class CachedExecutor:
         self._meta_lock = threading.Lock()
         self._meta: "OrderedDict[str, Optional[tuple]]" = OrderedDict()
 
-    def _sql_meta(self, sql: str) -> Optional[Tuple[str, Tuple[str, ...]]]:
-        """``(fingerprint, tables)`` for a cacheable SELECT else ``None``;
-        memoised per SQL text like the engine's parse cache."""
+    def _cacheable_tables(self, sql: str) -> Optional[Tuple[str, ...]]:
+        """The table set for a cacheable SELECT else ``None``; memoised
+        per SQL text like the engine's parse cache."""
         with self._meta_lock:
             if sql in self._meta:
                 self._meta.move_to_end(sql)
                 return self._meta[sql]
         statement = self._db._parse_statement(sql)
         tables = select_tables(statement)
-        meta = (fingerprint(sql), tables) if tables is not None else None
         with self._meta_lock:
             if len(self._meta) >= self.META_CAPACITY:
                 self._meta.popitem(last=False)
-            self._meta[sql] = meta
-        return meta
+            self._meta[sql] = tables
+        return tables
 
     def _current_marks(self, tables: Tuple[str, ...]) -> tuple:
         marks = self._db.write_marks
@@ -183,22 +189,23 @@ class CachedExecutor:
     ) -> Tuple[list, list, int, bool]:
         cache = self.cache
         params = tuple(params)
-        meta = None
+        tables = None
         if cache is not None and not connection.in_transaction:
-            meta = self._sql_meta(sql)
-        if meta is None:
+            tables = self._cacheable_tables(sql)
+        if tables is None:
             if cache is not None:
-                cache.bypass += 1
+                cache.note_bypass()
             result = self._db.execute(
                 sql, params, timeout=timeout, session=connection.session
             )
             return result.columns, result.rows, result.rowcount, False
-        fp, tables = meta
         try:
-            key = (fp, params)
+            # keyed on the raw text: statements differing only in
+            # literals must not collide (see module docstring)
+            key = (sql, params)
             hash(key)
         except TypeError:
-            cache.bypass += 1
+            cache.note_bypass()
             result = self._db.execute(
                 sql, params, timeout=timeout, session=connection.session
             )

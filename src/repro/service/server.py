@@ -79,15 +79,22 @@ class ServerConfig:
 
 
 class _ClientState:
-    """Per-TCP-connection state; only this connection's handler (and the
-    one worker running its current request) ever touch it, because
-    requests on a connection are processed sequentially."""
+    """Per-TCP-connection state. Requests on a connection are processed
+    sequentially, but shutdown cancellation can land while a worker
+    thread is still executing the connection's current request — the
+    handler's cleanup then races the worker over the engine session, so
+    ``lock`` decides exactly one owner for the release."""
 
-    __slots__ = ("pinned",)
+    __slots__ = ("pinned", "running", "closed", "lock")
 
     def __init__(self):
         #: engine connection held across requests while a txn is open
         self.pinned: Optional[Any] = None
+        #: a worker thread is executing this connection's request
+        self.running = False
+        #: the handler is gone; the worker must release, never re-pin
+        self.closed = False
+        self.lock = threading.Lock()
 
 
 class JackpineServer:
@@ -221,7 +228,6 @@ class JackpineServer:
             await loop.run_in_executor(self._workers, self.pool.reap)
 
     async def _handle_client(self, reader, writer) -> None:
-        loop = asyncio.get_event_loop()
         state = _ClientState()
         self._client_tasks.add(asyncio.current_task())
         self.connections_open += 1
@@ -238,7 +244,7 @@ class JackpineServer:
                     break
                 if message is None:
                     break
-                response = await self._dispatch(state, message, loop)
+                response = await self._dispatch(state, message)
                 await self._send(writer, response)
                 if response.get("_close"):
                     break
@@ -249,13 +255,23 @@ class JackpineServer:
         finally:
             self._client_tasks.discard(asyncio.current_task())
             self.connections_open -= 1
-            if state.pinned is not None:
+            with state.lock:
+                state.closed = True
+                pinned = None
+                if not state.running:
+                    # no worker owns the session; reclaim it here. When
+                    # a worker IS still executing (shutdown cancelled
+                    # this handler mid-request), leave the session to
+                    # the worker's _finish_request — it sees ``closed``
+                    # and releases on the worker thread, so the session
+                    # is never freed while a statement runs on it.
+                    pinned, state.pinned = state.pinned, None
+            if pinned is not None:
                 # disconnect with an open transaction: roll it back and
                 # return the session (pool.release rolls back). Called
                 # inline, not via the executor — this path also runs
                 # during shutdown cancellation, where awaits would be
                 # cancelled before the rollback happened.
-                pinned, state.pinned = state.pinned, None
                 self.pool.release(pinned)
             writer.close()
             try:
@@ -293,7 +309,7 @@ class JackpineServer:
             WAITS.record(NET_SEND, time.perf_counter() - start)
 
     async def _dispatch(
-        self, state: _ClientState, message: Dict[str, Any], loop
+        self, state: _ClientState, message: Dict[str, Any]
     ) -> Dict[str, Any]:
         op = message.get("op")
         rid = message.get("id")
@@ -327,9 +343,35 @@ class JackpineServer:
                     retry_after=self.admission.deadline,
                 ),
             }
-        response = await loop.run_in_executor(
-            self._workers, self._run_query, state, sql, params, ticket
-        )
+        with state.lock:
+            state.running = True
+        try:
+            future = self._workers.submit(
+                self._run_query, state, sql, params, ticket
+            )
+        except RuntimeError:  # executor already shut down during stop
+            with state.lock:
+                state.running = False
+            self.admission.cancel(ticket)
+            return {
+                "ok": False, "id": rid, "_close": True,
+                "error": error_payload(
+                    "overloaded", "server shutting down",
+                    retry_after=self.admission.deadline,
+                ),
+            }
+        try:
+            response = await asyncio.wrap_future(future)
+        except asyncio.CancelledError:
+            # cancel() succeeds only if the worker never started; then
+            # _run_query will never run its cleanup, so undo the admit
+            # and the running mark here. A worker that DID start keeps
+            # running and cleans up via _finish_request.
+            if future.cancel() or future.cancelled():
+                with state.lock:
+                    state.running = False
+                self.admission.cancel(ticket)
+            raise
         response["id"] = rid
         return response
 
@@ -340,48 +382,64 @@ class JackpineServer:
     ) -> Dict[str, Any]:
         """Runs on a worker thread; returns the response dict and never
         raises (every failure becomes a typed error payload)."""
+        connection = None
+        began = False
         try:
             remaining = self.admission.begin(ticket)
-        except ServiceOverloadedError as exc:
-            return self._error_response(exc)
-        try:
+            began = True
             connection = state.pinned
             if connection is None:
-                try:
-                    connection = self.pool.acquire(timeout=remaining)
-                except ServiceOverloadedError as exc:
-                    return self._error_response(exc)
-            try:
-                # re-clamp to what is left of the deadline now that the
-                # pool wait is behind us; the guardrail timeout enforces it
-                budget = max(ticket.deadline - time.perf_counter(), 1e-3)
-                columns, rows, rowcount, cached = self._cached.execute(
-                    connection, sql, params, timeout=budget
-                )
-                return {
-                    "ok": True,
-                    "columns": list(columns),
-                    "rows": jsonable_rows(rows),
-                    "rowcount": rowcount,
-                    "cached": cached,
-                }
-            except ReproError as exc:
-                return self._error_response(exc)
-            except Exception as exc:  # engine invariant broken; don't hide it
-                return {
-                    "ok": False,
-                    "error": error_payload(
-                        "internal", f"{type(exc).__name__}: {exc}"
-                    ),
-                }
-            finally:
-                if connection.in_transaction:
+                connection = self.pool.acquire(timeout=remaining)
+            # re-clamp to what is left of the deadline now that the
+            # pool wait is behind us; the guardrail timeout enforces it
+            budget = max(ticket.deadline - time.perf_counter(), 1e-3)
+            columns, rows, rowcount, cached = self._cached.execute(
+                connection, sql, params, timeout=budget
+            )
+            return {
+                "ok": True,
+                "columns": list(columns),
+                "rows": jsonable_rows(rows),
+                "rowcount": rowcount,
+                "cached": cached,
+            }
+        except ReproError as exc:
+            return self._error_response(exc)
+        except Exception as exc:  # engine invariant broken; don't hide it
+            return {
+                "ok": False,
+                "error": error_payload(
+                    "internal", f"{type(exc).__name__}: {exc}"
+                ),
+            }
+        finally:
+            self._finish_request(state, connection)
+            if began:
+                self.admission.done()
+
+    def _finish_request(
+        self, state: _ClientState, connection: Optional[Any]
+    ) -> None:
+        """The worker's last act for a request: under the state lock,
+        decide whether the session stays pinned, then release outside
+        the lock. ``connection`` is ``None`` when the request never got
+        a session. If ``state.closed`` is set the handler skipped its
+        pinned cleanup because this worker was still running — releasing
+        here is what keeps the session single-owned during shutdown."""
+        with state.lock:
+            state.running = False
+            if connection is not None:
+                if connection.in_transaction and not state.closed:
                     state.pinned = connection
+                    connection = None  # stays leased across requests
                 else:
                     state.pinned = None
-                    self.pool.release(connection)
-        finally:
-            self.admission.done()
+            elif state.closed:
+                # early shed (deadline / pool timeout) after the handler
+                # went away: the previously pinned session is ours to free
+                connection, state.pinned = state.pinned, None
+        if connection is not None:
+            self.pool.release(connection)
 
     @staticmethod
     def _error_response(exc: ReproError) -> Dict[str, Any]:

@@ -148,7 +148,7 @@ class BrowseMix:
     window/point queries with *identical* parameters (quadratic skew
     toward the head of the pool) or, with probability
     ``1 - repeat_fraction``, issues a fresh random viewport. The repeats
-    are what give a statement-fingerprint result cache something to hit;
+    are what give a statement-keyed result cache something to hit;
     the fresh tail keeps it honest.
     """
 

@@ -217,6 +217,38 @@ def test_cached_executor_read_your_writes(database):
     conn.close()
 
 
+def test_cached_executor_distinguishes_literal_only_sql(database):
+    """Statements differing only in literals share a normalised
+    fingerprint but must never share a cache entry: keyed on the
+    fingerprint, ``SELECT 8`` was served ``SELECT 7``'s rows."""
+    from repro.dbapi import connect
+    from repro.obs.statements import fingerprint
+
+    cache = ResultCache()
+    executor = CachedExecutor(database, cache)
+    conn = connect(database=database)
+    seven, eight = "SELECT 7", "SELECT 8"
+    assert fingerprint(seven) == fingerprint(eight), \
+        "premise: literal variants normalise to one fingerprint"
+    _, rows7, _, cached7 = executor.execute(conn, seven)
+    _, rows8, _, cached8 = executor.execute(conn, eight)
+    assert not cached8, "literal variant must miss, not hit the other's entry"
+    assert rows7 == [(7,)] and rows8 == [(8,)]
+    # IN-lists collapse under normalisation too; results must not
+    narrow = "SELECT COUNT(*) FROM pointlm WHERE gid IN (1, 2)"
+    wide = "SELECT COUNT(*) FROM pointlm WHERE gid IN (1, 2, 3)"
+    executor.execute(conn, narrow)
+    _, wide_rows, _, wide_cached = executor.execute(conn, wide)
+    assert not wide_cached
+    assert wide_rows == database.execute(wide).rows
+    # each text repeats as its own hit with its own rows
+    _, again7, _, hit7 = executor.execute(conn, seven)
+    _, again8, _, hit8 = executor.execute(conn, eight)
+    assert hit7 and hit8
+    assert again7 == [(7,)] and again8 == [(8,)]
+    conn.close()
+
+
 def test_cached_executor_bypasses_transactions_and_sysviews(database):
     from repro.dbapi import connect
 
@@ -343,6 +375,84 @@ def test_server_disconnect_rolls_back_pinned_transaction(server, database):
         "SELECT name FROM pointlm WHERE gid = ?", (5,)
     ).rows
     assert after == before
+
+
+def test_stop_mid_query_releases_pinned_session_exactly_once(database):
+    """Shutdown cancels the handler while a worker is still executing on
+    the connection's pinned session: the release must wait for the
+    worker (never free a session a statement is running on) and happen
+    exactly once (a double release would let two future leases share
+    one session)."""
+    srv = JackpineServer(database, ServerConfig(
+        pool_size=2, max_queue=4, deadline=30.0,
+    ))
+    srv.start()
+    started = threading.Event()
+    unblock = threading.Event()
+    real_execute = srv._cached.execute
+
+    def blocking_execute(connection, sql, params=(), timeout=None):
+        if "pointlm" in sql:
+            started.set()
+            assert unblock.wait(10), "test never unblocked the worker"
+        return real_execute(connection, sql, params, timeout=timeout)
+
+    srv._cached.execute = blocking_execute
+    releases = []
+    real_release = srv.pool.release
+
+    def counting_release(connection):
+        releases.append(connection)
+        real_release(connection)
+
+    srv.pool.release = counting_release
+    client = ServiceClient(srv.host, srv.port)
+    client.execute("BEGIN")  # pins the session to this connection
+    query_errors = []
+
+    def send_query():
+        try:
+            client.execute("SELECT COUNT(*) FROM pointlm")
+        except ServiceError as exc:
+            query_errors.append(exc)
+
+    query_thread = threading.Thread(target=send_query)
+    stopper = threading.Thread(target=srv.stop)
+    try:
+        query_thread.start()
+        assert started.wait(5), "worker never picked the query up"
+        stopper.start()
+        # give shutdown time to cancel the handler; the worker is still
+        # blocked inside execute, so the session must not be freed yet
+        time.sleep(0.3)
+        assert not releases, "session released while its query was running"
+    finally:
+        unblock.set()
+    stopper.join(10)
+    query_thread.join(10)
+    assert not stopper.is_alive(), "stop() never finished"
+    assert len(releases) == 1, "pinned session must be released exactly once"
+    assert srv.pool.stats()["in_use"] == 0
+
+
+def test_executor_shutdown_sheds_and_returns_admission_slot(database):
+    """A request admitted but impossible to dispatch (executor already
+    shut down) must give its admission slot back — a leaked slot would
+    permanently shrink the queue."""
+    srv = JackpineServer(database, ServerConfig(
+        pool_size=1, max_queue=2, reap_interval=60.0,
+    ))
+    srv.start()
+    try:
+        with ServiceClient(srv.host, srv.port) as client:
+            assert client.ping()
+            srv._workers.shutdown(wait=False)
+            with pytest.raises(ServiceOverloadedError):
+                client.execute("SELECT 1")
+            assert srv.admission.stats()["queue_depth"] == 0, \
+                "undispatchable request leaked its admission slot"
+    finally:
+        srv.stop()
 
 
 def test_server_sheds_when_queue_overflows(database):
