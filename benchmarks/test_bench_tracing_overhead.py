@@ -1,0 +1,117 @@
+"""Request-tracing overhead guard for the untraced service path.
+
+The flight recorder is pay-as-you-go: a server started without
+``--trace`` must pay exactly one bool check per request — the wire
+image, the dispatch path, and the ``CachedExecutor`` call are all
+byte-identical to the pre-tracing service tier. This module pins that
+contract two ways:
+
+- the round-trip path: a client with ``trace=False`` (the exact PR 8
+  wire image) against a tracing-disabled server must stay within 5% of
+  the same loop with a ``trace=True`` client against that same server
+  (the only delta is a few ignored bytes per frame) — and, the guard
+  that matters, the *untraced server* must never call into the
+  recorder at all;
+- the one-bool gate: with the recorder's entry points replaced by
+  raising stubs, an untraced server serves a full round without
+  tripping them.
+
+Run standalone::
+
+    pytest benchmarks/test_bench_tracing_overhead.py --benchmark-disable -q
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.datagen import generate
+from repro.engines import Database
+from repro.obs.requests import RECORDER
+from repro.service import JackpineServer, ServerConfig, ServiceClient
+
+from _bench_utils import BENCH_SCALE, BENCH_SEED
+
+#: allowed slowdown of the untraced server round-trip when clients
+#: attach trace contexts (the server reads one absent dict key)
+OVERHEAD_BUDGET = 1.05
+REPEATS = 5
+ATTEMPTS = 3
+ROUND_TRIPS = 150
+
+#: cheap statement: round-trip cost is protocol + dispatch, not execution
+SQL = "SELECT COUNT(*) FROM pointlm WHERE gid < ?"
+
+
+def _fresh_db() -> Database:
+    db = Database("greenwood")
+    generate(seed=BENCH_SEED, scale=BENCH_SCALE).load_into(db)
+    db.execute("ANALYZE")
+    return db
+
+
+def _median_seconds(call, repeats: int = REPEATS) -> float:
+    call()  # warm caches (connection, parse, plan) outside the window
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        call()
+        times.append(time.perf_counter() - start)
+    times.sort()
+    return times[len(times) // 2]
+
+
+def test_untraced_round_trip_overhead_within_budget():
+    db = _fresh_db()
+    with JackpineServer(db, ServerConfig(pool_size=2,
+                                         cache_capacity=0)) as server:
+        plain = ServiceClient.from_address(server.address, trace=False)
+        traced = ServiceClient.from_address(server.address, trace=True)
+        try:
+            def round_of(client):
+                def run():
+                    for index in range(ROUND_TRIPS):
+                        client.execute(SQL, (index % 50,))
+                return run
+
+            ratios = []
+            for _ in range(ATTEMPTS):
+                # alternate within the attempt so warmup (socket
+                # buffers, plan cache) never lands on just one side
+                baseline = _median_seconds(round_of(plain), repeats=3)
+                candidate = _median_seconds(round_of(traced), repeats=3)
+                ratio = candidate / baseline
+                ratios.append(ratio)
+                if ratio <= OVERHEAD_BUDGET:
+                    break
+            assert min(ratios) <= OVERHEAD_BUDGET, (
+                f"trace-context frames cost {min(ratios):.3f}x on the "
+                f"untraced server (budget {OVERHEAD_BUDGET:.0%}): "
+                f"ratios={[f'{r:.3f}' for r in ratios]}"
+            )
+        finally:
+            plain.close()
+            traced.close()
+
+
+def test_untraced_server_is_one_bool_check():
+    """The disabled path must never reach the recorder — enforced by
+    making every entry point explode, then serving a round."""
+    db = _fresh_db()
+
+    def explode(*_a, **_k):  # pragma: no cover - must not be called
+        raise AssertionError("recorder touched on the untraced path")
+
+    saved = RECORDER.begin, RECORDER.finish, RECORDER.bind
+    RECORDER.begin = explode  # type: ignore[method-assign]
+    RECORDER.finish = explode  # type: ignore[method-assign]
+    RECORDER.bind = explode  # type: ignore[method-assign]
+    try:
+        with JackpineServer(db, ServerConfig(pool_size=2)) as server:
+            with ServiceClient.from_address(server.address) as client:
+                for index in range(20):
+                    result = client.execute(SQL, (index,))
+                    assert result.rows
+                    assert result.trace_id is None
+    finally:
+        RECORDER.begin, RECORDER.finish, RECORDER.bind = saved

@@ -118,6 +118,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="zero every counter family first (metrics registries, wait "
              "events, statement store, engine counters)",
     )
+    stats.add_argument(
+        "--json", action="store_true",
+        help="emit the full counter set (metrics, resilience counters, "
+             "waits, statements, storage) as one machine-readable JSON "
+             "document on stdout instead of human tables",
+    )
 
     experiment = sub.add_parser(
         "experiment", help="run one of the standalone experiments"
@@ -208,6 +214,53 @@ def build_parser() -> argparse.ArgumentParser:
         help="record wait events (Net:Recv/Net:Send/Service:QueueWait) "
              "while serving",
     )
+    serve.add_argument(
+        "--trace", action="store_true",
+        help="end-to-end request tracing: every request gets a compact "
+             "flight-recorder record, and slow/errored/shed requests "
+             "keep their full linked span tree (jackpine_requests view, "
+             "'jackpine trace' command)",
+    )
+    serve.add_argument(
+        "--slow-ms", type=float, default=100.0, metavar="MS",
+        help="with --trace: tail-sampling threshold — requests at or "
+             "above this keep their full trace (default 100)",
+    )
+    serve.add_argument(
+        "--slow-log", default=None, metavar="PATH",
+        help="with --trace: append one JSON line per tail-sampled "
+             "request to PATH (size-rotated, survives process exit)",
+    )
+    serve.add_argument(
+        "--slow-log-max-bytes", type=int, default=4 * 1024 * 1024,
+        metavar="N",
+        help="rotate the slow log past this size (one .1 backup kept)",
+    )
+
+    trace = sub.add_parser(
+        "trace",
+        help="inspect flight-recorder request traces: list tail-sampled "
+             "requests, or dump one trace as Chrome-trace JSON "
+             "(chrome://tracing / Perfetto)",
+    )
+    trace.add_argument(
+        "trace_id", nargs="?", default=None,
+        help="trace id to dump (omit to list buffered requests)",
+    )
+    trace.add_argument(
+        "--server", default=None, metavar="HOST:PORT",
+        help="read records from a running traced server over the wire",
+    )
+    trace.add_argument(
+        "--slow-log", default=None, metavar="PATH",
+        help="read records from a slow-log file written by "
+             "'jackpine serve --trace --slow-log PATH'",
+    )
+    trace.add_argument(
+        "-o", "--out", default=None, metavar="FILE",
+        help="write the Chrome-trace JSON to FILE "
+             "(default: <trace_id>.trace.json)",
+    )
 
     workload = sub.add_parser(
         "workload",
@@ -246,7 +299,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--waits", action="store_true",
         help="record wait events + ASH samples; print the wall-time "
              "decomposition and hottest rows, and export both in the "
-             "telemetry artifact",
+             "telemetry artifact. With --server: diff the serve "
+             "process's wait summary (Net:Recv/Net:Send/"
+             "Service:QueueWait) around the round instead — the server "
+             "must be running with --waits",
     )
     workload.add_argument(
         "--statements", action="store_true",
@@ -393,6 +449,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_checkpoint(args)
     if args.command == "serve":
         return _run_serve(args)
+    if args.command == "trace":
+        return _run_trace(args)
     if args.command == "workload":
         return _run_workload(args)
     if args.command == "top":
@@ -479,59 +537,108 @@ def _run_stats(args) -> int:
         WAITS.reset()
     for name, help_text in _RESILIENCE_COUNTERS:
         db.obs.metrics.counter(name, help_text)
+    as_json = bool(getattr(args, "json", False))
+    probes = []
     for sql in args.sql or _STATS_PROBES:
         db.execute(sql)
         trace = db.last_trace()
-        deltas = ", ".join(
-            f"{k}={v}" for k, v in sorted(trace.counters.items())
-        )
-        print(f"-- {sql}")
-        print(f"   {trace.seconds * 1e3:.2f}ms, {trace.rows} rows"
-              + (f", {deltas}" if deltas else ""))
-    print()
-    print(db.obs.metrics.render(), end="")
+        probes.append({
+            "sql": sql,
+            "seconds": trace.seconds,
+            "rows": trace.rows,
+            "counters": dict(trace.counters),
+        })
+        if not as_json:
+            deltas = ", ".join(
+                f"{k}={v}" for k, v in sorted(trace.counters.items())
+            )
+            print(f"-- {sql}")
+            print(f"   {trace.seconds * 1e3:.2f}ms, {trace.rows} rows"
+                  + (f", {deltas}" if deltas else ""))
+    if not as_json:
+        print()
+        print(db.obs.metrics.render(), end="")
     # degradation/fault/retry counters live on the process-wide registry
     # (they can fire outside any one connection's scope)
     from repro.obs.metrics import GLOBAL
 
-    print()
-    print("-- process-wide resilience counters")
-    for name, help_text in _RESILIENCE_COUNTERS:
-        print(f"jackpine_{name} {GLOBAL.counter(name, help_text).value}")
+    resilience = {
+        name: GLOBAL.counter(name, help_text).value
+        for name, help_text in _RESILIENCE_COUNTERS
+    }
+    if not as_json:
+        print()
+        print("-- process-wide resilience counters")
+        for name, _help_text in _RESILIENCE_COUNTERS:
+            print(f"jackpine_{name} {resilience[name]}")
     hist = db.txn.lock_wait_histogram()
-    print(f"jackpine_txn_lock_wait_seconds_count {hist.count}")
+    lock_waits = {"count": hist.count}
     if hist.count:
-        print(f"jackpine_txn_lock_wait_seconds_sum {hist.sum:.6f}")
-        print(f"jackpine_txn_lock_wait_seconds_p95 {hist.p95:.6f}")
+        lock_waits.update(sum=hist.sum, p95=hist.p95)
+    if not as_json:
+        print(f"jackpine_txn_lock_wait_seconds_count {hist.count}")
+        if hist.count:
+            print(f"jackpine_txn_lock_wait_seconds_sum {hist.sum:.6f}")
+            print(f"jackpine_txn_lock_wait_seconds_p95 {hist.p95:.6f}")
+    waits_summary = None
     if args.waits:
         from repro.obs.waits import WAITS
 
-        print()
-        print("-- wait events (count, seconds, p95)")
-        summary = WAITS.summary()
-        if not summary:
-            print("(none recorded)")
-        for event, entry in sorted(summary.items()):
-            p95 = entry.get("p95")
-            p95_text = f" p95={p95 * 1e3:.3f}ms" if p95 is not None else ""
-            print(
-                f"{event:<28s} count={entry['count']:<7d} "
-                f"seconds={entry['seconds']:.6f}{p95_text}"
-            )
+        waits_summary = WAITS.summary()
+        if not as_json:
+            print()
+            print("-- wait events (count, seconds, p95)")
+            if not waits_summary:
+                print("(none recorded)")
+            for event, entry in sorted(waits_summary.items()):
+                p95 = entry.get("p95")
+                p95_text = (
+                    f" p95={p95 * 1e3:.3f}ms" if p95 is not None else ""
+                )
+                print(
+                    f"{event:<28s} count={entry['count']:<7d} "
+                    f"seconds={entry['seconds']:.6f}{p95_text}"
+                )
         WAITS.disable()
+    statements_export = None
     if args.statements:
-        print()
-        print(db.obs.statements.render())
+        statements_export = db.obs.statements.export()
+        if not as_json:
+            print()
+            print(db.obs.statements.render())
         db.obs.disable_statements()
+    storage_stats = None
     if db.durability is not None:
-        print()
-        print("-- durable storage (buffer pool + write-ahead log)")
-        for name, value in sorted(db.durability.stats().items()):
-            if isinstance(value, float):
-                print(f"jackpine_storage_{name} {value:.4f}")
-            else:
-                print(f"jackpine_storage_{name} {value}")
+        storage_stats = db.durability.stats()
+        if not as_json:
+            print()
+            print("-- durable storage (buffer pool + write-ahead log)")
+            for name, value in sorted(storage_stats.items()):
+                if isinstance(value, float):
+                    print(f"jackpine_storage_{name} {value:.4f}")
+                else:
+                    print(f"jackpine_storage_{name} {value}")
         db.close()
+    if as_json:
+        import json
+
+        document = {
+            "engine": args.engine,
+            "seed": args.seed,
+            "scale": args.scale,
+            "probes": probes,
+            "metrics": db.obs.metrics.snapshot(),
+            "resilience": resilience,
+            "lock_waits": lock_waits,
+        }
+        if waits_summary is not None:
+            document["waits"] = waits_summary
+        if statements_export is not None:
+            document["statements"] = statements_export
+        if storage_stats is not None:
+            document["storage"] = storage_stats
+        json.dump(document, sys.stdout, indent=2, sort_keys=True)
+        print()
     return 0
 
 
@@ -556,12 +663,21 @@ def _run_serve(args) -> int:
         deadline=args.deadline,
         cache_capacity=args.cache_capacity,
         idle_timeout=args.idle_timeout,
+        trace=args.trace,
+        trace_slow_ms=args.slow_ms,
+        slow_log=args.slow_log,
+        slow_log_max_bytes=args.slow_log_max_bytes,
     ))
     server.start()
+    trace_text = ""
+    if args.trace:
+        trace_text = f", tracing slow>={args.slow_ms:g}ms"
+        if args.slow_log:
+            trace_text += f" -> {args.slow_log}"
     print(f"jackpine service listening on {server.address} "
           f"(pool {args.pool}, queue {args.queue}, "
           f"deadline {args.deadline}s, "
-          f"cache {args.cache_capacity or 'off'})", flush=True)
+          f"cache {args.cache_capacity or 'off'}{trace_text})", flush=True)
     try:
         import time as time_mod
 
@@ -580,6 +696,88 @@ def _run_serve(args) -> int:
                       f"seconds={entry['seconds']:.6f}")
             WAITS.disable()
     return 0
+
+
+def _run_trace(args) -> int:
+    """``jackpine trace``: list flight-recorder records, or dump one
+    linked client+server trace as Chrome-trace JSON.
+
+    Records come from a running traced server (``--server``, over the
+    wire), a slow-log file (``--slow-log``), or — inside a process that
+    hosted a traced server, e.g. tests — the in-process recorder."""
+    import json
+
+    from repro.obs.requests import (
+        RECORDER,
+        RequestRecord,
+        chrome_trace,
+        read_slow_log,
+    )
+
+    if args.server is not None:
+        from repro.service import ServiceClient
+
+        client = ServiceClient.from_address(args.server)
+        try:
+            if args.trace_id is None:
+                briefs = client.trace_records()
+                _print_trace_briefs(briefs)
+                return 0
+            payload = client.trace_record(args.trace_id)
+        finally:
+            client.close()
+        record = (
+            RequestRecord.from_dict(payload) if payload is not None else None
+        )
+    elif args.slow_log is not None:
+        records = read_slow_log(args.slow_log)
+        if args.trace_id is None:
+            _print_trace_briefs([r.brief() for r in records])
+            return 0
+        record = next(
+            (r for r in records if r.trace_id == args.trace_id), None
+        )
+    else:
+        if args.trace_id is None:
+            _print_trace_briefs([r.brief() for r in RECORDER.records()])
+            return 0
+        record = RECORDER.lookup(args.trace_id)
+    if record is None:
+        print(f"trace {args.trace_id} not found (evicted, never recorded, "
+              f"or a different server)", file=sys.stderr)
+        return 1
+    if record.root is None:
+        print(f"trace {record.trace_id} was not retained by the tail "
+              f"sampler (outcome {record.outcome}, "
+              f"{record.total_seconds * 1e3:.2f}ms) — only slow, errored, "
+              f"shed or cache-stale requests keep their full span tree",
+              file=sys.stderr)
+        return 1
+    path = args.out or f"{record.trace_id}.trace.json"
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(chrome_trace(record), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"{record.trace_id}: {record.outcome}, "
+          f"{record.total_seconds * 1e3:.2f}ms, "
+          f"{record.span_count()} spans "
+          f"(clock skew {record.clock_skew_seconds * 1e3:.3f}ms)")
+    print(f"wrote {path} (open in chrome://tracing or ui.perfetto.dev)")
+    return 0
+
+
+def _print_trace_briefs(briefs) -> None:
+    if not briefs:
+        print("(no requests recorded — serve with --trace and send load)")
+        return
+    print(f"{'trace_id':<22s} {'outcome':<14s} {'total':>10s} "
+          f"{'kept':>4s}  sql")
+    for brief in briefs:
+        print(
+            f"{brief['trace_id']:<22s} {brief['outcome']:<14s} "
+            f"{brief['total_ms']:>8.2f}ms "
+            f"{'yes' if brief['retained'] else 'no':>4s}  "
+            f"{brief['sql']}"
+        )
 
 
 def _run_workload(args) -> int:

@@ -30,6 +30,10 @@ Views installed on every :class:`~repro.engines.Database`:
 ``jackpine_service``      query service tier: session pool, admission
                           queue, shed counts and result-cache counters
                           (empty unless a server is attached)
+``jackpine_requests``     flight recorder: one row per traced service
+                          request — trace id, outcome, per-stage
+                          timings, tail-sampling verdict (empty unless
+                          a server ran with request tracing)
 ========================  ==================================================
 """
 
@@ -53,6 +57,7 @@ SYSTEM_VIEW_NAMES: Tuple[str, ...] = (
     "jackpine_tables",
     "jackpine_progress",
     "jackpine_service",
+    "jackpine_requests",
 )
 
 
@@ -192,6 +197,8 @@ def _statements_view(db: Any) -> SystemView:
         _col("wait_lock_seconds", "REAL"),
         _col("wait_latch_seconds", "REAL"),
         _col("wait_io_seconds", "REAL"),
+        _col("wait_net_seconds", "REAL"),
+        _col("wait_service_seconds", "REAL"),
         _col("wait_client_seconds", "REAL"),
         _col("wait_guard_seconds", "REAL"),
         _col("cpu_seconds", "REAL"),
@@ -226,6 +233,8 @@ def _statements_view(db: Any) -> SystemView:
                 waits.get("LockManager", 0.0),
                 waits.get("Latch", 0.0),
                 waits.get("IO", 0.0),
+                waits.get("Net", 0.0),
+                waits.get("Service", 0.0),
                 waits.get("Client", 0.0),
                 waits.get("Guard", 0.0),
                 waits.get("CPU", 0.0),
@@ -531,6 +540,61 @@ def _service_view(db: Any) -> SystemView:
     return SystemView("jackpine_service", columns, produce)
 
 
+def _requests_view() -> SystemView:
+    columns = [
+        _col("trace_id", "TEXT"),
+        _col("started_at", "REAL"),
+        _col("sql", "TEXT"),
+        _col("fingerprint", "TEXT"),
+        _col("outcome", "TEXT"),
+        _col("shed", "INTEGER"),
+        _col("cached", "INTEGER"),
+        _col("cache_status", "TEXT"),
+        _col("recv_seconds", "REAL"),
+        _col("queue_seconds", "REAL"),
+        _col("session_seconds", "REAL"),
+        _col("cache_seconds", "REAL"),
+        _col("exec_seconds", "REAL"),
+        _col("send_seconds", "REAL"),
+        _col("total_seconds", "REAL"),
+        _col("retained", "INTEGER"),
+        _col("spans", "INTEGER"),
+        _col("clock_skew_seconds", "REAL"),
+    ]
+
+    def produce() -> List[tuple]:
+        # reads the process-wide recorder, like jackpine_waits reads
+        # WAITS — a query *through* the server sees its own history
+        from repro.obs.requests import RECORDER
+
+        out: List[tuple] = []
+        for record in RECORDER.records():
+            stages = record.stage_seconds
+            out.append((
+                record.trace_id,
+                record.started_at,
+                record.sql,
+                record.fingerprint,
+                record.outcome,
+                1 if record.shed else 0,
+                1 if record.cached else 0,
+                record.cache_status,
+                stages.get("net.recv"),
+                stages.get("queue.wait"),
+                stages.get("session.acquire"),
+                stages.get("cache.lookup"),
+                stages.get("execute"),
+                stages.get("net.send"),
+                record.total_seconds,
+                1 if record.retained else 0,
+                record.span_count(),
+                record.clock_skew_seconds,
+            ))
+        return out
+
+    return SystemView("jackpine_requests", columns, produce)
+
+
 def install_system_views(db: Any) -> None:
     """Register the full ``jackpine_*`` catalog on one database."""
     for view in (
@@ -541,5 +605,6 @@ def install_system_views(db: Any) -> None:
         _tables_view(db),
         _progress_view(db),
         _service_view(db),
+        _requests_view(),
     ):
         db.catalog.register_system_view(view)

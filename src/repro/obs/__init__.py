@@ -32,13 +32,22 @@ from repro.obs.waits import WAIT_EVENTS, WAITS, WaitAttribution, WaitMonitor
 # imported after waits: statements pulls in the SQL lexer, whose package
 # init transitively re-enters repro.obs for the wait monitor
 from repro.obs.statements import StatementStore  # noqa: E402
+from repro.obs.requests import (  # noqa: E402
+    RECORDER,
+    FlightRecorder,
+    RequestRecord,
+    chrome_trace,
+)
 
 __all__ = [
     "GLOBAL",
+    "RECORDER",
     "AshSampler",
+    "FlightRecorder",
     "Hooks",
     "MetricsRegistry",
     "Observability",
+    "RequestRecord",
     "Span",
     "StatementStore",
     "Trace",
@@ -46,6 +55,7 @@ __all__ = [
     "WAITS",
     "WaitAttribution",
     "WaitMonitor",
+    "chrome_trace",
     "percentile_of",
 ]
 
@@ -161,6 +171,16 @@ class Observability:
         self.hooks.operator_close.append(fn)
         self._refresh()
         return fn
+
+    def remove_query_end(self, fn: Callable[[Trace], Any]) -> None:
+        """Unregister one ``query_end`` hook (no-op when absent) — the
+        flight recorder detaches this way without clobbering hooks other
+        subsystems registered."""
+        try:
+            self.hooks.query_end.remove(fn)
+        except ValueError:
+            pass
+        self._refresh()
 
     def clear_hooks(self) -> None:
         self.hooks = Hooks()

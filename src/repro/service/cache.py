@@ -35,6 +35,7 @@ cached (the views are live windows, not MVCC tables).
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
 from typing import Any, Dict, Optional, Tuple
 
@@ -87,21 +88,32 @@ class ResultCache:
         self.fills = 0
         self.bypass = 0
 
-    def lookup(self, key: tuple, marks: tuple) -> Optional[_Entry]:
+    def lookup(self, key: tuple, marks: tuple,
+               info: Optional[dict] = None) -> Optional[_Entry]:
         """The entry for ``key`` iff its watermarks still match ``marks``
-        (the *current* per-table write marks); a mismatch evicts."""
+        (the *current* per-table write marks); a mismatch evicts.
+        ``info``, when given, receives ``{"status": "hit"/"miss"/
+        "stale"}`` — the request tracer distinguishes a cold miss from a
+        watermark invalidation (cache-stale-adjacent requests are
+        tail-sampled)."""
         with self._lock:
             entry = self._entries.get(key)
             if entry is None:
                 self.misses += 1
+                if info is not None:
+                    info["status"] = "miss"
                 return None
             if entry.marks != marks:
                 del self._entries[key]
                 self.invalidations += 1
                 self.misses += 1
+                if info is not None:
+                    info["status"] = "stale"
                 return None
             self._entries.move_to_end(key)
             self.hits += 1
+            if info is not None:
+                info["status"] = "hit"
             return entry
 
     def store(self, key: tuple, columns, rows, rowcount, marks) -> None:
@@ -180,13 +192,33 @@ class CachedExecutor:
         marks = self._db.write_marks
         return tuple(marks.get(name) for name in tables)
 
+    def _execute_engine(self, connection, sql, params, timeout, stages):
+        """One engine execution, staged as ``execute`` on the request
+        trace when one is being recorded."""
+        if stages is None:
+            return self._db.execute(
+                sql, params, timeout=timeout, session=connection.session
+            )
+        start = time.perf_counter()
+        try:
+            return self._db.execute(
+                sql, params, timeout=timeout, session=connection.session
+            )
+        finally:
+            stages.stage("execute", start, time.perf_counter() - start)
+
     def execute(
         self,
         connection: Any,
         sql: str,
         params: Any = (),
         timeout: Optional[float] = None,
+        stages: Any = None,
     ) -> Tuple[list, list, int, bool]:
+        """``stages`` is an optional request-trace sink (duck-typed
+        :class:`repro.obs.requests.PendingRequest`): the cache lookup and
+        the engine execution are staged onto it, and ``cache_status``
+        records hit / miss / stale / bypass for the tail sampler."""
         cache = self.cache
         params = tuple(params)
         tables = None
@@ -195,8 +227,10 @@ class CachedExecutor:
         if tables is None:
             if cache is not None:
                 cache.note_bypass()
-            result = self._db.execute(
-                sql, params, timeout=timeout, session=connection.session
+                if stages is not None:
+                    stages.cache_status = "bypass"
+            result = self._execute_engine(
+                connection, sql, params, timeout, stages
             )
             return result.columns, result.rows, result.rowcount, False
         try:
@@ -206,19 +240,30 @@ class CachedExecutor:
             hash(key)
         except TypeError:
             cache.note_bypass()
-            result = self._db.execute(
-                sql, params, timeout=timeout, session=connection.session
+            if stages is not None:
+                stages.cache_status = "bypass"
+            result = self._execute_engine(
+                connection, sql, params, timeout, stages
             )
             return result.columns, result.rows, result.rowcount, False
         marks = self._current_marks(tables)
-        entry = cache.lookup(key, marks)
+        if stages is None:
+            entry = cache.lookup(key, marks)
+        else:
+            info: dict = {}
+            lookup_start = time.perf_counter()
+            entry = cache.lookup(key, marks, info)
+            status = info.get("status", "miss")
+            stages.stage(
+                "cache.lookup", lookup_start,
+                time.perf_counter() - lookup_start, status,
+            )
+            stages.cache_status = status
         if entry is not None:
             return entry.columns, entry.rows, entry.rowcount, True
         # marks were captured before execution: a commit racing this
         # fill leaves the entry stale-marked and therefore dead on its
         # next lookup (see module docstring)
-        result = self._db.execute(
-            sql, params, timeout=timeout, session=connection.session
-        )
+        result = self._execute_engine(connection, sql, params, timeout, stages)
         cache.store(key, result.columns, result.rows, result.rowcount, marks)
         return result.columns, result.rows, result.rowcount, False

@@ -24,6 +24,7 @@ import socket
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.errors import ServiceError, ServiceOverloadedError
+from repro.obs.requests import TraceContext
 from repro.service.protocol import (
     decode_rows,
     read_frame,
@@ -34,14 +35,17 @@ __all__ = ["ServiceClient", "RemoteResult"]
 
 
 class RemoteResult:
-    __slots__ = ("columns", "rows", "rowcount", "cached")
+    __slots__ = ("columns", "rows", "rowcount", "cached", "trace_id")
 
     def __init__(self, columns: List[str], rows: List[tuple],
-                 rowcount: int, cached: bool):
+                 rowcount: int, cached: bool,
+                 trace_id: Optional[str] = None):
         self.columns = columns
         self.rows = rows
         self.rowcount = rowcount
         self.cached = cached
+        #: the request's trace id when either side traced it
+        self.trace_id = trace_id
 
     def __repr__(self) -> str:
         return (
@@ -66,9 +70,16 @@ class ServiceClient:
     """One TCP connection = one server session (ordered requests,
     transaction state lives server-side, pinned across BEGIN..COMMIT)."""
 
-    def __init__(self, host: str, port: int, timeout: float = 30.0):
+    def __init__(self, host: str, port: int, timeout: float = 30.0,
+                 trace: bool = True):
         self.host = host
         self.port = port
+        #: attach a trace context to every query (a handful of cheap id
+        #: bytes per request; pass trace=False for a byte-identical wire
+        #: image of the pre-tracing protocol)
+        self.trace = trace
+        #: trace id of the most recent query (for ``jackpine trace``)
+        self.last_trace_id: Optional[str] = None
         self._ids = itertools.count(1)
         self._sock: Optional[socket.socket] = socket.create_connection(
             (host, port), timeout=timeout
@@ -76,11 +87,12 @@ class ServiceClient:
         self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
 
     @classmethod
-    def from_address(cls, address: str, timeout: float = 30.0
-                     ) -> "ServiceClient":
+    def from_address(cls, address: str, timeout: float = 30.0,
+                     trace: bool = True) -> "ServiceClient":
         """``host:port`` string form, as ``--server`` takes it."""
         host, _, port = address.rpartition(":")
-        return cls(host or "127.0.0.1", int(port), timeout=timeout)
+        return cls(host or "127.0.0.1", int(port), timeout=timeout,
+                   trace=trace)
 
     # -- request/response ----------------------------------------------------
 
@@ -107,14 +119,21 @@ class ServiceClient:
             {"$wkt": p.wkt()} if callable(getattr(p, "wkt", None)) else p
             for p in params
         ]
-        response = self._roundtrip(
-            {"op": "query", "sql": sql, "params": wire_params}
-        )
+        request: Dict[str, Any] = {
+            "op": "query", "sql": sql, "params": wire_params,
+        }
+        if self.trace:
+            ctx = TraceContext.fresh()
+            request["trace"] = ctx.to_wire()
+        response = self._roundtrip(request)
+        trace_id = response.get("trace_id")
+        self.last_trace_id = trace_id if isinstance(trace_id, str) else None
         return RemoteResult(
             columns=list(response.get("columns") or []),
             rows=decode_rows(response.get("rows") or []),
             rowcount=int(response.get("rowcount") or 0),
             cached=bool(response.get("cached")),
+            trace_id=self.last_trace_id,
         )
 
     def ping(self) -> bool:
@@ -122,6 +141,17 @@ class ServiceClient:
 
     def server_stats(self) -> Dict[str, Any]:
         return self._roundtrip({"op": "stats"})["stats"]
+
+    def trace_record(self, trace_id: str) -> Optional[Dict[str, Any]]:
+        """One flight-recorder record from the server (as a plain dict),
+        or ``None`` when the id is unknown or already evicted."""
+        return self._roundtrip({"op": "trace", "trace_id": trace_id}).get(
+            "record"
+        )
+
+    def trace_records(self) -> List[Dict[str, Any]]:
+        """Brief rows for every buffered request, oldest first."""
+        return self._roundtrip({"op": "trace"}).get("records") or []
 
     def close(self) -> None:
         sock, self._sock = self._sock, None

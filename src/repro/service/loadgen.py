@@ -24,6 +24,8 @@ import time
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.stats import backoff_delay
+from repro.obs.requests import TraceContext
+from repro.obs.waits import WaitAttribution, summary_delta
 from repro.service.client import ServiceClient
 from repro.service.protocol import _HEADER, MAX_FRAME, decode_body, \
     encode_frame
@@ -63,9 +65,12 @@ class _AsyncChannel:
         return decode_body(await self._reader.readexactly(length))
 
     async def query(self, sql: str, params=()) -> Dict[str, Any]:
-        return await self.request(
-            {"op": "query", "sql": sql, "params": list(params)}
-        )
+        # the fleet propagates trace context like the blocking client:
+        # a traced server links each open-loop request end to end
+        return await self.request({
+            "op": "query", "sql": sql, "params": list(params),
+            "trace": TraceContext.fresh().to_wire(),
+        })
 
     async def close(self) -> None:
         self._writer.close()
@@ -207,16 +212,35 @@ def run_server_workload(config, address: Optional[str] = None):
         reports: List[Any] = [
             ClientReport(client_id=slot) for slot in range(config.clients)
         ]
+        before = control.server_stats() if config.waits else None
         start = time.perf_counter()
         asyncio.run(_run_fleet(host, port, mix, config, reports))
         wall = time.perf_counter() - start
         stats = control.server_stats()
     finally:
         control.close()
+    attribution = None
+    if before is not None:
+        # server-side decomposition over the wire: the serve process
+        # exports its wait summary in stats(), so the driver can diff
+        # before/after and attribute Net:Recv / Net:Send /
+        # Service:QueueWait without shell access to the server. Busy
+        # time is the worker pool's wall capacity, the same denominator
+        # the embedded driver uses per client thread.
+        waits_after = stats.get("waits")
+        if waits_after is not None:
+            pool_size = (stats.get("pool") or {}).get("size", 1) or 1
+            attribution = WaitAttribution(
+                summary=summary_delta(
+                    before.get("waits") or {}, waits_after
+                ),
+                busy_seconds=wall * pool_size,
+            )
     return WorkloadReport(
         config=config,
         wall_seconds=wall,
         clients=reports,
+        attribution=attribution,
         service={
             "address": stats.get("address", address),
             "connections_total": stats.get("connections_total", 0),
@@ -224,4 +248,5 @@ def run_server_workload(config, address: Optional[str] = None):
             "admission": stats.get("admission", {}),
         },
         cache=stats.get("cache"),
+        requests=stats.get("requests"),
     )

@@ -13,6 +13,15 @@ string back). Errors are *typed*: ``{"ok": false, "error": {"code":
 ``timeout`` / ``serialization`` / ``sql`` / ``protocol`` / ``internal``
 — the client library maps them back onto the exception hierarchy, and
 ``overloaded`` additionally carries ``retry_after`` seconds.
+
+A ``query`` request may carry an optional ``trace`` field —
+``{"trace_id": str, "span_id": str, "sent_at": epoch_float}`` — that
+propagates the client's trace context for end-to-end request tracing
+(``repro.obs.requests``). The field is strictly additive: servers that
+predate it ignore it, clients that omit it still work, and a malformed
+``trace`` value is dropped rather than failing the request
+(:func:`trace_context` is deliberately tolerant). A tracing server
+echoes ``trace_id`` on the matching response.
 """
 
 from __future__ import annotations
@@ -33,6 +42,7 @@ __all__ = [
     "jsonable_rows",
     "decode_rows",
     "error_payload",
+    "trace_context",
 ]
 
 #: refuse frames larger than this (a corrupt length prefix must not
@@ -134,6 +144,19 @@ def _decode_value(value: Any) -> Any:
 def decode_rows(rows: Sequence[Sequence[Any]]) -> List[tuple]:
     """Wire rows back to tuples (geometry arrives as its WKT string)."""
     return [tuple(_decode_value(v) for v in row) for row in rows]
+
+
+def trace_context(message: Dict[str, Any]):
+    """The request's :class:`~repro.obs.requests.TraceContext`, or
+    ``None`` when the ``trace`` field is absent or malformed — an old or
+    foreign client must never have its query rejected over trace
+    metadata."""
+    payload = message.get("trace")
+    if payload is None:
+        return None
+    from repro.obs.requests import TraceContext
+
+    return TraceContext.from_wire(payload)
 
 
 def error_payload(code: str, message: str, **extra: Any) -> Dict[str, Any]:

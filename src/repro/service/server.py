@@ -41,6 +41,7 @@ from repro.errors import (
     ServiceProtocolError,
     SqlError,
 )
+from repro.obs.requests import RECORDER, SlowLog
 from repro.obs.waits import NET_RECV, NET_SEND, WAITS
 from repro.service.admission import AdmissionControl
 from repro.service.cache import CachedExecutor, ResultCache
@@ -52,6 +53,7 @@ from repro.service.protocol import (
     encode_frame,
     error_payload,
     jsonable_rows,
+    trace_context,
 )
 
 __all__ = ["ServerConfig", "JackpineServer"]
@@ -76,6 +78,17 @@ class ServerConfig:
     cache_capacity: int = 256
     idle_timeout: float = 30.0
     reap_interval: float = 1.0
+    #: request tracing + flight recorder (repro.obs.requests); off by
+    #: default — the disabled path is one bool check per request
+    trace: bool = False
+    #: tail-sampling threshold: requests at or above this retain their
+    #: full linked span tree
+    trace_slow_ms: float = 100.0
+    #: flight-recorder ring size (compact records)
+    trace_capacity: int = 2048
+    #: JSON-lines file appended with every tail-sampled request
+    slow_log: Optional[str] = None
+    slow_log_max_bytes: int = 4 * 1024 * 1024
 
 
 class _ClientState:
@@ -124,6 +137,8 @@ class JackpineServer:
             max_workers=self.config.pool_size + 2,
             thread_name_prefix="jackpine-svc",
         )
+        #: the one per-request tracing check (disabled-path discipline)
+        self._tracing = bool(self.config.trace)
         self.connections_open = 0
         self.connections_total = 0
         self._loop: Optional[asyncio.AbstractEventLoop] = None
@@ -138,6 +153,20 @@ class JackpineServer:
     def start(self) -> "JackpineServer":
         if self._thread is not None:
             raise ServiceError("server already started")
+        if self._tracing:
+            RECORDER.configure(
+                slow_threshold=self.config.trace_slow_ms / 1e3,
+                capacity=self.config.trace_capacity,
+                slow_log=(
+                    SlowLog(self.config.slow_log,
+                            self.config.slow_log_max_bytes)
+                    if self.config.slow_log else None
+                ),
+            )
+            RECORDER.enable()
+            # span-capturing tracing on the engine gives every traced
+            # request its executor SpanNode tree to parent
+            RECORDER.install(self._db)
         self._thread = threading.Thread(
             target=self._run_loop, name="jackpine-service", daemon=True
         )
@@ -161,6 +190,12 @@ class JackpineServer:
             self._db.service = None
         self._workers.shutdown(wait=True)
         self.pool.close()
+        if self._tracing:
+            # stop recording but keep the buffered records readable —
+            # post-mortems outlive the server that produced them
+            RECORDER.uninstall(self._db)
+            RECORDER.disable()
+            RECORDER.close_log()
 
     def __enter__(self) -> "JackpineServer":
         return self.start()
@@ -173,7 +208,7 @@ class JackpineServer:
         return f"{self.host}:{self.port}"
 
     def stats(self) -> Dict[str, Any]:
-        return {
+        stats: Dict[str, Any] = {
             "address": self.address,
             "connections_open": self.connections_open,
             "connections_total": self.connections_total,
@@ -184,6 +219,14 @@ class JackpineServer:
                 else dict(_EMPTY_CACHE_STATS)
             ),
         }
+        if self._tracing:
+            stats["requests"] = RECORDER.stats()
+        if WAITS.enabled:
+            # lets a remote workload driver compute server-side wait
+            # deltas (Net:Recv / Net:Send / Service:QueueWait) without
+            # shell access to the serve process
+            stats["waits"] = WAITS.summary()
+        return stats
 
     # -- event loop ----------------------------------------------------------
 
@@ -235,7 +278,7 @@ class JackpineServer:
         try:
             while True:
                 try:
-                    message = await self._read_message(reader)
+                    message, recv_seconds = await self._read_message(reader)
                 except ServiceProtocolError as exc:
                     await self._send(writer, {
                         "ok": False,
@@ -244,8 +287,13 @@ class JackpineServer:
                     break
                 if message is None:
                     break
-                response = await self._dispatch(state, message)
-                await self._send(writer, response)
+                response = await self._dispatch(state, message, recv_seconds)
+                # the request's record is filed only after its last byte
+                # is on the wire, so net.send is part of the trace
+                pending = response.pop("_pending", None)
+                send_seconds = await self._send(writer, response)
+                if pending is not None:
+                    RECORDER.finish(pending, send_seconds)
                 if response.get("_close"):
                     break
         except (ConnectionError, asyncio.IncompleteReadError):
@@ -279,15 +327,16 @@ class JackpineServer:
             except (ConnectionError, OSError, asyncio.CancelledError):
                 pass
 
-    async def _read_message(self, reader) -> Optional[Dict[str, Any]]:
-        """One frame; ``None`` on clean EOF between frames. The idle wait
-        for the *header* is the client thinking, not the network — only
-        the body read is accounted as ``Net:Recv``."""
+    async def _read_message(self, reader):
+        """One ``(frame, recv_seconds)``; ``(None, 0.0)`` on clean EOF
+        between frames. The idle wait for the *header* is the client
+        thinking, not the network — only the body read is accounted as
+        ``Net:Recv`` (and as the trace's ``net.recv`` stage)."""
         try:
             header = await reader.readexactly(_HEADER.size)
         except asyncio.IncompleteReadError as exc:
             if not exc.partial:
-                return None
+                return None, 0.0
             raise ServiceProtocolError("connection closed mid-header")
         (length,) = _HEADER.unpack(header)
         if length > MAX_FRAME:
@@ -296,20 +345,24 @@ class JackpineServer:
             )
         start = time.perf_counter()
         body = await reader.readexactly(length)
+        seconds = time.perf_counter() - start
         if WAITS.enabled:
-            WAITS.record(NET_RECV, time.perf_counter() - start)
-        return decode_body(body)
+            WAITS.record(NET_RECV, seconds)
+        return decode_body(body), seconds
 
-    async def _send(self, writer, response: Dict[str, Any]) -> None:
+    async def _send(self, writer, response: Dict[str, Any]) -> float:
         response.pop("_close", None)
         writer.write(encode_frame(response))
         start = time.perf_counter()
         await writer.drain()
+        seconds = time.perf_counter() - start
         if WAITS.enabled:
-            WAITS.record(NET_SEND, time.perf_counter() - start)
+            WAITS.record(NET_SEND, seconds)
+        return seconds
 
     async def _dispatch(
-        self, state: _ClientState, message: Dict[str, Any]
+        self, state: _ClientState, message: Dict[str, Any],
+        recv_seconds: float = 0.0,
     ) -> Dict[str, Any]:
         op = message.get("op")
         rid = message.get("id")
@@ -317,6 +370,8 @@ class JackpineServer:
             return {"ok": True, "id": rid, "pong": True}
         if op == "stats":
             return {"ok": True, "id": rid, "stats": self.stats()}
+        if op == "trace":
+            return self._trace_op(message, rid)
         if op != "query":
             return {
                 "ok": False, "id": rid, "_close": True,
@@ -328,6 +383,15 @@ class JackpineServer:
                 "ok": False, "id": rid, "_close": True,
                 "error": error_payload("protocol", "query without sql text"),
             }
+        pending = None
+        if self._tracing:
+            # a context-less (old) client still gets a server-minted
+            # trace; net.recv started recv_seconds before begin()
+            pending = RECORDER.begin(trace_context(message), sql)
+            if recv_seconds > 0.0:
+                pending.stage(
+                    "net.recv", pending.start - recv_seconds, recv_seconds
+                )
         params = [
             value["$wkt"]
             if isinstance(value, dict) and "$wkt" in value else value
@@ -335,7 +399,7 @@ class JackpineServer:
         ]
         ticket = self.admission.try_admit()
         if ticket is None:
-            return {
+            response = {
                 "ok": False, "id": rid,
                 "error": error_payload(
                     "overloaded",
@@ -343,11 +407,16 @@ class JackpineServer:
                     retry_after=self.admission.deadline,
                 ),
             }
+            if pending is not None:
+                pending.complete("shed_queue_full")
+                response["trace_id"] = pending.trace_id
+                response["_pending"] = pending
+            return response
         with state.lock:
             state.running = True
         try:
             future = self._workers.submit(
-                self._run_query, state, sql, params, ticket
+                self._run_query, state, sql, params, ticket, pending
             )
         except RuntimeError:  # executor already shut down during stop
             with state.lock:
@@ -373,12 +442,30 @@ class JackpineServer:
                 self.admission.cancel(ticket)
             raise
         response["id"] = rid
+        if pending is not None:
+            response["trace_id"] = pending.trace_id
+            response["_pending"] = pending
         return response
+
+    def _trace_op(self, message: Dict[str, Any], rid) -> Dict[str, Any]:
+        """``{"op": "trace"}`` lists brief rows; with a ``trace_id`` it
+        returns that request's full record (``None`` when evicted)."""
+        trace_id = message.get("trace_id")
+        if trace_id is None:
+            return {
+                "ok": True, "id": rid,
+                "records": [r.brief() for r in RECORDER.records()],
+            }
+        record = RECORDER.lookup(str(trace_id))
+        return {
+            "ok": True, "id": rid,
+            "record": record.as_dict() if record is not None else None,
+        }
 
     # -- worker-thread side --------------------------------------------------
 
     def _run_query(
-        self, state: _ClientState, sql: str, params, ticket
+        self, state: _ClientState, sql: str, params, ticket, pending=None
     ) -> Dict[str, Any]:
         """Runs on a worker thread; returns the response dict and never
         raises (every failure becomes a typed error payload)."""
@@ -387,15 +474,42 @@ class JackpineServer:
         try:
             remaining = self.admission.begin(ticket)
             began = True
+            if pending is not None:
+                pending.stage(
+                    "queue.wait", ticket.arrival,
+                    time.perf_counter() - ticket.arrival,
+                )
             connection = state.pinned
+            pinned = connection is not None
+            acquire_start = time.perf_counter()
             if connection is None:
                 connection = self.pool.acquire(timeout=remaining)
+            if pending is not None:
+                pending.stage(
+                    "session.acquire", acquire_start,
+                    time.perf_counter() - acquire_start,
+                    "pinned" if pinned else "pool",
+                )
             # re-clamp to what is left of the deadline now that the
             # pool wait is behind us; the guardrail timeout enforces it
             budget = max(ticket.deadline - time.perf_counter(), 1e-3)
-            columns, rows, rowcount, cached = self._cached.execute(
-                connection, sql, params, timeout=budget
-            )
+            if pending is None:
+                # untraced: byte-identical to the pre-tracing call
+                columns, rows, rowcount, cached = self._cached.execute(
+                    connection, sql, params, timeout=budget
+                )
+            else:
+                # bound to this thread so the query_end hook files the
+                # executor trace with *this* request, not a neighbour's
+                RECORDER.bind(pending)
+                try:
+                    columns, rows, rowcount, cached = self._cached.execute(
+                        connection, sql, params, timeout=budget,
+                        stages=pending,
+                    )
+                finally:
+                    RECORDER.unbind()
+                pending.complete("ok", cached=cached)
             return {
                 "ok": True,
                 "columns": list(columns),
@@ -404,8 +518,12 @@ class JackpineServer:
                 "cached": cached,
             }
         except ReproError as exc:
+            if pending is not None:
+                pending.complete(self._outcome_of(exc))
             return self._error_response(exc)
         except Exception as exc:  # engine invariant broken; don't hide it
+            if pending is not None:
+                pending.complete("internal")
             return {
                 "ok": False,
                 "error": error_payload(
@@ -440,6 +558,18 @@ class JackpineServer:
                 connection, state.pinned = state.pinned, None
         if connection is not None:
             self.pool.release(connection)
+
+    @staticmethod
+    def _outcome_of(exc: ReproError) -> str:
+        if isinstance(exc, ServiceOverloadedError):
+            return "overloaded"
+        if isinstance(exc, SerializationError):
+            return "serialization"
+        if isinstance(exc, GuardrailError):
+            return "timeout"
+        if isinstance(exc, SqlError):
+            return "sql"
+        return "internal"
 
     @staticmethod
     def _error_response(exc: ReproError) -> Dict[str, Any]:

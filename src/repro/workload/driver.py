@@ -102,11 +102,15 @@ class WorkloadConfig:
         if self.server is not None:
             if ":" not in self.server:
                 raise ValueError("server must be a host:port address")
-            if self.storage_dir or self.waits:
+            if self.storage_dir:
                 raise ValueError(
-                    "server mode drives a remote process: storage/waits "
+                    "server mode drives a remote process: storage "
                     "instrumentation belongs to the serve side"
                 )
+            # --waits IS allowed with --server: the serve process exports
+            # its wait summary through stats(), and the driver diffs it
+            # around the round (Net:Recv / Net:Send / Service:QueueWait
+            # show up in the attribution without shell access)
 
 
 @dataclass
@@ -152,6 +156,10 @@ class WorkloadReport:
     #: counters and the result-cache counters, read back after the round
     service: Optional[Dict[str, Any]] = None
     cache: Optional[Dict[str, Any]] = None
+    #: populated only when the server ran with request tracing — the
+    #: flight-recorder counters (total/retained/outcomes), read back
+    #: after the round
+    requests: Optional[Dict[str, Any]] = None
 
     def _total(self, name: str) -> int:
         return sum(getattr(report, name) for report in self.clients)
@@ -298,6 +306,8 @@ class WorkloadReport:
                 hit_ratio=(hits / looked if looked else 0.0),
                 client_observed_hits=self.total_cache_hits,
             )
+        if self.requests is not None:
+            document["requests"] = dict(self.requests)
         return document
 
 
@@ -604,7 +614,11 @@ def render_workload(report: WorkloadReport) -> str:
     if report.attribution is not None:
         lines.append("")
         lines.append(report.attribution.render(
-            title="wall-time decomposition (all clients)"
+            title=(
+                "server wall-time decomposition (worker pool)"
+                if config.server is not None
+                else "wall-time decomposition (all clients)"
+            )
         ))
     if report.ash is not None and report.ash.get("samples"):
         states = report.ash.get("wait_state_counts", {})
@@ -660,6 +674,21 @@ def render_workload(report: WorkloadReport) -> str:
             f"(hit ratio {ratio:.1%})   "
             f"invalidations: {report.cache.get('invalidations', 0)}   "
             f"entries: {report.cache.get('entries', 0)}"
+        )
+    if report.requests is not None:
+        outcomes = report.requests.get("outcomes", {})
+        worst = ", ".join(
+            f"{name}={count}"
+            for name, count in sorted(
+                outcomes.items(), key=lambda item: -item[1]
+            )[:4]
+        )
+        lines.append(
+            f"requests: {report.requests.get('total', 0)} traced, "
+            f"{report.requests.get('retained', 0)} retained "
+            f"(slow >= {report.requests.get('slow_threshold_ms', 0):.0f}ms, "
+            f"errored, shed, or stale-adjacent)   outcomes: {worst or '--'}"
+            f"   inspect: SELECT * FROM jackpine_requests / jackpine trace"
         )
     return "\n".join(lines)
 

@@ -126,6 +126,49 @@ def test_server_document_service_section_shape(server_document):
     assert 0.0 <= cache["hit_ratio"] <= 1.0
 
 
+@pytest.fixture(scope="module")
+def traced_server_document(database):
+    from repro.service import JackpineServer, ServerConfig
+
+    server = JackpineServer(database, ServerConfig(pool_size=2, trace=True))
+    server.start()
+    try:
+        config = WorkloadConfig(clients=2, duration=0.3, mix="browse",
+                                mode="open", rate=10.0, seed=11,
+                                scale=0.05, server=server.address)
+        return run_workload(config).telemetry_document()
+    finally:
+        server.stop()
+
+
+def test_traced_server_document_adds_only_requests(traced_server_document):
+    assert V1_BASE_KEYS <= set(traced_server_document)
+    assert set(traced_server_document) - V1_BASE_KEYS == {
+        "service", "cache", "requests"
+    }
+
+
+def test_requests_section_absent_without_tracing(server_document):
+    # the untraced server's document must not grow the section —
+    # "requests" is strictly additive and opt-in
+    assert "requests" not in server_document
+
+
+def test_requests_section_shape(traced_server_document):
+    requests = traced_server_document["requests"]
+    assert {"enabled", "total", "retained", "outcomes",
+            "slow_threshold_ms", "capacity", "buffered"} <= set(requests)
+    assert requests["total"] >= 1
+    assert 0 <= requests["retained"] <= requests["total"]
+    assert sum(requests["outcomes"].values()) == requests["total"]
+
+
+def test_v1_reader_parses_traced_server_documents(traced_server_document):
+    parsed = _v1_reader(traced_server_document)
+    assert parsed["engine"] == "greenwood"
+    assert parsed["ops"] >= 1
+
+
 def test_statements_section_shape(full_document):
     section = full_document["statements"]
     assert set(section) == {
